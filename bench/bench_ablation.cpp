@@ -1,0 +1,201 @@
+// Ablations of the design choices DESIGN.md §5 calls out:
+//   1. Algorithm 1 chain weighting: paper rate/Omega vs exact overlap.
+//   2. The Section IV-C fidelity cap on/off (storage skew vs elapsed).
+//   3. Speculative execution on/off.
+//   4. Rescue capability: origin re-issue delay sweep — the knob that
+//      moves the environment between "cheap re-execution anywhere"
+//      (where uniform placement + work stealing is hard to beat) and
+//      "interrupted work must wait" (the Section III model's world,
+//      where availability-aware placement pays).
+//   5. Interruption arrival clock: uptime (fault-injector style) vs
+//      absolute time (strict M/G/1).
+//
+//   ./bench_ablation [--runs R] [--seed S]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/topology.h"
+#include "trace/generator.h"
+#include "workload/terasort.h"
+
+namespace {
+
+using namespace adapt;
+
+core::RepeatedResult run(const cluster::Cluster& cl,
+                         core::ExperimentConfig config, int runs) {
+  return core::run_repeated(cl, config, runs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adapt;
+  const common::Flags flags(argc, argv);
+  const int runs = static_cast<int>(flags.get_int("runs", 5));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 99));
+  bench::abort_on_unused_flags(flags);
+
+  bench::print_header("Ablations (DESIGN.md §5)",
+                      std::to_string(runs) + " runs per point");
+
+  const workload::Workload w = workload::emulation_workload();
+  cluster::EmulationConfig emu;
+  emu.node_count = 128;
+  const cluster::Cluster cl = cluster::emulated_cluster(emu);
+
+  core::ExperimentConfig base;
+  base.blocks = w.blocks_for(cl.size());
+  base.job.gamma = w.gamma();
+  base.replication = 1;
+  base.seed = seed;
+  base.policy = core::PolicyKind::kAdapt;
+
+  {
+    common::Table table({"chain weighting", "elapsed (s)", "locality"});
+    for (const auto weighting : {placement::ChainWeighting::kPaper,
+                                 placement::ChainWeighting::kOverlap}) {
+      core::ExperimentConfig config = base;
+      config.weighting = weighting;
+      const auto r = run(cl, config, runs);
+      table.add_row({placement::to_string(weighting),
+                     common::format_double(r.elapsed.mean, 0),
+                     common::format_percent(r.locality.mean)});
+    }
+    std::printf("\n--- 1. Algorithm 1 chain weighting ---\n%s",
+                table.to_string().c_str());
+  }
+
+  {
+    // Use the strict-M/G/1 clock, whose wider E[T] spread makes ADAPT
+    // want far more than the threshold on the dedicated nodes.
+    cluster::EmulationConfig skewed_emu = emu;
+    skewed_emu.absolute_arrival_clock = true;
+    const cluster::Cluster skewed = cluster::emulated_cluster(skewed_emu);
+    common::Table table(
+        {"fidelity cap", "elapsed (s)", "max blocks/node", "skew"});
+    for (const bool cap : {true, false}) {
+      core::ExperimentConfig config = base;
+      config.fidelity_cap = cap;
+      // Single run for the skew readout (placement is the object here).
+      const core::ExperimentResult r = core::run_experiment(skewed, config);
+      std::uint64_t max_blocks = 0;
+      for (const auto c : r.distribution) {
+        max_blocks = std::max(max_blocks, c);
+      }
+      const auto repeated = run(skewed, config, runs);
+      table.add_row({cap ? "on (m(k+1)/n)" : "off",
+                     common::format_double(repeated.elapsed.mean, 0),
+                     std::to_string(max_blocks),
+                     common::format_double(r.placement_skew, 2)});
+    }
+    std::printf("\n--- 2. Section IV-C fidelity cap (strict-M/G/1 "
+                "cluster) ---\n%s",
+                table.to_string().c_str());
+  }
+
+  {
+    common::Table table({"speculation", "random r1 (s)", "adapt r1 (s)"});
+    for (const bool speculation : {true, false}) {
+      core::ExperimentConfig config = base;
+      config.job.speculation = speculation;
+      config.policy = core::PolicyKind::kRandom;
+      const auto random = run(cl, config, runs);
+      config.policy = core::PolicyKind::kAdapt;
+      const auto adapt_r = run(cl, config, runs);
+      table.add_row({speculation ? "on" : "off",
+                     common::format_double(random.elapsed.mean, 0),
+                     common::format_double(adapt_r.elapsed.mean, 0)});
+    }
+    std::printf("\n--- 3. Speculative execution ---\n%s",
+                table.to_string().c_str());
+  }
+
+  {
+    // Trace-population cluster; vary how costly a stranded block is.
+    trace::GeneratorConfig gc;
+    gc.node_count = 256;
+    gc.horizon = 14.0 * 24 * 3600;
+    gc.seed = seed;
+    const auto gen = trace::generate_seti_like_trace(gc);
+    std::vector<avail::InterruptionParams> params;
+    for (const auto& h : gen.truth) params.push_back(h.params());
+    const cluster::Cluster sim_cl =
+        cluster::model_cluster(params, cluster::TraceClusterConfig{});
+    const workload::Workload sw = workload::simulation_workload();
+
+    common::Table table({"reissue delay", "random r1 ovh", "adapt r1 ovh",
+                         "adapt gain"});
+    for (const double delay : {60.0, 600.0, 1800.0}) {
+      core::ExperimentConfig config;
+      config.blocks = sw.blocks_for(gc.node_count);
+      config.job.gamma = sw.gamma();
+      config.job.origin_fetch_delay = delay;
+      config.steady_state_start = true;
+      config.seed = seed;
+      config.policy = core::PolicyKind::kRandom;
+      const auto random = run(sim_cl, config, std::max(1, runs / 2));
+      config.policy = core::PolicyKind::kAdapt;
+      const auto adapt_r = run(sim_cl, config, std::max(1, runs / 2));
+      table.add_row({common::format_seconds(delay),
+                     common::format_percent(random.total_ratio),
+                     common::format_percent(adapt_r.total_ratio),
+                     common::format_percent(
+                         1.0 - (1.0 + adapt_r.total_ratio) /
+                                   (1.0 + random.total_ratio))});
+    }
+    std::printf("\n--- 4. Rescue capability (origin re-issue delay) ---\n%s",
+                table.to_string().c_str());
+  }
+
+  {
+    common::Table table({"arrival clock", "random r1 (s)", "adapt r1 (s)"});
+    for (const bool absolute : {false, true}) {
+      cluster::EmulationConfig config_emu = emu;
+      config_emu.absolute_arrival_clock = absolute;
+      const cluster::Cluster clock_cl = cluster::emulated_cluster(config_emu);
+      core::ExperimentConfig config = base;
+      config.policy = core::PolicyKind::kRandom;
+      const auto random = run(clock_cl, config, runs);
+      config.policy = core::PolicyKind::kAdapt;
+      const auto adapt_r = run(clock_cl, config, runs);
+      table.add_row({absolute ? "absolute (strict M/G/1)" : "uptime",
+                     common::format_double(random.elapsed.mean, 0),
+                     common::format_double(adapt_r.elapsed.mean, 0)});
+    }
+    std::printf("\n--- 5. Interruption arrival clock ---\n%s",
+                table.to_string().c_str());
+  }
+
+  {
+    // Extension (paper future work): shuffle + reduce phase with
+    // random vs availability-aware reducer placement.
+    common::Table table({"reducer placement", "reduce elapsed (s)",
+                         "reassignments", "origin refetches"});
+    for (const bool aware : {false, true}) {
+      core::ExperimentConfig config = base;
+      config.run_reduce = true;
+      config.reduce.output_ratio = 1.0;  // Terasort shuffles everything
+      config.reduce_availability_aware = aware;
+      double elapsed = 0.0;
+      std::uint64_t reassigned = 0;
+      std::uint64_t refetched = 0;
+      for (int i = 0; i < runs; ++i) {
+        config.seed = seed + 1000 + i;
+        const core::ExperimentResult r = core::run_experiment(cl, config);
+        elapsed += r.reduce.elapsed;
+        reassigned += r.reduce.reducer_reassignments;
+        refetched += r.reduce.origin_refetches;
+      }
+      table.add_row({aware ? "availability-aware" : "random",
+                     common::format_double(elapsed / runs, 0),
+                     common::format_double(
+                         static_cast<double>(reassigned) / runs, 1),
+                     common::format_double(
+                         static_cast<double>(refetched) / runs, 1)});
+    }
+    std::printf("\n--- 6. Reduce phase (future-work extension) ---\n%s",
+                table.to_string().c_str());
+  }
+  return 0;
+}

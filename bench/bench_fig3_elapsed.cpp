@@ -1,0 +1,120 @@
+// Figure 3 reproduction: map-phase elapsed time in the emulated
+// non-dedicated environment.
+//   (a) vs ratio of interrupted nodes {1/4, 1/2, 3/4}
+//   (b) vs network bandwidth {4, 8, 16, 32} Mb/s
+//   (c) vs cluster size {32, 64, 128, 256}
+// Series: random/ADAPT x 1/2 replicas; defaults follow Tables 2 and 3.
+//
+//   ./bench_fig3_elapsed [--runs R] [--seed S] [--full]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/topology.h"
+#include "workload/sweeps.h"
+#include "workload/terasort.h"
+
+namespace {
+
+using namespace adapt;
+
+struct Sweep {
+  std::string title;
+  std::string column;
+  std::vector<std::string> labels;
+  std::vector<cluster::EmulationConfig> configs;
+};
+
+void run_sweep(const Sweep& sweep, int runs, std::uint64_t seed) {
+  const workload::Workload w = workload::emulation_workload();
+  common::Table table({sweep.column, "random r1 (s)", "adapt r1 (s)",
+                       "random r2 (s)", "adapt r2 (s)", "adapt r1 gain"});
+  for (std::size_t i = 0; i < sweep.configs.size(); ++i) {
+    const cluster::Cluster cl = cluster::emulated_cluster(sweep.configs[i]);
+    core::ExperimentConfig config;
+    config.blocks = w.blocks_for(cl.size());
+    config.job.gamma = w.gamma();
+    config.seed = seed + i;
+
+    std::vector<std::string> row = {sweep.labels[i]};
+    double random_r1 = 0.0;
+    double adapt_r1 = 0.0;
+    for (const bench::Series& series : bench::fig3_series()) {
+      config.policy = series.policy;
+      config.replication = series.replication;
+      const core::RepeatedResult r = core::run_repeated(cl, config, runs);
+      row.push_back(common::format_double(r.elapsed.mean, 0) + " ±" +
+                    common::format_double(r.elapsed.ci95_half_width, 0));
+      if (series.replication == 1) {
+        (series.policy == core::PolicyKind::kRandom ? random_r1
+                                                    : adapt_r1) =
+            r.elapsed.mean;
+      }
+    }
+    row.push_back(common::format_percent(
+        random_r1 > 0 ? 1.0 - adapt_r1 / random_r1 : 0.0));
+    table.add_row(row);
+  }
+  std::printf("\n--- %s ---\n%s", sweep.title.c_str(),
+              table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adapt;
+  const common::Flags flags(argc, argv);
+  const bool full = flags.get_bool("full", false);
+  const int runs = static_cast<int>(flags.get_int("runs", full ? 10 : 5));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2012));
+  bench::abort_on_unused_flags(flags);
+
+  bench::print_header(
+      "Figure 3 — elapsed time, emulated environment (Tables 2/3)",
+      "paper reference at 128 nodes, ratio 1/2, 8 Mb/s: random r1 = 391 s, "
+      "adapt r1 = 234 s (40% gain)\n" +
+          std::to_string(runs) + " runs per point" +
+          (full ? "" : "; pass --full for the paper's 10 runs"));
+
+  const workload::EmulationDefaults defaults =
+      workload::emulation_defaults();
+
+  Sweep ratio_sweep;
+  ratio_sweep.title = "Figure 3(a): ratio of interrupted nodes";
+  ratio_sweep.column = "interrupted";
+  for (const double ratio : workload::interrupted_ratio_sweep()) {
+    cluster::EmulationConfig config;
+    config.node_count = defaults.node_count;
+    config.interrupted_ratio = ratio;
+    config.bandwidth_bps = defaults.bandwidth_bps;
+    ratio_sweep.labels.push_back(common::format_double(ratio, 2));
+    ratio_sweep.configs.push_back(config);
+  }
+  run_sweep(ratio_sweep, runs, seed);
+
+  Sweep bw_sweep;
+  bw_sweep.title = "Figure 3(b): network bandwidth";
+  bw_sweep.column = "bandwidth";
+  for (const double bps : workload::bandwidth_sweep()) {
+    cluster::EmulationConfig config;
+    config.node_count = defaults.node_count;
+    config.interrupted_ratio = defaults.interrupted_ratio;
+    config.bandwidth_bps = bps;
+    bw_sweep.labels.push_back(common::format_bandwidth(bps));
+    bw_sweep.configs.push_back(config);
+  }
+  run_sweep(bw_sweep, runs, seed + 100);
+
+  Sweep node_sweep;
+  node_sweep.title = "Figure 3(c): number of nodes";
+  node_sweep.column = "nodes";
+  for (const std::size_t n : workload::emulation_node_sweep()) {
+    cluster::EmulationConfig config;
+    config.node_count = n;
+    config.interrupted_ratio = defaults.interrupted_ratio;
+    config.bandwidth_bps = defaults.bandwidth_bps;
+    node_sweep.labels.push_back(std::to_string(n));
+    node_sweep.configs.push_back(config);
+  }
+  run_sweep(node_sweep, runs, seed + 200);
+  return 0;
+}

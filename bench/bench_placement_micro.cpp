@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the placement machinery — the
+// paper claims ADAPT "incurs minor overheads to the existing Hadoop
+// framework"; these quantify the NameNode-side costs.
+#include <benchmark/benchmark.h>
+
+#include "availability/interruption_model.h"
+#include "common/rng.h"
+#include "placement/adapt_policy.h"
+#include "placement/alias_sampler.h"
+#include "placement/hash_table.h"
+#include "placement/naive_policy.h"
+#include "placement/random_policy.h"
+
+namespace {
+
+using namespace adapt;
+using namespace adapt::placement;
+
+std::vector<double> synthetic_expected_times(std::size_t nodes) {
+  common::Rng rng(17);
+  std::vector<double> et(nodes);
+  for (double& v : et) v = 8.0 + rng.uniform() * 72.0;
+  return et;
+}
+
+// Building Algorithm 1's hash table (buildHashTable): cost per call, as
+// paid on every ADAPT-enabled load.
+void BM_BuildHashTable(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto blocks = static_cast<std::uint64_t>(state.range(1));
+  const auto et = synthetic_expected_times(nodes);
+  std::vector<double> weights(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) weights[i] = 1.0 / et[i];
+  for (auto _ : state) {
+    BlockHashTable table(weights, blocks, ChainWeighting::kPaper);
+    benchmark::DoNotOptimize(table.cell_count());
+  }
+  state.SetItemsProcessed(state.iterations() * blocks);
+}
+BENCHMARK(BM_BuildHashTable)
+    ->Args({128, 2560})
+    ->Args({1024, 102400})
+    ->Args({8192, 819200});
+
+// dataPlacement: one placement decision.
+void BM_PlacementDecision(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto policy = make_adapt_policy(synthetic_expected_times(nodes),
+                                        nodes * 20);
+  const std::vector<bool> eligible(nodes, true);
+  common::Rng rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->choose(eligible, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlacementDecision)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_RandomDecision(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto policy = make_random_policy(nodes);
+  const std::vector<bool> eligible(nodes, true);
+  common::Rng rng(29);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->choose(eligible, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomDecision)->Arg(128)->Arg(8192);
+
+// Chain-weighting ablation: achieved-share distortion of the paper's
+// rate/Omega rule vs exact overlap weighting (reported as counters).
+void BM_ChainWeightingDistortion(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto et = synthetic_expected_times(nodes);
+  std::vector<double> weights(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) weights[i] = 1.0 / et[i];
+  const std::uint64_t blocks = nodes * 20;
+  double paper_l1 = 0.0;
+  double overlap_l1 = 0.0;
+  for (auto _ : state) {
+    const BlockHashTable paper(weights, blocks, ChainWeighting::kPaper);
+    const BlockHashTable overlap(weights, blocks,
+                                 ChainWeighting::kOverlap);
+    paper_l1 = 0.0;
+    overlap_l1 = 0.0;
+    const auto pp = paper.selection_probabilities();
+    const auto op = overlap.selection_probabilities();
+    for (std::size_t i = 0; i < nodes; ++i) {
+      paper_l1 += std::abs(pp[i] - paper.shares()[i]);
+      overlap_l1 += std::abs(op[i] - overlap.shares()[i]);
+    }
+    benchmark::DoNotOptimize(paper_l1);
+  }
+  state.counters["paper_L1_distortion"] = paper_l1;
+  state.counters["overlap_L1_distortion"] = overlap_l1;
+}
+BENCHMARK(BM_ChainWeightingDistortion)->Arg(128)->Arg(1024);
+
+// Alias-method alternative to Algorithm 1's table: exact weights, O(n)
+// memory, per-draw cost comparison.
+void BM_AliasDecision(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto policy = make_adapt_alias_policy(synthetic_expected_times(nodes));
+  const std::vector<bool> eligible(nodes, true);
+  common::Rng rng(31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->choose(eligible, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasDecision)->Arg(128)->Arg(8192);
+
+void BM_BuildAliasTable(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto et = synthetic_expected_times(nodes);
+  std::vector<double> weights(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) weights[i] = 1.0 / et[i];
+  for (auto _ : state) {
+    AliasSampler sampler(weights);
+    benchmark::DoNotOptimize(sampler.size());
+  }
+}
+BENCHMARK(BM_BuildAliasTable)->Arg(128)->Arg(8192);
+
+// Eq. 5 evaluation cost (the Performance Predictor's hot path).
+void BM_ExpectedTaskTime(benchmark::State& state) {
+  const avail::InterruptionParams params{0.01, 60.0};
+  double gamma = 12.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(avail::expected_task_time(params, gamma));
+    gamma += 1e-9;  // defeat constant folding
+  }
+}
+BENCHMARK(BM_ExpectedTaskTime);
+
+}  // namespace
+
+BENCHMARK_MAIN();

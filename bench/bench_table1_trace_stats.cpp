@@ -1,0 +1,80 @@
+// Table 1 reproduction: summary statistics of the synthetic SETI@home
+// failure trace (MTBI and interruption duration), against the paper's
+// reported numbers.
+//
+//   ./bench_table1_trace_stats [--nodes N] [--years Y] [--seed S] [--full]
+#include <cstdio>
+
+#include "bench_util.h"
+#include "trace/generator.h"
+#include "trace/trace_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace adapt;
+  const common::Flags flags(argc, argv);
+  const bool full = flags.get_bool("full", false);
+
+  trace::GeneratorConfig config;
+  config.node_count =
+      static_cast<std::size_t>(flags.get_int("nodes", full ? 16384 : 2048));
+  config.horizon =
+      flags.get_double("years", full ? 1.5 : 0.25) * 365.0 * 24 * 3600;
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  bench::abort_on_unused_flags(flags);
+
+  bench::print_header(
+      "Table 1 — SETI@home failure-trace summary (synthetic substitute)",
+      "paper: 226208 hosts over 1.5 years; here: " +
+          std::to_string(config.node_count) + " hosts over " +
+          common::format_seconds(config.horizon) +
+          (full ? "" : "  (pass --full for 16384 hosts x 1.5 years)"));
+
+  const trace::GeneratedTrace gen = trace::generate_seti_like_trace(config);
+  const trace::TraceStats stats = trace::compute_trace_stats(gen.trace);
+
+  common::RunningStats truth_mtbi;
+  common::RunningStats truth_duration;
+  for (const trace::HostTruth& host : gen.truth) {
+    truth_mtbi.add(host.mtbi);
+    truth_duration.add(host.mean_duration);
+  }
+
+  std::printf("events: %zu   hosts with events: %zu / %zu\n\n",
+              stats.event_count, stats.hosts_with_events,
+              config.node_count);
+
+  common::Table table({"statistic", "paper", "drawn population",
+                       "measured (per-host)", "measured (pooled events)"});
+  table.add_row({"MTBI mean (s)", "160290",
+                 common::format_double(truth_mtbi.mean(), 0),
+                 common::format_double(stats.mtbi_per_host.mean, 0),
+                 common::format_double(stats.mtbi.mean, 0)});
+  table.add_row({"MTBI std dev (s)", "701419",
+                 common::format_double(truth_mtbi.stddev(), 0),
+                 common::format_double(stats.mtbi_per_host.stddev, 0),
+                 common::format_double(stats.mtbi.stddev, 0)});
+  table.add_row({"MTBI CoV", "4.376",
+                 common::format_double(truth_mtbi.coefficient_of_variation(), 3),
+                 common::format_double(stats.mtbi_per_host.cov, 3),
+                 common::format_double(stats.mtbi.cov, 3)});
+  table.add_row({"Duration mean (s)", "109380",
+                 common::format_double(truth_duration.mean(), 0),
+                 common::format_double(stats.duration_per_host.mean, 0),
+                 common::format_double(stats.duration.mean, 0)});
+  table.add_row({"Duration std dev (s)", "807983",
+                 common::format_double(truth_duration.stddev(), 0),
+                 common::format_double(stats.duration_per_host.stddev, 0),
+                 common::format_double(stats.duration.stddev, 0)});
+  table.add_row({"Duration CoV", "7.3869",
+                 common::format_double(
+                     truth_duration.coefficient_of_variation(), 3),
+                 common::format_double(stats.duration_per_host.cov, 3),
+                 common::format_double(stats.duration.cov, 3)});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "'drawn population' is the generator's per-host ground truth (the\n"
+      "Table 1 reading it calibrates to); the measured columns re-estimate\n"
+      "it from the emitted events and are censored by the observation\n"
+      "window, which is why the heavy tails read low at short horizons.\n");
+  return 0;
+}

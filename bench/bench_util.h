@@ -1,0 +1,62 @@
+// Shared plumbing for the figure/table reproduction benches: flag
+// handling, policy enumeration, and consistent headers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "core/adapt.h"
+
+namespace adapt::bench {
+
+// A (policy, replication) curve as plotted in the paper's figures.
+struct Series {
+  core::PolicyKind policy;
+  int replication;
+  std::string label() const {
+    return core::to_string(policy) + " r" + std::to_string(replication);
+  }
+};
+
+inline std::vector<Series> fig3_series() {
+  return {{core::PolicyKind::kRandom, 1},
+          {core::PolicyKind::kAdapt, 1},
+          {core::PolicyKind::kRandom, 2},
+          {core::PolicyKind::kAdapt, 2}};
+}
+
+inline std::vector<Series> fig5_series(bool full) {
+  std::vector<Series> series = {{core::PolicyKind::kRandom, 1},
+                                {core::PolicyKind::kNaive, 1},
+                                {core::PolicyKind::kAdapt, 1},
+                                {core::PolicyKind::kRandom, 2},
+                                {core::PolicyKind::kAdapt, 2}};
+  if (full) {
+    series.push_back({core::PolicyKind::kRandom, 3});
+    series.push_back({core::PolicyKind::kAdapt, 3});
+  }
+  return series;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& scaling_note) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!scaling_note.empty()) std::printf("%s\n", scaling_note.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void abort_on_unused_flags(const common::Flags& flags) {
+  const auto unused = flags.unused();
+  if (unused.empty()) return;
+  std::fprintf(stderr, "unknown flag(s):");
+  for (const auto& name : unused) std::fprintf(stderr, " --%s", name.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+}  // namespace adapt::bench

@@ -1,0 +1,276 @@
+#include "availability/distribution.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace adapt::avail {
+
+namespace {
+
+std::string fmt(const char* name, double a) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s(%.4g)", name, a);
+  return buf;
+}
+
+std::string fmt(const char* name, double a, double b) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s(%.4g, %.4g)", name, a, b);
+  return buf;
+}
+
+void require(bool ok, const char* message) {
+  if (!ok) throw std::invalid_argument(message);
+}
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean) : mean_(mean) {
+    require(mean > 0, "exponential: mean must be > 0");
+  }
+  double sample(common::Rng& rng) const override {
+    return rng.exponential(1.0 / mean_);
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return mean_ * mean_; }
+  std::string describe() const override { return fmt("exp", mean_); }
+
+ private:
+  double mean_;
+};
+
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value) : value_(value) {
+    require(value >= 0, "deterministic: value must be >= 0");
+  }
+  double sample(common::Rng&) const override { return value_; }
+  double mean() const override { return value_; }
+  double variance() const override { return 0.0; }
+  std::string describe() const override { return fmt("det", value_); }
+
+ private:
+  double value_;
+};
+
+class LogNormal final : public Distribution {
+ public:
+  // mean/cov are the moments of the distribution itself:
+  //   sigma^2 = ln(1 + cov^2),  mu = ln(mean) - sigma^2 / 2.
+  LogNormal(double mean, double cov) : target_mean_(mean), target_cov_(cov) {
+    require(mean > 0, "lognormal: mean must be > 0");
+    require(cov > 0, "lognormal: cov must be > 0");
+    sigma2_ = std::log1p(cov * cov);
+    mu_ = std::log(mean) - sigma2_ / 2.0;
+  }
+  double sample(common::Rng& rng) const override {
+    return std::exp(mu_ + std::sqrt(sigma2_) * rng.normal());
+  }
+  double mean() const override { return target_mean_; }
+  double variance() const override {
+    const double m = target_mean_;
+    return m * m * target_cov_ * target_cov_;
+  }
+  std::string describe() const override {
+    return fmt("lognormal", target_mean_, target_cov_);
+  }
+
+ private:
+  double target_mean_;
+  double target_cov_;
+  double mu_;
+  double sigma2_;
+};
+
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+    require(shape > 0, "weibull: shape must be > 0");
+    require(scale > 0, "weibull: scale must be > 0");
+  }
+  double sample(common::Rng& rng) const override {
+    // Inverse CDF: scale * (-ln(1 - u))^(1/shape).
+    const double u = rng.uniform();
+    return scale_ * std::pow(-std::log1p(-u), 1.0 / shape_);
+  }
+  double mean() const override {
+    return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+  }
+  double variance() const override {
+    const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+    const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+    return scale_ * scale_ * (g2 - g1 * g1);
+  }
+  std::string describe() const override {
+    return fmt("weibull", shape_, scale_);
+  }
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+class Pareto final : public Distribution {
+ public:
+  // Lomax: pdf alpha * lambda^alpha / (x + lambda)^(alpha+1), mean
+  // lambda / (alpha - 1). Given a target mean we solve for lambda.
+  Pareto(double mean, double alpha) : alpha_(alpha) {
+    require(mean > 0, "pareto: mean must be > 0");
+    require(alpha > 2, "pareto: alpha must be > 2 for finite variance");
+    lambda_ = mean * (alpha - 1.0);
+  }
+  double sample(common::Rng& rng) const override {
+    const double u = rng.uniform();
+    return lambda_ * (std::pow(1.0 - u, -1.0 / alpha_) - 1.0);
+  }
+  double mean() const override { return lambda_ / (alpha_ - 1.0); }
+  double variance() const override {
+    const double m = mean();
+    return m * m * alpha_ / (alpha_ - 2.0);
+  }
+  std::string describe() const override {
+    return fmt("pareto", mean(), alpha_);
+  }
+
+ private:
+  double alpha_;
+  double lambda_;
+};
+
+class UniformRange final : public Distribution {
+ public:
+  UniformRange(double lo, double hi) : lo_(lo), hi_(hi) {
+    require(lo >= 0 && hi > lo, "uniform: requires 0 <= lo < hi");
+  }
+  double sample(common::Rng& rng) const override {
+    return rng.uniform(lo_, hi_);
+  }
+  double mean() const override { return (lo_ + hi_) / 2.0; }
+  double variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  std::string describe() const override { return fmt("uniform", lo_, hi_); }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+class Empirical final : public Distribution {
+ public:
+  explicit Empirical(std::vector<double> samples)
+      : samples_(std::move(samples)) {
+    require(!samples_.empty(), "empirical: needs at least one sample");
+    double sum = 0.0;
+    for (double s : samples_) {
+      require(s >= 0, "empirical: samples must be >= 0");
+      sum += s;
+    }
+    mean_ = sum / static_cast<double>(samples_.size());
+    double sq = 0.0;
+    for (double s : samples_) sq += (s - mean_) * (s - mean_);
+    variance_ = samples_.size() > 1
+                    ? sq / static_cast<double>(samples_.size() - 1)
+                    : 0.0;
+  }
+  double sample(common::Rng& rng) const override {
+    return samples_[rng.uniform_index(samples_.size())];
+  }
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  std::string describe() const override {
+    return fmt("empirical[n]", static_cast<double>(samples_.size()));
+  }
+
+ private:
+  std::vector<double> samples_;
+  double mean_;
+  double variance_;
+};
+
+std::vector<double> split_numbers(const std::string& spec, std::size_t from) {
+  std::vector<double> out;
+  std::size_t pos = from;
+  while (pos < spec.size()) {
+    std::size_t next = spec.find(':', pos);
+    if (next == std::string::npos) next = spec.size();
+    out.push_back(std::stod(spec.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+DistributionPtr exponential(double mean) {
+  return std::make_shared<Exponential>(mean);
+}
+
+DistributionPtr deterministic(double value) {
+  return std::make_shared<Deterministic>(value);
+}
+
+DistributionPtr lognormal_mean_cov(double mean, double cov) {
+  return std::make_shared<LogNormal>(mean, cov);
+}
+
+DistributionPtr weibull(double shape, double scale) {
+  return std::make_shared<Weibull>(shape, scale);
+}
+
+DistributionPtr pareto_mean_shape(double mean, double alpha) {
+  return std::make_shared<Pareto>(mean, alpha);
+}
+
+DistributionPtr uniform_range(double lo, double hi) {
+  return std::make_shared<UniformRange>(lo, hi);
+}
+
+DistributionPtr empirical(std::vector<double> samples) {
+  return std::make_shared<Empirical>(std::move(samples));
+}
+
+DistributionPtr parse_distribution(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("distribution spec needs 'name:params': " +
+                                spec);
+  }
+  const std::string name = spec.substr(0, colon);
+  const std::vector<double> p = split_numbers(spec, colon + 1);
+  auto arity = [&](std::size_t n) {
+    if (p.size() != n) {
+      throw std::invalid_argument("distribution '" + name + "' expects " +
+                                  std::to_string(n) + " parameter(s): " + spec);
+    }
+  };
+  if (name == "exp" || name == "exponential") {
+    arity(1);
+    return exponential(p[0]);
+  }
+  if (name == "det" || name == "deterministic") {
+    arity(1);
+    return deterministic(p[0]);
+  }
+  if (name == "lognormal") {
+    arity(2);
+    return lognormal_mean_cov(p[0], p[1]);
+  }
+  if (name == "weibull") {
+    arity(2);
+    return weibull(p[0], p[1]);
+  }
+  if (name == "pareto") {
+    arity(2);
+    return pareto_mean_shape(p[0], p[1]);
+  }
+  if (name == "uniform") {
+    arity(2);
+    return uniform_range(p[0], p[1]);
+  }
+  throw std::invalid_argument("unknown distribution: " + spec);
+}
+
+}  // namespace adapt::avail

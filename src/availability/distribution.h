@@ -1,0 +1,62 @@
+// Probability distributions for interruption inter-arrival and service
+// (recovery) times.
+//
+// The paper's model assumes exponential inter-arrivals and a *general*
+// service distribution (M/G/1); the evaluation injects from "the assumed
+// distributions". This library supplies the standard candidates so both
+// the injector and the trace generator can be configured per experiment,
+// and so tests can verify the model against service distributions with
+// very different tail behaviour.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace adapt::avail {
+
+// A positive continuous distribution. Implementations are immutable and
+// cheap to share.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  virtual double sample(common::Rng& rng) const = 0;
+  virtual double mean() const = 0;
+  virtual double variance() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+// Exponential with given mean (rate = 1/mean).
+DistributionPtr exponential(double mean);
+
+// Deterministic point mass; handy for tests and for a D/…/1 ablation.
+DistributionPtr deterministic(double value);
+
+// Lognormal parameterized by its *target* mean and coefficient of
+// variation, the form in which the SETI@home summary (Table 1) is given.
+DistributionPtr lognormal_mean_cov(double mean, double cov);
+
+// Weibull parameterized by shape k and scale lambda.
+DistributionPtr weibull(double shape, double scale);
+
+// Pareto (Lomax, shifted to start at 0) with given mean and shape alpha.
+// alpha must exceed 2 for a finite variance.
+DistributionPtr pareto_mean_shape(double mean, double alpha);
+
+// Uniform on [lo, hi].
+DistributionPtr uniform_range(double lo, double hi);
+
+// Resamples from an observed data set (with replacement). Used to drive
+// the simulator directly from trace measurements.
+DistributionPtr empirical(std::vector<double> samples);
+
+// Parses "exp:4", "det:8", "lognormal:109380:7.39", "weibull:0.5:100",
+// "pareto:100:2.5", "uniform:2:10". Throws std::invalid_argument on junk.
+DistributionPtr parse_distribution(const std::string& spec);
+
+}  // namespace adapt::avail

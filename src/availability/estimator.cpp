@@ -1,0 +1,53 @@
+#include "availability/estimator.h"
+
+#include <stdexcept>
+
+namespace adapt::avail {
+
+AvailabilityEstimator::AvailabilityEstimator(common::Seconds start)
+    : start_(start) {}
+
+void AvailabilityEstimator::record_down(common::Seconds now) {
+  if (currently_down()) {
+    throw std::logic_error("record_down: host already down");
+  }
+  if (now < start_) throw std::invalid_argument("record_down: time reversed");
+  ++downs_;
+  down_since_ = now;
+}
+
+void AvailabilityEstimator::record_up(common::Seconds now) {
+  if (!currently_down()) {
+    throw std::logic_error("record_up: host already up");
+  }
+  if (now < down_since_) {
+    throw std::invalid_argument("record_up: time reversed");
+  }
+  total_downtime_ += now - down_since_;
+  ++recoveries_;
+  down_since_ = -1.0;
+}
+
+InterruptionParams AvailabilityEstimator::estimate(common::Seconds now) const {
+  InterruptionParams p;
+  const double observed = now - start_;
+  if (observed > 0 && downs_ > 0) {
+    p.lambda = static_cast<double>(downs_) / observed;
+  }
+  if (recoveries_ > 0) {
+    // An in-progress outage contributes its elapsed portion so that a
+    // host stuck down is not scored by its historic short repairs alone.
+    double downtime = total_downtime_;
+    std::size_t n = recoveries_;
+    if (currently_down()) {
+      downtime += now - down_since_;
+      ++n;
+    }
+    p.mu = downtime / static_cast<double>(n);
+  } else if (currently_down()) {
+    p.mu = now - down_since_;
+  }
+  return p;
+}
+
+}  // namespace adapt::avail

@@ -1,0 +1,45 @@
+// Online estimation of a host's interruption parameters from observed
+// up/down transitions.
+//
+// The paper's NameNode keeps only "a data structure with two double data
+// types ... the interruption arrival rate and recovery time for each
+// node", updated from heartbeat arrivals/misses. This estimator is that
+// data structure: O(1) memory, fed by transition events, queryable at any
+// time for the current (lambda, mu) estimate.
+#pragma once
+
+#include "availability/interruption_model.h"
+#include "common/units.h"
+
+namespace adapt::avail {
+
+class AvailabilityEstimator {
+ public:
+  // `now` timestamps are simulation seconds and must be non-decreasing.
+  // Constructed at the moment observation starts (host assumed up).
+  explicit AvailabilityEstimator(common::Seconds start = 0.0);
+
+  // Host transitioned up -> down (first missed heartbeat) at `now`.
+  void record_down(common::Seconds now);
+
+  // Host transitioned down -> up (heartbeats resumed) at `now`.
+  void record_up(common::Seconds now);
+
+  // Current estimate. lambda = interruptions / observed time;
+  // mu = mean of completed downtime intervals. Before the first
+  // interruption completes, falls back to `prior` (a host with no
+  // observed interruptions is treated as reliable: lambda estimate 0).
+  InterruptionParams estimate(common::Seconds now) const;
+
+  std::size_t interruptions_observed() const { return downs_; }
+  bool currently_down() const { return down_since_ >= 0.0; }
+
+ private:
+  common::Seconds start_;
+  std::size_t downs_ = 0;
+  std::size_t recoveries_ = 0;
+  double total_downtime_ = 0.0;
+  common::Seconds down_since_ = -1.0;  // < 0 when up
+};
+
+}  // namespace adapt::avail

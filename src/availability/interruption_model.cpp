@@ -1,0 +1,82 @@
+#include "availability/interruption_model.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace adapt::avail {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void validate(const InterruptionParams& p, double gamma) {
+  if (p.lambda < 0) throw std::invalid_argument("lambda must be >= 0");
+  if (p.mu < 0) throw std::invalid_argument("mu must be >= 0");
+  if (gamma <= 0) throw std::invalid_argument("gamma must be > 0");
+}
+
+}  // namespace
+
+double InterruptionParams::mtbi() const {
+  return lambda > 0 ? 1.0 / lambda : kInf;
+}
+
+double InterruptionParams::utilization() const { return lambda * mu; }
+
+double InterruptionParams::steady_state_availability() const {
+  const double rho = utilization();
+  return rho < 1.0 ? 1.0 - rho : 0.0;
+}
+
+bool InterruptionParams::stable() const { return utilization() < 1.0; }
+
+std::string InterruptionParams::describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "lambda=%.6g mu=%.6g (rho=%.4g)", lambda, mu,
+                utilization());
+  return buf;
+}
+
+double expected_rework(const InterruptionParams& p, double gamma) {
+  validate(p, gamma);
+  if (p.lambda == 0) return 0.0;
+  // 1/lambda - gamma / (e^{gamma*lambda} - 1), written with expm1 for
+  // accuracy at small gamma*lambda.
+  return 1.0 / p.lambda - gamma / std::expm1(gamma * p.lambda);
+}
+
+double expected_downtime(const InterruptionParams& p) {
+  if (p.lambda < 0 || p.mu < 0) {
+    throw std::invalid_argument("negative interruption parameters");
+  }
+  if (!p.stable()) return kInf;
+  return p.mu / (1.0 - p.lambda * p.mu);
+}
+
+double expected_failed_attempts(const InterruptionParams& p, double gamma) {
+  validate(p, gamma);
+  return std::expm1(gamma * p.lambda);
+}
+
+double expected_task_time(const InterruptionParams& p, double gamma) {
+  validate(p, gamma);
+  if (p.lambda == 0) return gamma;
+  if (!p.stable()) return kInf;
+  return std::expm1(gamma * p.lambda) *
+         (1.0 / p.lambda + expected_downtime(p));
+}
+
+double expected_task_time_recomposed(const InterruptionParams& p,
+                                     double gamma) {
+  validate(p, gamma);
+  if (p.lambda == 0) return gamma;
+  if (!p.stable()) return kInf;
+  const double ex = expected_rework(p, gamma);
+  const double ey = expected_downtime(p);
+  const double es = expected_failed_attempts(p, gamma);
+  return gamma + es * (ex + ey);
+}
+
+}  // namespace adapt::avail

@@ -1,0 +1,58 @@
+// The paper's Section III stochastic model.
+//
+// Each host is an M/G/1 queue of interruptions: inter-arrivals are
+// exponential with rate lambda (= 1/MTBI); interruption service (repair)
+// times follow a general distribution with mean mu; overlapping
+// interruptions queue FCFS, so the downtime an interruption starts is the
+// M/G/1 busy period. For a map task whose failure-free length is gamma:
+//
+//   E[X] = 1/lambda + gamma / (1 - e^{gamma*lambda})        (Eq. 2)
+//   E[Y] = mu / (1 - lambda*mu)                             (Eq. 3)
+//   E[S] = e^{gamma*lambda} - 1                             (Eq. 4)
+//   E[T] = (e^{gamma*lambda} - 1)(1/lambda + E[Y])          (Eq. 5)
+//
+// with E[T] -> gamma as lambda -> 0 and E[T] -> infinity as the
+// utilization rho = lambda*mu -> 1.
+#pragma once
+
+#include <string>
+
+namespace adapt::avail {
+
+// Availability parameters of one host, as the NameNode's Performance
+// Predictor sees them.
+struct InterruptionParams {
+  double lambda = 0.0;  // interruption arrival rate, 1/seconds
+  double mu = 0.0;      // mean interruption service (repair) time, seconds
+
+  double mtbi() const;         // 1/lambda; +inf when lambda == 0
+  double utilization() const;  // rho = lambda * mu
+  // Fraction of time the host is up in steady state: 1 - rho (0 if
+  // unstable). This is also the paper's "naive" weight (MTBI - mu)/MTBI.
+  double steady_state_availability() const;
+  bool stable() const;  // rho < 1
+
+  std::string describe() const;
+};
+
+// Expected rework lost to one interrupted attempt (Eq. 2).
+double expected_rework(const InterruptionParams& p, double gamma);
+
+// Expected downtime per interruption, the M/G/1 busy period (Eq. 3).
+// +inf when the queue is unstable.
+double expected_downtime(const InterruptionParams& p);
+
+// Expected number of failed attempts before a success (Eq. 4).
+double expected_failed_attempts(const InterruptionParams& p, double gamma);
+
+// Expected completion time of a task of failure-free length gamma
+// (Eq. 5). Returns gamma when lambda == 0 and +inf when unstable.
+double expected_task_time(const InterruptionParams& p, double gamma);
+
+// Variance helpers used by tests to check model self-consistency.
+// E[T] recomposed as gamma + E[S] * (E[X] + E[Y]); equal to Eq. 5
+// analytically, so any drift flags an implementation bug.
+double expected_task_time_recomposed(const InterruptionParams& p,
+                                     double gamma);
+
+}  // namespace adapt::avail

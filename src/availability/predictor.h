@@ -1,0 +1,49 @@
+// The ADAPT Performance Predictor (paper Fig. 2).
+//
+// Lives on the NameNode. Combines (a) per-node interruption parameters —
+// either ground truth supplied by an experiment or estimates from the
+// heartbeat collector — with (b) the failure-free map-task length gamma
+// learned from completed-task logs, and produces the per-node expected
+// task time E[T_i] that drives Algorithm 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "availability/interruption_model.h"
+#include "common/stats.h"
+
+namespace adapt::avail {
+
+class PerformancePredictor {
+ public:
+  // n nodes, all initially assumed perfectly available (lambda = mu = 0),
+  // with a prior failure-free task length.
+  PerformancePredictor(std::size_t node_count, double gamma_prior);
+
+  std::size_t node_count() const { return params_.size(); }
+
+  // Replace the availability parameters of one node (heartbeat-collector
+  // update path, or experiment ground truth).
+  void set_params(std::size_t node, const InterruptionParams& p);
+  const InterruptionParams& params(std::size_t node) const;
+
+  // Feed one completed local task's failure-free execution time (the
+  // "logging services of Hadoop" input). The gamma used for prediction
+  // is the running mean, falling back to the prior until data arrives.
+  void record_task_length(double gamma_observed);
+  double gamma() const;
+
+  // E[T_i] for a task of the current gamma on node i (Eq. 5).
+  double expected_task_time(std::size_t node) const;
+
+  // All nodes' E[T], in node order.
+  std::vector<double> expected_task_times() const;
+
+ private:
+  std::vector<InterruptionParams> params_;
+  double gamma_prior_;
+  common::RunningStats gamma_samples_;
+};
+
+}  // namespace adapt::avail

@@ -1,0 +1,100 @@
+#include "cluster/heartbeat.h"
+
+#include <stdexcept>
+
+namespace adapt::cluster {
+
+HeartbeatCollector::HeartbeatCollector(std::size_t node_count, Config config,
+                                       common::Seconds start)
+    : config_(config) {
+  if (node_count == 0) {
+    throw std::invalid_argument("heartbeat: need at least one node");
+  }
+  if (config_.interval <= 0 || config_.miss_threshold < 1) {
+    throw std::invalid_argument("heartbeat: bad config");
+  }
+  nodes_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) nodes_.emplace_back(start);
+}
+
+void HeartbeatCollector::refresh(std::size_t node, common::Seconds now) const {
+  PerNode& state = nodes_.at(node);
+  if (!state.believed_up) return;
+  // Message mode: silence since the last beat counts as a pending down.
+  // Transition mode: only an explicit notify_down arms detection.
+  common::Seconds down_at;
+  if (state.pending_down_at >= 0.0) {
+    down_at = state.pending_down_at;
+  } else if (state.message_mode) {
+    down_at = state.last_beat + detection_latency();
+  } else {
+    return;
+  }
+  if (now >= down_at) {
+    state.believed_up = false;
+    state.estimator.record_down(down_at);
+    state.pending_down_at = -1.0;
+  }
+}
+
+void HeartbeatCollector::observe_heartbeat(std::size_t node,
+                                           common::Seconds now) {
+  nodes_.at(node).message_mode = true;
+  refresh(node, now);
+  PerNode& state = nodes_.at(node);
+  if (!state.believed_up) {
+    state.believed_up = true;
+    state.estimator.record_up(now);
+  }
+  state.pending_down_at = -1.0;
+  state.last_beat = now;
+}
+
+void HeartbeatCollector::notify_down(std::size_t node, common::Seconds now) {
+  refresh(node, now);
+  PerNode& state = nodes_.at(node);
+  if (!state.believed_up) return;
+  // The collector only notices after the configured number of silent
+  // intervals; applied lazily so an outage shorter than the detection
+  // latency is (correctly) never observed at all.
+  state.pending_down_at = now + detection_latency();
+}
+
+void HeartbeatCollector::notify_up(std::size_t node, common::Seconds now) {
+  refresh(node, now);
+  PerNode& state = nodes_.at(node);
+  if (state.believed_up) {
+    // Outage ended before detection fired: drop the pending miss.
+    state.pending_down_at = -1.0;
+    state.last_beat = now;
+    return;
+  }
+  state.believed_up = true;
+  state.estimator.record_up(now);
+  state.pending_down_at = -1.0;
+  state.last_beat = now;
+}
+
+bool HeartbeatCollector::believed_up(std::size_t node,
+                                     common::Seconds now) const {
+  refresh(node, now);
+  return nodes_.at(node).believed_up;
+}
+
+avail::InterruptionParams HeartbeatCollector::estimate(
+    std::size_t node, common::Seconds now) const {
+  refresh(node, now);
+  return nodes_.at(node).estimator.estimate(now);
+}
+
+std::vector<avail::InterruptionParams> HeartbeatCollector::estimates(
+    common::Seconds now) const {
+  std::vector<avail::InterruptionParams> out;
+  out.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out.push_back(estimate(i, now));
+  }
+  return out;
+}
+
+}  // namespace adapt::cluster

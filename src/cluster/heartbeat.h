@@ -1,0 +1,73 @@
+// Heartbeat collector — the NameNode's availability sensor (paper
+// Fig. 2: "heart beat collector").
+//
+// Two feeding modes:
+//  * message level: `observe_heartbeat(node, now)` for every heartbeat;
+//    a node is declared down after `miss_threshold` missed intervals
+//    (checked lazily at query time), and up again on the next beat.
+//  * transition level: `notify_down` / `notify_up`, used by the simulator
+//    which knows transitions exactly; the collector adds the detection
+//    latency a heartbeat protocol would incur.
+//
+// Either way, per-node AvailabilityEstimators accumulate the (lambda,
+// mu) pairs the Performance Predictor consumes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "availability/estimator.h"
+#include "availability/interruption_model.h"
+#include "common/units.h"
+
+namespace adapt::cluster {
+
+class HeartbeatCollector {
+ public:
+  struct Config {
+    common::Seconds interval = 3.0;  // Hadoop default heartbeat cadence
+    int miss_threshold = 2;          // beats missed before declaring down
+  };
+
+  HeartbeatCollector(std::size_t node_count, Config config,
+                     common::Seconds start = 0.0);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  common::Seconds detection_latency() const {
+    return config_.interval * config_.miss_threshold;
+  }
+
+  // -- Message-level interface --------------------------------------
+  void observe_heartbeat(std::size_t node, common::Seconds now);
+
+  // -- Transition-level interface -----------------------------------
+  void notify_down(std::size_t node, common::Seconds now);
+  void notify_up(std::size_t node, common::Seconds now);
+
+  // Current belief about a node, evaluating pending heartbeat misses.
+  bool believed_up(std::size_t node, common::Seconds now) const;
+
+  // Current (lambda, mu) estimate for a node.
+  avail::InterruptionParams estimate(std::size_t node,
+                                     common::Seconds now) const;
+  std::vector<avail::InterruptionParams> estimates(common::Seconds now) const;
+
+ private:
+  struct PerNode {
+    avail::AvailabilityEstimator estimator;
+    common::Seconds last_beat = 0.0;
+    common::Seconds pending_down_at = -1.0;  // transition mode; < 0 = none
+    bool believed_up = true;
+    bool message_mode = false;  // set once observe_heartbeat is used
+    explicit PerNode(common::Seconds start)
+        : estimator(start), last_beat(start) {}
+  };
+
+  // Applies any overdue miss-detection for message-mode nodes.
+  void refresh(std::size_t node, common::Seconds now) const;
+
+  Config config_;
+  mutable std::vector<PerNode> nodes_;
+};
+
+}  // namespace adapt::cluster

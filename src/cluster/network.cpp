@@ -1,0 +1,96 @@
+#include "cluster/network.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace adapt::cluster {
+
+Network::Network(Config config)
+    : uplink_bps_(std::move(config.uplink_bps)),
+      downlink_bps_(std::move(config.downlink_bps)),
+      origin_uplink_bps_(config.origin_uplink_bps),
+      fifo_admission_(config.fifo_admission) {
+  if (uplink_bps_.empty()) {
+    throw std::invalid_argument("network: need at least one node");
+  }
+  if (uplink_bps_.size() != downlink_bps_.size()) {
+    throw std::invalid_argument("network: uplink/downlink size mismatch");
+  }
+  for (double b : uplink_bps_) {
+    if (b <= 0) throw std::invalid_argument("network: non-positive uplink");
+  }
+  for (double b : downlink_bps_) {
+    if (b <= 0) throw std::invalid_argument("network: non-positive downlink");
+  }
+  if (origin_uplink_bps_ <= 0) {
+    // Default: an unconstrained source. The origin models the data's
+    // provider (the project server in volunteer computing), provisioned
+    // to serve its whole member base; each re-fetch is then limited by
+    // the client's own downlink. Pass a finite value to ablate a
+    // bandwidth-constrained origin.
+    origin_uplink_bps_ = std::numeric_limits<double>::infinity();
+  }
+  uplinks_.resize(uplink_bps_.size());
+}
+
+Network::Uplink& Network::uplink(std::uint32_t src) {
+  if (src == kOriginEndpoint) return origin_;
+  return uplinks_.at(src);
+}
+
+TransferGrant Network::request(std::uint32_t src, std::uint32_t dst,
+                               std::uint64_t bytes, common::Seconds now) {
+  if (src == dst) throw std::invalid_argument("network: src == dst");
+  const double up =
+      src == kOriginEndpoint ? origin_uplink_bps_ : uplink_bps_.at(src);
+  const double rate = std::min(up, downlink_bps_.at(dst));
+
+  Uplink& link = uplink(src);
+  TransferGrant grant;
+  grant.src = src;
+  grant.start = fifo_admission_ ? std::max(now, link.admit_at) : now;
+  grant.end = grant.start + common::transfer_time(bytes, rate);
+  grant.ticket = next_ticket_++;
+  if (fifo_admission_) {
+    // The transfer's fair share of the uplink gates the next admission.
+    link.newest_prev_admit = link.admit_at;
+    link.admit_at = grant.start + common::transfer_time(bytes, up);
+    link.newest_ticket = grant.ticket;
+  }
+  return grant;
+}
+
+void Network::abort(const TransferGrant& grant, common::Seconds now) {
+  Uplink& link = uplink(grant.src);
+  if (link.newest_ticket == grant.ticket) {
+    // Newest reservation: hand back its unused admission share.
+    link.admit_at = std::min(link.admit_at,
+                             std::max(now, link.newest_prev_admit));
+    link.newest_ticket = 0;
+  }
+}
+
+void Network::shift_uplink(std::uint32_t node, common::Seconds delta,
+                           common::Seconds now) {
+  Uplink& link = uplink(node);
+  if (link.admit_at > now - delta) {
+    link.admit_at += delta;
+    link.newest_prev_admit += delta;
+  }
+}
+
+void Network::reset_uplink(std::uint32_t node, common::Seconds now) {
+  Uplink& link = uplink(node);
+  link.admit_at = now;
+  link.newest_ticket = 0;
+  link.newest_prev_admit = now;
+}
+
+common::Seconds Network::uplink_available_at(std::uint32_t node) const {
+  if (!fifo_admission_) return 0.0;  // always free
+  if (node == kOriginEndpoint) return origin_.admit_at;
+  return uplinks_.at(node).admit_at;
+}
+
+}  // namespace adapt::cluster

@@ -1,0 +1,116 @@
+// Bounded-bandwidth network model.
+//
+// Non-dedicated hosts sit behind broadband links, so block migration is
+// expensive: a transfer runs at min(source uplink, destination downlink).
+// Uplink sharing uses FIFO *admission*: each transfer consumes
+// bytes/uplink_bps of uplink time (its fair share of the pipe), and a new
+// transfer starts once the uplink has that capacity free. A source whose
+// uplink is faster than its clients' downlinks therefore serves several
+// clients concurrently at their downlink rate while its aggregate
+// throughput stays capped — important for the well-provisioned origin
+// endpoint. Equal-speed links degenerate to plain FIFO serialization.
+//
+// The model is reservation-based so it composes with a discrete-event
+// simulator without callbacks: `request` returns the start/end times of
+// the transfer; the caller schedules its own completion event.
+//
+// Approximations (documented in DESIGN.md): destination downlink is not
+// queued (a TaskTracker with one map slot fetches at most one block at a
+// time, which is the evaluated configuration), and an aborted transfer
+// releases its uplink share only when it is the newest reservation — the
+// rare mid-queue abort leaves a pessimistic hole.
+//
+// A distinguished "origin" endpoint models the data source the input was
+// loaded from (the paper's copyFromLocal source; for volunteer computing,
+// the project server). It is the last-resort source when every replica
+// of a block is offline.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/units.h"
+
+namespace adapt::cluster {
+
+// Source index for the origin server.
+inline constexpr std::uint32_t kOriginEndpoint =
+    std::numeric_limits<std::uint32_t>::max();
+
+struct TransferGrant {
+  common::Seconds start = 0.0;  // when the uplink begins serving us
+  common::Seconds end = 0.0;    // completion time
+  std::uint32_t src = 0;
+  std::uint64_t ticket = 0;     // identifies the reservation for release
+
+  common::Seconds duration() const { return end - start; }
+};
+
+class Network {
+ public:
+  struct Config {
+    std::vector<double> uplink_bps;    // per node
+    std::vector<double> downlink_bps;  // per node
+    double origin_uplink_bps = 0.0;
+    // true: FIFO admission on each uplink (aggregate throughput capped,
+    // the broadband-host model used for the emulation experiments).
+    // false: flat per-transfer latency with unlimited concurrency per
+    // link — the simpler discrete-event-simulator model the paper's
+    // large-scale Figure 5 numbers are consistent with.
+    bool fifo_admission = true;
+  };
+
+  explicit Network(Config config);
+
+  std::size_t node_count() const { return uplink_bps_.size(); }
+
+  // Reserve a block transfer src -> dst starting no earlier than `now`.
+  // src may be kOriginEndpoint. src and dst must differ.
+  TransferGrant request(std::uint32_t src, std::uint32_t dst,
+                        std::uint64_t bytes, common::Seconds now);
+
+  // Abort a transfer at `now`; frees the remaining reservation when it is
+  // the newest one on that uplink.
+  void abort(const TransferGrant& grant, common::Seconds now);
+
+  // Forget all reservations on a node's uplink (the node went down or
+  // came back; everything queued there is void).
+  void reset_uplink(std::uint32_t node, common::Seconds now);
+
+  // Push the uplink's admission clock out by `delta` (the node was down
+  // that long and its pending transfers resumed shifted).
+  void shift_uplink(std::uint32_t node, common::Seconds delta,
+                    common::Seconds now);
+
+  // Time the uplink of `node` frees up, for scheduling heuristics.
+  common::Seconds uplink_available_at(std::uint32_t node) const;
+
+  double origin_uplink_bps() const { return origin_uplink_bps_; }
+
+  // Aggregate bytes that finished transferring, for traffic accounting.
+  std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+  void on_transfer_complete(std::uint64_t bytes) {
+    bytes_transferred_ += bytes;
+  }
+
+ private:
+  struct Uplink {
+    common::Seconds admit_at = 0.0;  // when the next transfer may start
+    std::uint64_t newest_ticket = 0;
+    common::Seconds newest_prev_admit = 0.0;  // rollback state for abort
+  };
+
+  Uplink& uplink(std::uint32_t src);
+
+  std::vector<double> uplink_bps_;
+  std::vector<double> downlink_bps_;
+  double origin_uplink_bps_;
+  bool fifo_admission_ = true;
+  std::vector<Uplink> uplinks_;
+  Uplink origin_;
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace adapt::cluster

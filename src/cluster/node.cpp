@@ -1,0 +1,39 @@
+#include "cluster/node.h"
+
+#include <sstream>
+
+namespace adapt::cluster {
+
+avail::InterruptionParams NodeSpec::observed_params() const {
+  if (mode != AvailabilityMode::kModel ||
+      arrival_clock == ArrivalClock::kAbsoluteTime || params.lambda <= 0) {
+    return params;
+  }
+  const double cycle = 1.0 / params.lambda + params.mu;
+  return {1.0 / cycle, params.mu};
+}
+
+std::string describe(const NodeSpec& spec) {
+  std::ostringstream out;
+  switch (spec.mode) {
+    case AvailabilityMode::kAlwaysUp:
+      out << "always-up";
+      break;
+    case AvailabilityMode::kModel:
+      out << "model[" << spec.params.describe();
+      if (spec.service_time) out << ", service=" << spec.service_time->describe();
+      out << "]";
+      break;
+    case AvailabilityMode::kReplay:
+      out << "replay[" << spec.down_intervals.size() << " intervals, "
+          << spec.params.describe() << "]";
+      break;
+  }
+  out << " up=" << common::format_bandwidth(spec.uplink_bps)
+      << " down=" << common::format_bandwidth(spec.downlink_bps)
+      << " slots=" << spec.slots;
+  if (spec.capacity_blocks > 0) out << " cap=" << spec.capacity_blocks;
+  return out.str();
+}
+
+}  // namespace adapt::cluster

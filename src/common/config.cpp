@@ -1,0 +1,87 @@
+#include "common/config.h"
+
+#include <stdexcept>
+
+namespace adapt::common {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--name value" unless the next token is itself a flag (then it is a
+    // bare boolean).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Flags::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                *v + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                *v + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
+                              *v + "'");
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace adapt::common

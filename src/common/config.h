@@ -1,0 +1,43 @@
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Accepts "--name=value", "--name value", and bare "--flag" booleans.
+// Unrecognized flags throw, so typos in experiment scripts fail loudly
+// instead of silently running the wrong configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adapt::common {
+
+class Flags {
+ public:
+  // Parses argv, leaving positional arguments accessible via positional().
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Names seen on the command line but never queried; benches call this
+  // last and abort on leftovers.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace adapt::common

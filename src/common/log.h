@@ -1,0 +1,48 @@
+// Leveled logging with a process-wide threshold. Simulation hot paths log
+// at Debug and compile down to a cheap branch when the level is higher.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace adapt::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+// Internal: emits one formatted line to stderr.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace adapt::common
+
+#define ADAPT_LOG(level)                                         \
+  if (::adapt::common::log_threshold() <= (level))               \
+  ::adapt::common::detail::LogMessage(level)
+
+#define ADAPT_LOG_DEBUG ADAPT_LOG(::adapt::common::LogLevel::kDebug)
+#define ADAPT_LOG_INFO ADAPT_LOG(::adapt::common::LogLevel::kInfo)
+#define ADAPT_LOG_WARN ADAPT_LOG(::adapt::common::LogLevel::kWarn)
+#define ADAPT_LOG_ERROR ADAPT_LOG(::adapt::common::LogLevel::kError)

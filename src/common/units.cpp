@@ -1,0 +1,94 @@
+#include "common/units.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace adapt::common {
+
+Seconds transfer_time(std::uint64_t bytes, double bits_per_second) {
+  if (bits_per_second <= 0.0) {
+    throw std::invalid_argument("transfer_time: non-positive bandwidth");
+  }
+  return static_cast<double>(bytes) * 8.0 / bits_per_second;
+}
+
+namespace {
+
+std::string format_with_unit(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100.0 || value == std::floor(value)) {
+    std::snprintf(buf, sizeof buf, "%.0f%s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f%s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kGiB) return format_with_unit(b / static_cast<double>(kGiB), "GiB");
+  if (bytes >= kMiB) return format_with_unit(b / static_cast<double>(kMiB), "MiB");
+  if (bytes >= kKiB) return format_with_unit(b / static_cast<double>(kKiB), "KiB");
+  return format_with_unit(b, "B");
+}
+
+std::string format_seconds(Seconds s) {
+  char buf[64];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.0fus", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1fms", s * 1e3);
+  } else if (s < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.1fs", s);
+  } else if (s < 7200.0) {
+    std::snprintf(buf, sizeof buf, "%.1fmin", s / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fh", s / 3600.0);
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bits_per_second) {
+  char buf[64];
+  if (bits_per_second >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fGb/s", bits_per_second / 1e9);
+  } else if (bits_per_second >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.0fMb/s", bits_per_second / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fKb/s", bits_per_second / 1e3);
+  }
+  return buf;
+}
+
+std::uint64_t parse_bytes(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("parse_bytes: empty string");
+  std::size_t pos = 0;
+  const double value = std::stod(text, &pos);
+  if (value < 0) throw std::invalid_argument("parse_bytes: negative size");
+  std::string unit;
+  for (; pos < text.size(); ++pos) {
+    if (!std::isspace(static_cast<unsigned char>(text[pos]))) {
+      unit += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text[pos])));
+    }
+  }
+  double scale = 1.0;
+  if (unit.empty() || unit == "b") {
+    scale = 1.0;
+  } else if (unit == "k" || unit == "kb" || unit == "kib") {
+    scale = static_cast<double>(kKiB);
+  } else if (unit == "m" || unit == "mb" || unit == "mib") {
+    scale = static_cast<double>(kMiB);
+  } else if (unit == "g" || unit == "gb" || unit == "gib") {
+    scale = static_cast<double>(kGiB);
+  } else {
+    throw std::invalid_argument("parse_bytes: unknown unit '" + unit + "'");
+  }
+  return static_cast<std::uint64_t>(std::llround(value * scale));
+}
+
+}  // namespace adapt::common

@@ -1,0 +1,31 @@
+// Unit-carrying helpers. Simulated time is double seconds throughout the
+// library; data sizes are bytes; link speeds are bits per second, because
+// the paper quotes broadband links in Mb/s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adapt::common {
+
+using Seconds = double;
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+// Megabits per second -> bits per second.
+constexpr double mbps(double v) { return v * 1e6; }
+
+// Bytes transferred over a link of `bits_per_second`; returns seconds.
+Seconds transfer_time(std::uint64_t bytes, double bits_per_second);
+
+// Human-readable rendering, for logs and bench output.
+std::string format_bytes(std::uint64_t bytes);
+std::string format_seconds(Seconds s);
+std::string format_bandwidth(double bits_per_second);
+
+// "64MB", "1.5GiB", "4096" -> bytes. Throws std::invalid_argument on junk.
+std::uint64_t parse_bytes(const std::string& text);
+
+}  // namespace adapt::common

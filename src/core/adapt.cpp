@@ -1,0 +1,225 @@
+#include "core/adapt.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "placement/adapt_policy.h"
+#include "placement/naive_policy.h"
+#include "placement/random_policy.h"
+#include "sim/injector.h"
+
+namespace adapt::core {
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRandom:
+      return "random";
+    case PolicyKind::kAdapt:
+      return "adapt";
+    case PolicyKind::kNaive:
+      return "naive";
+  }
+  return "?";
+}
+
+placement::PolicyPtr make_policy(
+    PolicyKind kind, const std::vector<avail::InterruptionParams>& params,
+    double gamma, std::uint64_t blocks, placement::ChainWeighting weighting) {
+  switch (kind) {
+    case PolicyKind::kRandom:
+      return placement::make_random_policy(params.size());
+    case PolicyKind::kAdapt: {
+      avail::PerformancePredictor predictor(params.size(), gamma);
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        predictor.set_params(i, params[i]);
+      }
+      return placement::make_adapt_policy(predictor.expected_task_times(),
+                                          blocks, weighting);
+    }
+    case PolicyKind::kNaive:
+      return placement::make_naive_policy(params, blocks, weighting);
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+std::vector<avail::InterruptionParams> observe_cluster(
+    const cluster::Cluster& cluster, common::Seconds window,
+    std::uint64_t seed, cluster::HeartbeatCollector::Config heartbeat) {
+  cluster::HeartbeatCollector collector(cluster.size(), heartbeat);
+
+  // A minimal listener forwarding injector transitions to the collector.
+  class Forwarder : public sim::InterruptionInjector::Listener {
+   public:
+    Forwarder(cluster::HeartbeatCollector& collector, sim::EventQueue& queue)
+        : collector_(collector), queue_(queue) {}
+    void on_node_down(cluster::NodeIndex node) override {
+      collector_.notify_down(node, queue_.now());
+    }
+    void on_node_up(cluster::NodeIndex node) override {
+      collector_.notify_up(node, queue_.now());
+    }
+
+   private:
+    cluster::HeartbeatCollector& collector_;
+    sim::EventQueue& queue_;
+  };
+
+  sim::EventQueue queue;
+  Forwarder forwarder(collector, queue);
+  sim::InterruptionInjector injector(queue, cluster.nodes, forwarder,
+                                     common::Rng(seed).fork(0x0b5e));
+  injector.start();
+  queue.run_until([&] { return queue.now() >= window; });
+  return collector.estimates(window);
+}
+
+ExperimentResult run_experiment(const cluster::Cluster& cluster,
+                                const ExperimentConfig& config) {
+  if (config.blocks == 0) {
+    throw std::invalid_argument("experiment: blocks must be set");
+  }
+
+  const std::vector<avail::InterruptionParams> params =
+      config.use_estimated_params
+          ? observe_cluster(cluster, config.observation_window, config.seed)
+          : cluster.params();
+
+  const placement::PolicyPtr policy = make_policy(
+      config.policy, params, config.job.gamma, config.blocks,
+      config.weighting);
+  const placement::PolicyPtr random =
+      placement::make_random_policy(cluster.size());
+
+  hdfs::NameNode::Options options;
+  options.fidelity_cap = config.fidelity_cap;
+  hdfs::NameNode namenode(cluster.size(), options);
+
+  cluster::Network::Config net_config;
+  for (const cluster::NodeSpec& node : cluster.nodes) {
+    net_config.uplink_bps.push_back(node.uplink_bps);
+    net_config.downlink_bps.push_back(node.downlink_bps);
+  }
+  net_config.origin_uplink_bps = cluster.origin_uplink_bps;
+  net_config.fifo_admission = cluster.fifo_uplinks;
+  cluster::Network load_network(net_config);
+
+  hdfs::Client client(namenode, random, policy, &load_network,
+                      cluster.block_size_bytes);
+
+  ExperimentResult result;
+  result.policy_name = policy->name();
+
+  // For trace-replay clusters, fix the per-node replay offsets up front
+  // so the load can be placed on the nodes actually up at job start
+  // (copyFromLocal only writes to live DataNodes).
+  sim::SimJobConfig job_config = config.job;
+  hdfs::NameNode::NodeFilter filter;
+  bool has_replay = false;
+  for (const cluster::NodeSpec& node : cluster.nodes) {
+    has_replay = has_replay ||
+                 node.mode == cluster::AvailabilityMode::kReplay;
+  }
+  if (has_replay) {
+    common::Rng offset_rng = common::Rng(config.seed).fork(0x0ff5);
+    common::Seconds horizon = cluster.replay_horizon;
+    if (horizon <= 0) {
+      for (const cluster::NodeSpec& node : cluster.nodes) {
+        for (const trace::DownInterval& iv : node.down_intervals) {
+          horizon = std::max(horizon, iv.up);
+        }
+      }
+    }
+    job_config.replay_horizon = horizon;
+    job_config.replay_offsets =
+        sim::draw_replay_offsets(cluster.nodes, horizon, offset_rng);
+    auto initially_up = std::make_shared<std::vector<bool>>();
+    initially_up->reserve(cluster.size());
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      initially_up->push_back(
+          sim::replay_up_at(cluster.nodes[i], job_config.replay_offsets[i]));
+    }
+    filter = [initially_up](cluster::NodeIndex node) {
+      return (*initially_up)[node];
+    };
+  }
+  if (config.steady_state_start) {
+    common::Rng init_rng = common::Rng(config.seed).fork(0x57a7);
+    job_config.initial_down_until =
+        sim::draw_initial_down(cluster.nodes, init_rng);
+    auto down = std::make_shared<std::vector<common::Seconds>>(
+        job_config.initial_down_until);
+    auto prev = filter;
+    filter = [down, prev](cluster::NodeIndex node) {
+      if ((*down)[node] > 0.0) return false;
+      return !prev || prev(node);
+    };
+  }
+
+  common::Rng placement_rng = common::Rng(config.seed).fork(0x91ac);
+  const hdfs::FileId file = client.copy_from_local(
+      "input", config.blocks, config.replication,
+      /*adapt_enabled=*/true, placement_rng, /*now=*/0.0, &result.load,
+      filter);
+
+  result.distribution = namenode.file_distribution(file);
+  const std::uint64_t max_blocks =
+      *std::max_element(result.distribution.begin(),
+                        result.distribution.end());
+  const double mean_blocks =
+      static_cast<double>(config.blocks) *
+      static_cast<double>(config.replication) /
+      static_cast<double>(cluster.size());
+  result.placement_skew =
+      mean_blocks > 0 ? static_cast<double>(max_blocks) / mean_blocks : 0.0;
+
+  if (config.run_reduce) job_config.record_completion_times = true;
+  sim::MapReduceSimulation simulation(cluster, namenode, file, job_config);
+  result.job = simulation.run();
+
+  if (config.run_reduce) {
+    sim::ReduceConfig reduce = config.reduce;
+    reduce.gamma_map = config.job.gamma;
+    reduce.availability_aware = config.reduce_availability_aware;
+    if (reduce.availability_aware) reduce.params = params;
+    reduce.seed = config.seed ^ 0xf00d;
+    reduce.replay_horizon = job_config.replay_horizon;
+    reduce.replay_offsets = job_config.replay_offsets;
+    reduce.initial_down_until = job_config.initial_down_until;
+    sim::ReducePhaseSimulation reducer(cluster, result.job.winner_nodes,
+                                       reduce);
+    result.reduce = reducer.run();
+  }
+  return result;
+}
+
+RepeatedResult run_repeated(const cluster::Cluster& cluster,
+                            ExperimentConfig config, int runs) {
+  if (runs < 1) throw std::invalid_argument("run_repeated: runs must be >= 1");
+  std::vector<double> elapsed;
+  std::vector<double> locality;
+  RepeatedResult out;
+  for (int r = 0; r < runs; ++r) {
+    config.seed = config.seed * 6364136223846793005ull + 1442695040888963407ull;
+    config.job.seed = config.seed;
+    const ExperimentResult result = run_experiment(cluster, config);
+    elapsed.push_back(result.job.elapsed);
+    locality.push_back(result.job.locality);
+    out.rework_ratio += result.job.overhead.rework_ratio();
+    out.recovery_ratio += result.job.overhead.recovery_ratio();
+    out.migration_ratio += result.job.overhead.migration_ratio();
+    out.misc_ratio += result.job.overhead.misc_ratio();
+    out.total_ratio += result.job.overhead.total_ratio();
+    out.policy_name = result.policy_name;
+  }
+  const double n = runs;
+  out.rework_ratio /= n;
+  out.recovery_ratio /= n;
+  out.migration_ratio /= n;
+  out.misc_ratio /= n;
+  out.total_ratio /= n;
+  out.elapsed = common::summarize(std::move(elapsed));
+  out.locality = common::summarize(std::move(locality));
+  return out;
+}
+
+}  // namespace adapt::core

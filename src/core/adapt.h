@@ -1,0 +1,116 @@
+// Public facade: run a complete ADAPT experiment — build a policy from
+// availability knowledge, load a dataset into the mini-HDFS, simulate
+// the map phase on the volatile cluster, report the paper's metrics.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto cluster = adapt::cluster::emulated_cluster({.node_count = 128});
+//   adapt::core::ExperimentConfig config;
+//   config.policy = adapt::core::PolicyKind::kAdapt;
+//   config.replication = 1;
+//   config.blocks = 2560;
+//   config.job.gamma = 8.0;
+//   auto result = adapt::core::run_experiment(cluster, config);
+//   std::cout << result.job.elapsed << "\n";
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "availability/predictor.h"
+#include "cluster/heartbeat.h"
+#include "cluster/topology.h"
+#include "common/stats.h"
+#include "hdfs/client.h"
+#include "placement/hash_table.h"
+#include "placement/policy.h"
+#include "sim/mapreduce_sim.h"
+#include "sim/reduce_phase.h"
+
+namespace adapt::core {
+
+enum class PolicyKind { kRandom, kAdapt, kNaive };
+
+std::string to_string(PolicyKind kind);
+
+// Build the placement policy a PolicyKind denotes.
+// `params` are per-node interruption parameters (ground truth or
+// heartbeat estimates), `gamma` the predicted failure-free task length,
+// `blocks` the table size m.
+placement::PolicyPtr make_policy(
+    PolicyKind kind, const std::vector<avail::InterruptionParams>& params,
+    double gamma, std::uint64_t blocks,
+    placement::ChainWeighting weighting = placement::ChainWeighting::kPaper);
+
+struct ExperimentConfig {
+  PolicyKind policy = PolicyKind::kAdapt;
+  int replication = 1;
+  std::uint32_t blocks = 0;  // m; must be set
+  bool fidelity_cap = true;  // Section IV-C threshold m(k+1)/n
+  placement::ChainWeighting weighting = placement::ChainWeighting::kPaper;
+  sim::SimJobConfig job;
+
+  // When true, the Performance Predictor learns (lambda, mu) from a
+  // heartbeat-observation window instead of receiving ground truth —
+  // the full NameNode pipeline of paper Fig. 2.
+  bool use_estimated_params = false;
+  common::Seconds observation_window = 600.0;
+
+  // Model-driven clusters: start each node in its steady state (down
+  // with probability rho, mid-residual-outage) and place data only on
+  // the nodes up at load time, the way a real copyFromLocal would. Off
+  // reproduces the emulation setting (data loaded on a healthy cluster,
+  // interruptions injected afterwards).
+  bool steady_state_start = false;
+
+  // Extension (paper future work): also simulate the shuffle + reduce
+  // phase after the map phase. reduce.params / replay plumbing are
+  // filled in by run_experiment; set the rest as desired.
+  bool run_reduce = false;
+  sim::ReduceConfig reduce;
+  // Availability-aware reducer placement uses the same (lambda, mu)
+  // knowledge as the map-side policy when enabled.
+  bool reduce_availability_aware = false;
+
+  std::uint64_t seed = 1;
+};
+
+struct ExperimentResult {
+  sim::JobResult job;
+  hdfs::TransferSummary load;              // copyFromLocal cost
+  std::vector<std::uint64_t> distribution; // replicas per node
+  double placement_skew = 0.0;             // max/mean replicas per node
+  std::string policy_name;
+  // Filled when ExperimentConfig::run_reduce is set.
+  sim::ReduceResult reduce;
+};
+
+ExperimentResult run_experiment(const cluster::Cluster& cluster,
+                                const ExperimentConfig& config);
+
+// Observe the cluster's availability through a heartbeat collector for
+// `window` simulated seconds and return the per-node estimates — what
+// the NameNode would know instead of ground truth.
+std::vector<avail::InterruptionParams> observe_cluster(
+    const cluster::Cluster& cluster, common::Seconds window,
+    std::uint64_t seed,
+    cluster::HeartbeatCollector::Config heartbeat = {});
+
+// The paper averages ten runs per point; this mirrors that.
+struct RepeatedResult {
+  common::Summary elapsed;
+  common::Summary locality;
+  // Mean overhead ratios across runs.
+  double rework_ratio = 0.0;
+  double recovery_ratio = 0.0;
+  double migration_ratio = 0.0;
+  double misc_ratio = 0.0;
+  double total_ratio = 0.0;
+  std::string policy_name;
+};
+
+RepeatedResult run_repeated(const cluster::Cluster& cluster,
+                            ExperimentConfig config, int runs);
+
+}  // namespace adapt::core

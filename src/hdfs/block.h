@@ -1,0 +1,37 @@
+// HDFS data model: files are sequences of equal-sized blocks; each block
+// has `replication` replicas living on distinct DataNodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+
+namespace adapt::hdfs {
+
+using BlockId = std::uint64_t;
+using FileId = std::uint32_t;
+
+inline constexpr BlockId kInvalidBlock = ~BlockId{0};
+
+struct BlockInfo {
+  FileId file = 0;
+  std::uint32_t index = 0;                     // position within the file
+  std::vector<cluster::NodeIndex> replicas;    // distinct nodes
+
+  bool hosted_on(cluster::NodeIndex node) const {
+    for (cluster::NodeIndex r : replicas) {
+      if (r == node) return true;
+    }
+    return false;
+  }
+};
+
+struct FileInfo {
+  std::string name;
+  std::vector<BlockId> blocks;
+  int replication = 1;
+};
+
+}  // namespace adapt::hdfs

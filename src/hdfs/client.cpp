@@ -1,0 +1,97 @@
+#include "hdfs/client.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adapt::hdfs {
+
+Client::Client(NameNode& namenode, placement::PolicyPtr default_policy,
+               placement::PolicyPtr adapt_policy, cluster::Network* network,
+               std::uint64_t block_size_bytes)
+    : namenode_(namenode),
+      default_policy_(std::move(default_policy)),
+      adapt_policy_(std::move(adapt_policy)),
+      network_(network),
+      block_size_(block_size_bytes) {
+  if (!default_policy_ || !adapt_policy_) {
+    throw std::invalid_argument("client: null policy");
+  }
+  if (block_size_ == 0) {
+    throw std::invalid_argument("client: zero block size");
+  }
+}
+
+placement::PolicyPtr Client::policy_for(bool adapt_enabled) const {
+  return adapt_enabled ? adapt_policy_ : default_policy_;
+}
+
+void Client::charge_transfer(std::uint32_t src, std::uint32_t dst,
+                             common::Seconds now, TransferSummary* summary) {
+  if (summary) {
+    ++summary->blocks_moved;
+    summary->bytes_moved += block_size_;
+  }
+  if (!network_) return;
+  const cluster::TransferGrant grant =
+      network_->request(src, dst, block_size_, now);
+  network_->on_transfer_complete(block_size_);
+  if (summary) {
+    summary->completion_time = std::max(summary->completion_time, grant.end);
+  }
+}
+
+FileId Client::copy_from_local(const std::string& name,
+                               std::uint32_t num_blocks, int replication,
+                               bool adapt_enabled, common::Rng& rng,
+                               common::Seconds now, TransferSummary* summary,
+                               const NameNode::NodeFilter& filter) {
+  const FileId id = namenode_.create_file(
+      name, num_blocks, replication, policy_for(adapt_enabled), rng, filter);
+  for (const BlockId block : namenode_.file(id).blocks) {
+    for (const cluster::NodeIndex replica : namenode_.block(block).replicas) {
+      charge_transfer(cluster::kOriginEndpoint, replica, now, summary);
+    }
+  }
+  return id;
+}
+
+FileId Client::cp(const std::string& src, const std::string& dst,
+                  bool adapt_enabled, common::Rng& rng, common::Seconds now,
+                  TransferSummary* summary,
+                  const NameNode::NodeFilter& filter) {
+  const FileId src_id = namenode_.file_id(src);
+  const FileInfo& src_info = namenode_.file(src_id);
+  const FileId dst_id = namenode_.create_file(
+      dst, static_cast<std::uint32_t>(src_info.blocks.size()),
+      src_info.replication, policy_for(adapt_enabled), rng, filter);
+
+  // Each destination replica pulls from a source replica of the same
+  // block (round-robin across the source's holders).
+  const FileInfo& dst_info = namenode_.file(dst_id);
+  for (std::size_t b = 0; b < dst_info.blocks.size(); ++b) {
+    const BlockInfo& src_block = namenode_.block(src_info.blocks[b]);
+    const BlockInfo& dst_block = namenode_.block(dst_info.blocks[b]);
+    for (std::size_t r = 0; r < dst_block.replicas.size(); ++r) {
+      const cluster::NodeIndex from =
+          src_block.replicas[r % src_block.replicas.size()];
+      const cluster::NodeIndex to = dst_block.replicas[r];
+      if (from != to) charge_transfer(from, to, now, summary);
+    }
+  }
+  return dst_id;
+}
+
+TransferSummary Client::adapt_rebalance(const std::string& name,
+                                        common::Rng& rng, common::Seconds now,
+                                        const NameNode::NodeFilter& filter) {
+  const FileId id = namenode_.file_id(name);
+  TransferSummary summary;
+  const std::vector<ReplicaMove> moves =
+      namenode_.rebalance_file(id, adapt_policy_, rng, filter);
+  for (const ReplicaMove& move : moves) {
+    charge_transfer(move.from, move.to, now, &summary);
+  }
+  return summary;
+}
+
+}  // namespace adapt::hdfs

@@ -1,0 +1,198 @@
+#include "hdfs/namenode.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adapt::hdfs {
+
+NameNode::NameNode(std::size_t node_count)
+    : NameNode(node_count, Options{}) {}
+
+NameNode::NameNode(std::size_t node_count, Options options)
+    : options_(options), nodes_(node_count) {}
+
+NameNode::NameNode(std::vector<std::uint64_t> capacity_blocks, Options options)
+    : options_(options), nodes_(std::move(capacity_blocks)) {}
+
+std::vector<bool> NameNode::eligibility(const BlockInfo& info,
+                                        const NodeFilter& filter) const {
+  std::vector<bool> eligible(node_count(), true);
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    const auto node = static_cast<cluster::NodeIndex>(i);
+    if (!nodes_.has_space(node) || info.hosted_on(node) ||
+        (filter && !filter(node))) {
+      eligible[i] = false;
+    }
+  }
+  return eligible;
+}
+
+std::optional<cluster::NodeIndex> NameNode::place_replica(
+    const BlockInfo& info, const placement::PlacementPolicy& policy,
+    placement::CappedPolicy* cap, common::Rng& rng,
+    const NodeFilter& filter) {
+  const std::vector<bool> eligible = eligibility(info, filter);
+  std::optional<cluster::NodeIndex> node =
+      cap ? cap->choose(eligible, rng) : policy.choose(eligible, rng);
+  if (!node && cap) {
+    // Every under-cap node is ineligible; the paper's threshold is a
+    // fidelity knob, not a correctness constraint, so overflow past it
+    // rather than fail the load.
+    node = policy.choose(eligible, rng);
+  }
+  if (node && cap) cap->record_placement(*node);
+  return node;
+}
+
+FileId NameNode::create_file(const std::string& name,
+                             std::uint32_t num_blocks, int replication,
+                             const placement::PolicyPtr& policy,
+                             common::Rng& rng, const NodeFilter& filter) {
+  if (!policy) throw std::invalid_argument("create_file: null policy");
+  if (num_blocks == 0) throw std::invalid_argument("create_file: no blocks");
+  if (replication < 1 ||
+      static_cast<std::size_t>(replication) > node_count()) {
+    throw std::invalid_argument("create_file: bad replication");
+  }
+  if (files_by_name_.count(name)) {
+    throw std::invalid_argument("create_file: file exists: " + name);
+  }
+
+  std::unique_ptr<placement::CappedPolicy> cap;
+  if (options_.fidelity_cap) {
+    const std::uint64_t limit =
+        options_.cap_override
+            ? options_.cap_override
+            : placement::fidelity_threshold(num_blocks, replication,
+                                            node_count());
+    cap = std::make_unique<placement::CappedPolicy>(policy, node_count(),
+                                                    limit);
+  }
+
+  const auto id = static_cast<FileId>(files_.size());
+  FileInfo file_info;
+  file_info.name = name;
+  file_info.replication = replication;
+  file_info.blocks.reserve(num_blocks);
+
+  for (std::uint32_t b = 0; b < num_blocks; ++b) {
+    const BlockId block_id = blocks_.size();
+    BlockInfo info;
+    info.file = id;
+    info.index = b;
+    for (int r = 0; r < replication; ++r) {
+      const auto node =
+          place_replica(info, *policy, cap.get(), rng, filter);
+      if (!node) {
+        throw std::runtime_error(
+            "create_file: no eligible node for a replica of block " +
+            std::to_string(block_id));
+      }
+      info.replicas.push_back(*node);
+      nodes_.add_replica(*node);
+    }
+    blocks_.push_back(std::move(info));
+    file_info.blocks.push_back(block_id);
+  }
+
+  files_.push_back(std::move(file_info));
+  files_by_name_[name] = id;
+  return id;
+}
+
+std::vector<ReplicaMove> NameNode::rebalance_file(
+    FileId file_id, const placement::PolicyPtr& policy, common::Rng& rng,
+    const NodeFilter& filter) {
+  if (!policy) throw std::invalid_argument("rebalance_file: null policy");
+  const FileInfo& info = file(file_id);
+
+  std::unique_ptr<placement::CappedPolicy> cap;
+  if (options_.fidelity_cap) {
+    const std::uint64_t limit =
+        options_.cap_override
+            ? options_.cap_override
+            : placement::fidelity_threshold(info.blocks.size(),
+                                            info.replication, node_count());
+    cap = std::make_unique<placement::CappedPolicy>(policy, node_count(),
+                                                    limit);
+  }
+
+  std::vector<ReplicaMove> moves;
+  for (const BlockId block_id : info.blocks) {
+    // Redraw each replica; a draw landing on the current holder keeps
+    // the replica in place (no transfer).
+    const std::vector<cluster::NodeIndex> old_replicas =
+        blocks_.at(block_id).replicas;
+    for (const cluster::NodeIndex old_node : old_replicas) {
+      const BlockInfo& block_info = blocks_.at(block_id);
+      std::vector<bool> eligible(node_count(), false);
+      for (std::size_t i = 0; i < eligible.size(); ++i) {
+        const auto node = static_cast<cluster::NodeIndex>(i);
+        if (node == old_node) {
+          eligible[i] = true;  // staying put is always allowed
+        } else if (nodes_.has_space(node) && !block_info.hosted_on(node) &&
+                   (!filter || filter(node))) {
+          eligible[i] = true;
+        }
+      }
+      auto target = cap ? cap->choose(eligible, rng)
+                        : policy->choose(eligible, rng);
+      if (!target) target = old_node;  // over-cap everywhere: keep
+      if (cap) cap->record_placement(*target);
+      if (*target != old_node) {
+        remove_replica(block_id, old_node);
+        add_replica(block_id, *target);
+        moves.push_back({block_id, old_node, *target});
+      }
+    }
+  }
+  return moves;
+}
+
+bool NameNode::has_file(const std::string& name) const {
+  return files_by_name_.count(name) != 0;
+}
+
+FileId NameNode::file_id(const std::string& name) const {
+  const auto it = files_by_name_.find(name);
+  if (it == files_by_name_.end()) {
+    throw std::out_of_range("no such file: " + name);
+  }
+  return it->second;
+}
+
+const FileInfo& NameNode::file(FileId id) const { return files_.at(id); }
+
+const BlockInfo& NameNode::block(BlockId id) const { return blocks_.at(id); }
+
+std::vector<std::uint64_t> NameNode::file_distribution(FileId id) const {
+  std::vector<std::uint64_t> counts(node_count(), 0);
+  for (const BlockId b : file(id).blocks) {
+    for (const cluster::NodeIndex node : blocks_.at(b).replicas) {
+      ++counts[node];
+    }
+  }
+  return counts;
+}
+
+void NameNode::add_replica(BlockId block, cluster::NodeIndex node) {
+  BlockInfo& info = blocks_.at(block);
+  if (info.hosted_on(node)) {
+    throw std::logic_error("add_replica: node already holds block");
+  }
+  info.replicas.push_back(node);
+  nodes_.add_replica(node);
+}
+
+void NameNode::remove_replica(BlockId block, cluster::NodeIndex node) {
+  BlockInfo& info = blocks_.at(block);
+  const auto it =
+      std::find(info.replicas.begin(), info.replicas.end(), node);
+  if (it == info.replicas.end()) {
+    throw std::logic_error("remove_replica: node does not hold block");
+  }
+  info.replicas.erase(it);
+  nodes_.remove_replica(node);
+}
+
+}  // namespace adapt::hdfs

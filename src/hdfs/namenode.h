@@ -1,0 +1,105 @@
+// The NameNode: centralized file/block metadata plus the placement
+// decision point ADAPT hooks into (paper Fig. 2, "Data Block
+// Distributor").
+//
+// Placement flow per replica: the NameNode builds the eligibility mask
+// (distinct replicas per block, DataNode free space, optional
+// caller-supplied mask such as "node currently up"), applies the
+// fidelity cap when configured, and delegates the draw to the active
+// PlacementPolicy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "hdfs/block.h"
+#include "hdfs/datanode.h"
+#include "placement/capped_policy.h"
+#include "placement/policy.h"
+
+namespace adapt::hdfs {
+
+// A replica move produced by the rebalancer; the caller charges the
+// transfer to the network model.
+struct ReplicaMove {
+  BlockId block = 0;
+  cluster::NodeIndex from = 0;
+  cluster::NodeIndex to = 0;
+};
+
+class NameNode {
+ public:
+  struct Options {
+    // Apply the Section IV-C threshold m(k+1)/n per load. The cap is
+    // computed per create_file/rebalance call from that call's block
+    // count and replication, unless cap_override is non-zero.
+    bool fidelity_cap = false;
+    std::uint64_t cap_override = 0;
+  };
+
+  explicit NameNode(std::size_t node_count);
+  NameNode(std::size_t node_count, Options options);
+  NameNode(std::vector<std::uint64_t> capacity_blocks, Options options);
+
+  std::size_t node_count() const { return nodes_.node_count(); }
+
+  // Extra eligibility the environment imposes (e.g. only up nodes can
+  // receive data during a load). Null = everything eligible.
+  using NodeFilter = std::function<bool(cluster::NodeIndex)>;
+
+  // Create a file of `num_blocks` blocks, placing `replication` replicas
+  // of each through `policy`. Throws std::runtime_error if some replica
+  // cannot be placed at all (no eligible node). Returns the FileId.
+  FileId create_file(const std::string& name, std::uint32_t num_blocks,
+                     int replication, const placement::PolicyPtr& policy,
+                     common::Rng& rng, const NodeFilter& filter = nullptr);
+
+  // Re-place every replica of an existing file through `policy` (the
+  // `adapt` shell command / rebalance). Replicas whose new draw equals an
+  // existing location stay put; others move. Returns the moves.
+  std::vector<ReplicaMove> rebalance_file(
+      FileId file, const placement::PolicyPtr& policy, common::Rng& rng,
+      const NodeFilter& filter = nullptr);
+
+  bool has_file(const std::string& name) const;
+  FileId file_id(const std::string& name) const;
+  const FileInfo& file(FileId id) const;
+  const BlockInfo& block(BlockId id) const;
+  std::size_t block_count() const { return blocks_.size(); }
+
+  // Per-node replica counts for a single file (experiment metric).
+  std::vector<std::uint64_t> file_distribution(FileId id) const;
+
+  const DataNodeDirectory& datanodes() const { return nodes_; }
+  const Options& options() const { return options_; }
+
+  // Replica-level mutation, used by rebalance internally and available
+  // for failure-injection tests.
+  void add_replica(BlockId block, cluster::NodeIndex node);
+  void remove_replica(BlockId block, cluster::NodeIndex node);
+
+ private:
+  // One replica draw honoring distinctness/space/filter; updates the cap
+  // counter on success.
+  std::optional<cluster::NodeIndex> place_replica(
+      const BlockInfo& info, const placement::PlacementPolicy& policy,
+      placement::CappedPolicy* cap, common::Rng& rng,
+      const NodeFilter& filter);
+
+  std::vector<bool> eligibility(const BlockInfo& info,
+                                const NodeFilter& filter) const;
+
+  Options options_;
+  DataNodeDirectory nodes_;
+  std::vector<FileInfo> files_;
+  std::unordered_map<std::string, FileId> files_by_name_;
+  std::vector<BlockInfo> blocks_;
+};
+
+}  // namespace adapt::hdfs

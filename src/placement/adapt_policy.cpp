@@ -1,0 +1,67 @@
+#include "placement/adapt_policy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adapt::placement {
+
+WeightedHashPolicy::WeightedHashPolicy(std::string name,
+                                       std::vector<double> weights,
+                                       std::uint64_t blocks,
+                                       ChainWeighting weighting)
+    : name_(std::move(name)),
+      weights_(std::move(weights)),
+      table_(weights_, blocks, weighting) {}
+
+std::optional<cluster::NodeIndex> WeightedHashPolicy::choose(
+    const std::vector<bool>& eligible, common::Rng& rng) const {
+  if (eligible.size() != weights_.size()) {
+    throw std::invalid_argument("choose: eligibility mask size mismatch");
+  }
+
+  // Fast path: rejection-sample the hash table.
+  constexpr int kMaxRejections = 32;
+  for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
+    const std::uint32_t node = table_.sample(rng);
+    if (eligible[node]) return node;
+  }
+
+  // Exact fallback: weighted draw restricted to the eligible set.
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (eligible[i]) total += weights_[i];
+  }
+  if (total > 0.0) {
+    double r = rng.uniform() * total;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      if (!eligible[i]) continue;
+      r -= weights_[i];
+      if (r <= 0.0) return static_cast<cluster::NodeIndex>(i);
+    }
+  }
+
+  // All eligible nodes have zero weight: fall back to uniform so a load
+  // can still complete (e.g. only capped-out unstable nodes remain).
+  std::vector<cluster::NodeIndex> candidates;
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    if (eligible[i]) candidates.push_back(static_cast<cluster::NodeIndex>(i));
+  }
+  if (candidates.empty()) return std::nullopt;
+  return candidates[rng.uniform_index(candidates.size())];
+}
+
+PolicyPtr make_adapt_policy(const std::vector<double>& expected_task_times,
+                            std::uint64_t blocks, ChainWeighting weighting) {
+  std::vector<double> weights;
+  weights.reserve(expected_task_times.size());
+  for (double et : expected_task_times) {
+    if (et <= 0) {
+      throw std::invalid_argument("adapt policy: E[T] must be positive");
+    }
+    weights.push_back(std::isfinite(et) ? 1.0 / et : 0.0);
+  }
+  return std::make_shared<WeightedHashPolicy>("adapt", std::move(weights),
+                                              blocks, weighting);
+}
+
+}  // namespace adapt::placement

@@ -1,0 +1,43 @@
+// The ADAPT placement policy (Algorithm 1) and the generic
+// weighted-hash-table policy it is built on.
+#pragma once
+
+#include <cstdint>
+
+#include "placement/hash_table.h"
+#include "placement/policy.h"
+
+namespace adapt::placement {
+
+// A policy that draws from a BlockHashTable built over per-node weights.
+// Ineligible draws are rejected and retried; after a bounded number of
+// rejections it falls back to an exact weighted draw over the eligible
+// set, so `choose` terminates even under heavy masking.
+class WeightedHashPolicy : public PlacementPolicy {
+ public:
+  WeightedHashPolicy(std::string name, std::vector<double> weights,
+                     std::uint64_t blocks, ChainWeighting weighting);
+
+  std::optional<cluster::NodeIndex> choose(const std::vector<bool>& eligible,
+                                           common::Rng& rng) const override;
+  std::string name() const override { return name_; }
+  std::vector<double> target_shares() const override {
+    return table_.shares();
+  }
+
+  const BlockHashTable& table() const { return table_; }
+
+ private:
+  std::string name_;
+  std::vector<double> weights_;
+  BlockHashTable table_;
+};
+
+// ADAPT: weight_i = 1 / E[T_i] (zero for unstable nodes, whose expected
+// task time is infinite). `expected_task_times` is Eq. 5 output per node,
+// typically from avail::PerformancePredictor.
+PolicyPtr make_adapt_policy(const std::vector<double>& expected_task_times,
+                            std::uint64_t blocks,
+                            ChainWeighting weighting = ChainWeighting::kPaper);
+
+}  // namespace adapt::placement

@@ -1,0 +1,115 @@
+#include "placement/alias_sampler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adapt::placement {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("alias: no weights");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0 || !std::isfinite(w)) {
+      throw std::invalid_argument("alias: weights must be finite, >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("alias: all weights zero");
+
+  const std::size_t n = weights.size();
+  shares_.resize(n);
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's stable construction: scale to mean 1, split into the small
+  // and large worklists, pair them off.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shares_[i] = weights[i] / total;
+    scaled[i] = shares_[i] * static_cast<double>(n);
+  }
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers saturate at probability 1 (self-alias).
+  for (const std::uint32_t i : small) {
+    probability_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const std::uint32_t i : large) {
+    probability_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::uint32_t AliasSampler::sample(common::Rng& rng) const {
+  const std::uint64_t bucket = rng.uniform_index(probability_.size());
+  return rng.uniform() < probability_[bucket]
+             ? static_cast<std::uint32_t>(bucket)
+             : alias_[bucket];
+}
+
+AliasPolicy::AliasPolicy(std::string name, std::vector<double> weights)
+    : name_(std::move(name)),
+      weights_(std::move(weights)),
+      sampler_(weights_) {}
+
+std::optional<cluster::NodeIndex> AliasPolicy::choose(
+    const std::vector<bool>& eligible, common::Rng& rng) const {
+  if (eligible.size() != weights_.size()) {
+    throw std::invalid_argument("choose: eligibility mask size mismatch");
+  }
+  constexpr int kMaxRejections = 32;
+  for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
+    const std::uint32_t node = sampler_.sample(rng);
+    if (eligible[node]) return node;
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (eligible[i]) total += weights_[i];
+  }
+  if (total > 0.0) {
+    double r = rng.uniform() * total;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      if (!eligible[i]) continue;
+      r -= weights_[i];
+      if (r <= 0.0) return static_cast<cluster::NodeIndex>(i);
+    }
+  }
+  std::vector<cluster::NodeIndex> candidates;
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    if (eligible[i]) candidates.push_back(static_cast<cluster::NodeIndex>(i));
+  }
+  if (candidates.empty()) return std::nullopt;
+  return candidates[rng.uniform_index(candidates.size())];
+}
+
+PolicyPtr make_adapt_alias_policy(
+    const std::vector<double>& expected_task_times) {
+  std::vector<double> weights;
+  weights.reserve(expected_task_times.size());
+  for (const double et : expected_task_times) {
+    if (et <= 0) {
+      throw std::invalid_argument("alias policy: E[T] must be positive");
+    }
+    weights.push_back(std::isfinite(et) ? 1.0 / et : 0.0);
+  }
+  return std::make_shared<AliasPolicy>("adapt-alias", std::move(weights));
+}
+
+}  // namespace adapt::placement

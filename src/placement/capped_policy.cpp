@@ -1,0 +1,58 @@
+#include "placement/capped_policy.h"
+
+#include <stdexcept>
+
+namespace adapt::placement {
+
+std::uint64_t fidelity_threshold(std::uint64_t blocks, int replication,
+                                 std::size_t node_count) {
+  if (node_count == 0) throw std::invalid_argument("threshold: no nodes");
+  if (replication < 1) throw std::invalid_argument("threshold: bad k");
+  const auto numerator =
+      blocks * (static_cast<std::uint64_t>(replication) + 1);
+  return (numerator + node_count - 1) / node_count;  // ceil
+}
+
+CappedPolicy::CappedPolicy(PolicyPtr inner, std::size_t node_count,
+                           std::uint64_t max_blocks_per_node)
+    : inner_(std::move(inner)),
+      cap_(max_blocks_per_node),
+      placed_(node_count, 0) {
+  if (!inner_) throw std::invalid_argument("capped policy: null inner");
+}
+
+std::optional<cluster::NodeIndex> CappedPolicy::choose(
+    const std::vector<bool>& eligible, common::Rng& rng) const {
+  if (eligible.size() != placed_.size()) {
+    throw std::invalid_argument("choose: eligibility mask size mismatch");
+  }
+  if (cap_ == 0) return inner_->choose(eligible, rng);
+  std::vector<bool> masked = eligible;
+  bool any = false;
+  for (std::size_t i = 0; i < masked.size(); ++i) {
+    if (placed_[i] >= cap_) masked[i] = false;
+    any = any || masked[i];
+  }
+  if (!any) return std::nullopt;
+  return inner_->choose(masked, rng);
+}
+
+std::string CappedPolicy::name() const {
+  return cap_ == 0 ? inner_->name() : inner_->name() + "+cap";
+}
+
+void CappedPolicy::record_placement(cluster::NodeIndex node) {
+  ++placed_.at(node);
+}
+
+void CappedPolicy::record_removal(cluster::NodeIndex node) {
+  auto& count = placed_.at(node);
+  if (count == 0) throw std::logic_error("record_removal: underflow");
+  --count;
+}
+
+std::uint64_t CappedPolicy::placed(cluster::NodeIndex node) const {
+  return placed_.at(node);
+}
+
+}  // namespace adapt::placement

@@ -1,0 +1,46 @@
+// The paper's disk-space fidelity threshold (Section IV-C): no node may
+// receive more than m * (k + 1) / n blocks; a node at the threshold "will
+// not be considered for future data block placement".
+//
+// Implemented as a stateful decorator the NameNode drives: it masks
+// capped-out nodes before delegating to the wrapped policy and counts
+// placements as they are committed.
+#pragma once
+
+#include <cstdint>
+
+#include "placement/policy.h"
+
+namespace adapt::placement {
+
+// ceil(m * (k + 1) / n) — the threshold from Section IV-C.
+std::uint64_t fidelity_threshold(std::uint64_t blocks, int replication,
+                                 std::size_t node_count);
+
+class CappedPolicy : public PlacementPolicy {
+ public:
+  // `max_blocks_per_node` of 0 disables the cap (pass-through).
+  CappedPolicy(PolicyPtr inner, std::size_t node_count,
+               std::uint64_t max_blocks_per_node);
+
+  std::optional<cluster::NodeIndex> choose(const std::vector<bool>& eligible,
+                                           common::Rng& rng) const override;
+  std::string name() const override;
+  std::vector<double> target_shares() const override {
+    return inner_->target_shares();
+  }
+
+  // The NameNode commits each successful placement here.
+  void record_placement(cluster::NodeIndex node);
+  void record_removal(cluster::NodeIndex node);
+
+  std::uint64_t placed(cluster::NodeIndex node) const;
+  std::uint64_t cap() const { return cap_; }
+
+ private:
+  PolicyPtr inner_;
+  std::uint64_t cap_;
+  std::vector<std::uint64_t> placed_;
+};
+
+}  // namespace adapt::placement

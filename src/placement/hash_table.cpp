@@ -1,0 +1,140 @@
+#include "placement/hash_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adapt::placement {
+
+std::string to_string(ChainWeighting weighting) {
+  switch (weighting) {
+    case ChainWeighting::kPaper:
+      return "paper";
+    case ChainWeighting::kOverlap:
+      return "overlap";
+  }
+  return "?";
+}
+
+BlockHashTable::BlockHashTable(const std::vector<double>& weights,
+                               std::uint64_t cells, ChainWeighting weighting)
+    : cells_(cells), weighting_(weighting) {
+  if (cells == 0) throw std::invalid_argument("hash table: zero cells");
+  if (weights.empty()) throw std::invalid_argument("hash table: no nodes");
+
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0 || !std::isfinite(w)) {
+      throw std::invalid_argument("hash table: weights must be finite, >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0) {
+    throw std::invalid_argument("hash table: all weights are zero");
+  }
+
+  shares_.resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    shares_[i] = weights[i] / total;
+  }
+
+  // Interval [a_i, b_i) per node in units of cells; chains built per
+  // integer cell from interval overlaps.
+  struct Segment {
+    std::uint32_t node;
+    double begin;
+    double end;
+    double rate;  // normalized share; the paper's chain-resolution weight
+  };
+  std::vector<Segment> segments;
+  segments.reserve(weights.size());
+  double cursor = 0.0;
+  const double m = static_cast<double>(cells);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double width = shares_[i] * m;
+    if (width <= 0.0) continue;
+    double end = cursor + width;
+    segments.push_back({static_cast<std::uint32_t>(i), cursor, end,
+                        shares_[i]});
+    cursor = end;
+  }
+  // Guard the accumulated rounding drift at the top end.
+  segments.back().end = m;
+
+  std::vector<std::vector<Entry>> chains(cells);
+  for (const Segment& seg : segments) {
+    const auto first = static_cast<std::uint64_t>(seg.begin);
+    const auto last = static_cast<std::uint64_t>(
+        std::min(m - 1.0, std::ceil(seg.end) - 1.0));
+    for (std::uint64_t j = first; j <= last && j < cells; ++j) {
+      const double cell_lo = static_cast<double>(j);
+      const double cell_hi = cell_lo + 1.0;
+      const double overlap =
+          std::min(seg.end, cell_hi) - std::max(seg.begin, cell_lo);
+      if (overlap <= 0.0) continue;
+      const double w = weighting_ == ChainWeighting::kPaper
+                           ? seg.rate
+                           : overlap;
+      chains[j].push_back({seg.node, static_cast<float>(w)});
+    }
+  }
+
+  offsets_.resize(cells + 1);
+  std::size_t count = 0;
+  for (std::uint64_t j = 0; j < cells; ++j) {
+    offsets_[j] = static_cast<std::uint32_t>(count);
+    count += chains[j].size();
+  }
+  offsets_[cells] = static_cast<std::uint32_t>(count);
+  entries_.reserve(count);
+  for (std::uint64_t j = 0; j < cells; ++j) {
+    if (chains[j].empty()) {
+      throw std::logic_error("hash table: empty chain (rounding bug)");
+    }
+    // Normalize resolution weights within the chain.
+    double sum = 0.0;
+    for (const Entry& e : chains[j]) sum += e.weight;
+    for (Entry e : chains[j]) {
+      e.weight = static_cast<float>(e.weight / sum);
+      entries_.push_back(e);
+    }
+  }
+}
+
+std::uint32_t BlockHashTable::sample(common::Rng& rng) const {
+  const std::uint64_t r = rng.uniform_index(cells_);
+  const std::uint32_t begin = offsets_[r];
+  const std::uint32_t end = offsets_[r + 1];
+  if (end - begin == 1) return entries_[begin].node;
+  const double r1 = rng.uniform();
+  double low = 0.0;
+  for (std::uint32_t k = begin; k < end; ++k) {
+    const double high = low + entries_[k].weight;
+    if (r1 < high || k + 1 == end) return entries_[k].node;
+    low = high;
+  }
+  return entries_[end - 1].node;
+}
+
+std::vector<double> BlockHashTable::selection_probabilities() const {
+  std::vector<double> probs(shares_.size(), 0.0);
+  const double cell_prob = 1.0 / static_cast<double>(cells_);
+  for (std::uint64_t j = 0; j < cells_; ++j) {
+    for (std::uint32_t k = offsets_[j]; k < offsets_[j + 1]; ++k) {
+      probs[entries_[k].node] += cell_prob * entries_[k].weight;
+    }
+  }
+  return probs;
+}
+
+std::vector<std::size_t> BlockHashTable::chain_length_histogram() const {
+  std::vector<std::size_t> hist;
+  for (std::uint64_t j = 0; j < cells_; ++j) {
+    const std::size_t len = offsets_[j + 1] - offsets_[j];
+    if (hist.size() <= len) hist.resize(len + 1, 0);
+    ++hist[len];
+  }
+  return hist;
+}
+
+}  // namespace adapt::placement

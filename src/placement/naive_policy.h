@@ -1,0 +1,17 @@
+// The paper's "naive" alternative (Section V-C): dispatch blocks in
+// proportion to steady-state availability (MTBI - mu) / MTBI = 1 - rho,
+// clamped at zero for unstable hosts. Ignores the task length gamma and
+// the rework amplification e^{gamma*lambda}, which is exactly what ADAPT
+// adds on top.
+#pragma once
+
+#include "availability/interruption_model.h"
+#include "placement/adapt_policy.h"
+
+namespace adapt::placement {
+
+PolicyPtr make_naive_policy(
+    const std::vector<avail::InterruptionParams>& params,
+    std::uint64_t blocks, ChainWeighting weighting = ChainWeighting::kPaper);
+
+}  // namespace adapt::placement

@@ -1,0 +1,37 @@
+// Block-placement policy interface.
+//
+// The NameNode asks the policy for one node per replica; eligibility
+// masking (capacity caps, replicas already placed on a node, node
+// currently offline during a load) is the NameNode's job, so policies
+// stay pure sampling strategies.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "common/rng.h"
+
+namespace adapt::placement {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  // Pick a node with eligible[i] == true, or nullopt when none exists.
+  // Implementations must honor the mask exactly; they may bias the draw
+  // however they like among eligible nodes.
+  virtual std::optional<cluster::NodeIndex> choose(
+      const std::vector<bool>& eligible, common::Rng& rng) const = 0;
+
+  virtual std::string name() const = 0;
+
+  // Per-node target share of blocks (sums to ~1); diagnostics and tests.
+  virtual std::vector<double> target_shares() const = 0;
+};
+
+using PolicyPtr = std::shared_ptr<const PlacementPolicy>;
+
+}  // namespace adapt::placement

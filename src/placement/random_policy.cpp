@@ -1,0 +1,42 @@
+#include "placement/random_policy.h"
+
+#include <stdexcept>
+
+namespace adapt::placement {
+
+RandomPolicy::RandomPolicy(std::size_t node_count) : node_count_(node_count) {
+  if (node_count == 0) {
+    throw std::invalid_argument("random policy: need nodes");
+  }
+}
+
+std::optional<cluster::NodeIndex> RandomPolicy::choose(
+    const std::vector<bool>& eligible, common::Rng& rng) const {
+  if (eligible.size() != node_count_) {
+    throw std::invalid_argument("choose: eligibility mask size mismatch");
+  }
+  // Rejection sampling is overwhelmingly the common path (few nodes are
+  // masked); bounded, with an exact fallback.
+  constexpr int kMaxRejections = 32;
+  for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
+    const auto node =
+        static_cast<cluster::NodeIndex>(rng.uniform_index(node_count_));
+    if (eligible[node]) return node;
+  }
+  std::vector<cluster::NodeIndex> candidates;
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    if (eligible[i]) candidates.push_back(static_cast<cluster::NodeIndex>(i));
+  }
+  if (candidates.empty()) return std::nullopt;
+  return candidates[rng.uniform_index(candidates.size())];
+}
+
+std::vector<double> RandomPolicy::target_shares() const {
+  return std::vector<double>(node_count_, 1.0 / static_cast<double>(node_count_));
+}
+
+PolicyPtr make_random_policy(std::size_t node_count) {
+  return std::make_shared<RandomPolicy>(node_count);
+}
+
+}  // namespace adapt::placement

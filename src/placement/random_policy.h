@@ -1,0 +1,24 @@
+// Stock HDFS placement: every node equally likely (the paper's
+// "existing approach" / "traditional Hadoop").
+#pragma once
+
+#include "placement/policy.h"
+
+namespace adapt::placement {
+
+class RandomPolicy : public PlacementPolicy {
+ public:
+  explicit RandomPolicy(std::size_t node_count);
+
+  std::optional<cluster::NodeIndex> choose(const std::vector<bool>& eligible,
+                                           common::Rng& rng) const override;
+  std::string name() const override { return "random"; }
+  std::vector<double> target_shares() const override;
+
+ private:
+  std::size_t node_count_;
+};
+
+PolicyPtr make_random_policy(std::size_t node_count);
+
+}  // namespace adapt::placement

@@ -1,0 +1,39 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace adapt::sim {
+
+EventQueue::Handle EventQueue::schedule(common::Seconds when,
+                                        Callback callback) {
+  if (when < now_) {
+    throw std::invalid_argument("schedule: time travels backwards");
+  }
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{when, next_seq_++, std::move(callback), alive});
+  return Handle(std::move(alive));
+}
+
+bool EventQueue::run_next() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is copied cheaply (the
+    // callback is moved out after the pop via a const_cast-free path).
+    Event event = queue_.top();
+    queue_.pop();
+    if (!*event.alive) continue;
+    now_ = event.when;
+    ++processed_;
+    event.callback();
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::run_until(const std::function<bool()>& done) {
+  while (!done()) {
+    if (!run_next()) return done();
+  }
+  return true;
+}
+
+}  // namespace adapt::sim

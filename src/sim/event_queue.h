@@ -1,0 +1,72 @@
+// Discrete-event engine: a time-ordered queue of cancellable callbacks.
+//
+// Ties are broken by insertion order so runs are deterministic. Handles
+// are cheap shared tokens; cancelling is O(1) (the event is skipped when
+// popped).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace adapt::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  class Handle {
+   public:
+    Handle() = default;
+    void cancel() {
+      if (alive_) *alive_ = false;
+    }
+    bool active() const { return alive_ && *alive_; }
+
+   private:
+    friend class EventQueue;
+    explicit Handle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+    std::shared_ptr<bool> alive_;
+  };
+
+  common::Seconds now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t processed() const { return processed_; }
+
+  // Schedule `callback` at absolute time `when` (>= now).
+  Handle schedule(common::Seconds when, Callback callback);
+
+  // Pop and run the next non-cancelled event. Returns false when the
+  // queue is exhausted.
+  bool run_next();
+
+  // Run until `done()` returns true or the queue drains. Returns true if
+  // the predicate was satisfied.
+  bool run_until(const std::function<bool()>& done);
+
+ private:
+  struct Event {
+    common::Seconds when;
+    std::uint64_t seq;
+    Callback callback;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  common::Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace adapt::sim

@@ -1,0 +1,750 @@
+#include "sim/mapreduce_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adapt::sim {
+
+namespace {
+
+cluster::Network::Config network_config(const cluster::Cluster& cluster) {
+  cluster::Network::Config config;
+  config.uplink_bps.reserve(cluster.size());
+  config.downlink_bps.reserve(cluster.size());
+  for (const cluster::NodeSpec& node : cluster.nodes) {
+    config.uplink_bps.push_back(node.uplink_bps);
+    config.downlink_bps.push_back(node.downlink_bps);
+  }
+  config.origin_uplink_bps = cluster.origin_uplink_bps;
+  config.fifo_admission = cluster.fifo_uplinks;
+  return config;
+}
+
+}  // namespace
+
+std::vector<std::vector<cluster::NodeIndex>> replica_map(
+    const hdfs::NameNode& namenode, hdfs::FileId file) {
+  std::vector<std::vector<cluster::NodeIndex>> out;
+  const hdfs::FileInfo& info = namenode.file(file);
+  out.reserve(info.blocks.size());
+  for (const hdfs::BlockId block : info.blocks) {
+    out.push_back(namenode.block(block).replicas);
+  }
+  return out;
+}
+
+MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
+                                         const hdfs::NameNode& namenode,
+                                         hdfs::FileId file,
+                                         SimJobConfig config)
+    : cluster_(cluster),
+      namenode_(namenode),
+      file_(file),
+      config_(config),
+      network_(network_config(cluster)),
+      rng_(common::Rng(config.seed).fork(0x5157)),
+      board_(replica_map(namenode, file), cluster.size()),
+      injector_(queue_, cluster.nodes, *this,
+                common::Rng(config.seed).fork(0x1417),
+                InterruptionInjector::Config{config.replay_horizon,
+                                             config.randomize_replay_offset,
+                                             config.replay_offsets,
+                                             config.initial_down_until}) {
+  if (config_.gamma <= 0) {
+    throw std::invalid_argument("simulation: gamma must be positive");
+  }
+  if (config_.max_concurrent_attempts < 1 ||
+      config_.max_concurrent_attempts > 2) {
+    throw std::invalid_argument(
+        "simulation: max_concurrent_attempts must be 1 or 2");
+  }
+  node_state_.resize(cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    node_state_[i].free_slots = cluster.nodes[i].slots;
+  }
+  for (TaskId t = 0; t < board_.task_count(); ++t) {
+    for (const cluster::NodeIndex home : board_.home_nodes(t)) {
+      ++node_state_[home].undone_home;
+    }
+  }
+  task_attempt_count_.assign(board_.task_count(), 0);
+  task_attempts_.assign(board_.task_count(), {kNoAttempt, kNoAttempt});
+
+  if (config_.origin_fetch_delay >= 0) {
+    origin_delay_ = config_.origin_fetch_delay;
+  } else {
+    double max_down = 0.0;
+    for (const cluster::NodeSpec& node : cluster.nodes) {
+      max_down = std::max(max_down, node.downlink_bps);
+    }
+    origin_delay_ = common::transfer_time(
+        cluster.block_size_bytes,
+        std::min(network_.origin_uplink_bps(), max_down));
+  }
+}
+
+JobResult MapReduceSimulation::run() {
+  result_ = JobResult{};
+  result_.tasks = board_.task_count();
+  if (config_.record_completion_times) {
+    result_.completion_times.assign(board_.task_count(), -1.0);
+    result_.winner_nodes.assign(board_.task_count(), 0);
+  }
+
+  injector_.start();
+  queue_.schedule(0.0, [this] {
+    for (cluster::NodeIndex i = 0; i < node_state_.size(); ++i) {
+      if (node_state_[i].up) dispatch(i);
+    }
+  });
+
+  const bool done = queue_.run_until([this] { return board_.all_done(); });
+  if (!done) {
+    throw std::logic_error(
+        "simulation stalled: event queue drained before job completion");
+  }
+
+  result_.elapsed = last_done_at_;
+  result_.locality =
+      result_.tasks > 0
+          ? static_cast<double>(result_.local_wins) /
+                static_cast<double>(result_.tasks)
+          : 0.0;
+  result_.node_transitions = injector_.transitions();
+  result_.events_processed = queue_.processed();
+  result_.network_bytes = network_.bytes_transferred();
+
+  // Close out costs still open at the instant the job finished.
+  for (cluster::NodeIndex i = 0; i < node_state_.size(); ++i) {
+    const NodeState& ns = node_state_[i];
+    if (ns.recovery_open >= 0.0) {
+      result_.overhead.recovery +=
+          std::max(0.0, result_.elapsed - ns.recovery_open) *
+          cluster_.nodes[i].slots;
+    }
+    for (const AttemptId id : ns.attempts) {
+      const Attempt& a = attempts_[id];
+      if (a.alive && a.fetching) {
+        result_.overhead.migration +=
+            std::max(0.0, result_.elapsed - a.fetch.start);
+      }
+    }
+  }
+
+  result_.overhead.base =
+      static_cast<double>(result_.tasks) * config_.gamma;
+  result_.overhead.elapsed = result_.elapsed;
+  // Capacity is slot-seconds: a node with s slots contributes s units of
+  // wall-clock per second.
+  std::size_t total_slots = 0;
+  for (const cluster::NodeSpec& node : cluster_.nodes) {
+    total_slots += static_cast<std::size_t>(node.slots);
+  }
+  result_.overhead.node_count = total_slots;
+  result_.overhead.finalize();
+  return result_;
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+void MapReduceSimulation::dispatch(cluster::NodeIndex node) {
+  NodeState& ns = node_state_[node];
+  if (!ns.up) return;
+  ns.idle_flagged = false;
+  while (ns.up && ns.free_slots > 0) {
+    if (!assign_one(node)) {
+      mark_idle(node);
+      break;
+    }
+  }
+  arm_ripe_wake();
+}
+
+bool MapReduceSimulation::assign_one(cluster::NodeIndex node) {
+  if (auto task = board_.take_local(node)) {
+    start_attempt(*task, node, node, /*speculative=*/false);
+    return true;
+  }
+  if (config_.remote_execution) {
+    std::optional<cluster::NodeIndex> src;
+    if (auto task = board_.take_remote(
+            queue_.now(), [this, &src](TaskId t) {
+              src = usable_source(t);
+              return src.has_value();
+            })) {
+      start_attempt(*task, node, *src, /*speculative=*/false);
+      return true;
+    }
+  }
+  if (config_.allow_origin_fetch) {
+    if (auto task = board_.take_stalled(queue_.now(), origin_delay_)) {
+      // A parked task can have regained a usable replica since it was
+      // parked; prefer it over the origin.
+      const auto src = usable_source(*task);
+      start_attempt(*task, node, src.value_or(cluster::kOriginEndpoint),
+                    /*speculative=*/false);
+      return true;
+    }
+  }
+  if (config_.speculation && try_speculate(node)) return true;
+  return false;
+}
+
+bool MapReduceSimulation::try_speculate(cluster::NodeIndex node) {
+  // Prefer duplicating a slow attempt whose block already lives here —
+  // this is both the paper's "interrupted task re-executed on the same
+  // node" path and the rescue of local tasks held by remote thieves
+  // stuck behind congested uplinks. Fall back to the globally slowest
+  // attempt if nothing local qualifies.
+  AttemptId best_local = kNoAttempt;
+  double best_local_remaining = 0.0;
+  AttemptId best_any = kNoAttempt;
+  double best_any_remaining = 0.0;
+  for (const AttemptId id : running_) {
+    const Attempt& a = attempts_[id];
+    if (!a.alive) continue;
+    if (a.node == node) continue;
+    if (board_.status(a.task) != TaskStatus::kRunning) continue;
+    if (task_attempt_count_[a.task] >=
+        static_cast<std::uint8_t>(config_.max_concurrent_attempts)) {
+      continue;
+    }
+    // Only laggards qualify: projected finish slipped past the launch
+    // projection (stalled or re-queued transfers), like Hadoop's
+    // below-average-progress rule.
+    const double overdue_threshold = config_.speculation_overdue >= 0.0
+                                         ? config_.speculation_overdue
+                                         : config_.gamma;
+    const double projected = a.fetching
+                                 ? projected_fetch_end(a) + config_.gamma
+                                 : a.exec_start + config_.gamma;
+    if (projected - a.nominal_end < overdue_threshold) continue;
+    const double remaining = remaining_time(a);
+    if (board_.is_local_to(a.task, node)) {
+      if (remaining > best_local_remaining) {
+        best_local_remaining = remaining;
+        best_local = id;
+      }
+    } else if (remaining > best_any_remaining) {
+      best_any_remaining = remaining;
+      best_any = id;
+    }
+  }
+
+  const bool use_local = best_local != kNoAttempt;
+  const AttemptId best = use_local ? best_local : best_any;
+  const double best_remaining =
+      use_local ? best_local_remaining : best_any_remaining;
+  if (best == kNoAttempt) return false;
+  const TaskId task = attempts_[best].task;
+  const double fresh_cost = estimated_cost_on(node, task);
+  if (fresh_cost < 0 ||
+      best_remaining <= config_.speculation_slack * fresh_cost) {
+    return false;
+  }
+  cluster::NodeIndex src;
+  if (use_local) {
+    src = node;
+  } else if (const auto remote = usable_source(task)) {
+    src = *remote;
+  } else if (config_.allow_origin_fetch) {
+    src = cluster::kOriginEndpoint;
+  } else {
+    return false;
+  }
+  start_attempt(task, node, src, /*speculative=*/true);
+  return true;
+}
+
+void MapReduceSimulation::mark_idle(cluster::NodeIndex node) {
+  NodeState& ns = node_state_[node];
+  if (!ns.idle_flagged) {
+    ns.idle_flagged = true;
+    idle_stack_.push_back(node);
+  }
+}
+
+bool MapReduceSimulation::wake_one_idle() {
+  while (!idle_stack_.empty()) {
+    const cluster::NodeIndex node = idle_stack_.back();
+    idle_stack_.pop_back();
+    NodeState& ns = node_state_[node];
+    if (!ns.idle_flagged) continue;
+    ns.idle_flagged = false;
+    if (ns.up && ns.free_slots > 0) {
+      dispatch(node);
+      return true;
+    }
+  }
+  return false;
+}
+
+void MapReduceSimulation::arm_ripe_wake() {
+  if (!config_.allow_origin_fetch) return;
+  const auto park = board_.next_stalled_park();
+  if (!park) return;
+  const common::Seconds ripe_at = *park + origin_delay_;
+  // Already-ripe tasks are picked up by take_stalled on the next regular
+  // dispatch; arming for them would spin the event loop in place.
+  if (ripe_at <= queue_.now()) return;
+  if (ripe_wake_at_ >= 0.0 && ripe_wake_at_ <= ripe_at) return;
+  ripe_wake_at_ = ripe_at;
+  queue_.schedule(ripe_at, [this] { on_ripe_wake(); });
+}
+
+void MapReduceSimulation::on_ripe_wake() {
+  ripe_wake_at_ = -1.0;
+  // Hand ripe stalled tasks to idle nodes until either runs out; the
+  // dispatched nodes pull the tasks through the normal assign path.
+  while (true) {
+    const auto park = board_.next_stalled_park();
+    if (!park || queue_.now() - *park < origin_delay_) break;
+    if (!wake_one_idle()) break;
+  }
+  arm_ripe_wake();
+}
+
+void MapReduceSimulation::wake_for_task(TaskId task) {
+  for (const cluster::NodeIndex home : board_.home_nodes(task)) {
+    NodeState& ns = node_state_[home];
+    if (ns.up && ns.free_slots > 0) {
+      dispatch(home);
+      return;
+    }
+  }
+  wake_one_idle();
+}
+
+// ---------------------------------------------------------------------
+// Attempt lifecycle
+// ---------------------------------------------------------------------
+
+MapReduceSimulation::AttemptId MapReduceSimulation::alloc_attempt() {
+  if (!attempt_free_list_.empty()) {
+    const AttemptId id = attempt_free_list_.back();
+    attempt_free_list_.pop_back();
+    attempts_[id] = Attempt{};
+    return id;
+  }
+  attempts_.emplace_back();
+  return static_cast<AttemptId>(attempts_.size() - 1);
+}
+
+void MapReduceSimulation::free_attempt(AttemptId id) {
+  attempt_free_list_.push_back(id);
+}
+
+void MapReduceSimulation::start_attempt(TaskId task, cluster::NodeIndex node,
+                                        cluster::NodeIndex src,
+                                        bool speculative) {
+  NodeState& ns = node_state_[node];
+  if (!ns.up || ns.free_slots <= 0) {
+    throw std::logic_error("start_attempt: node cannot take work");
+  }
+  if (!speculative) {
+    board_.mark_running(task);
+  }
+  ++task_attempt_count_[task];
+
+  const AttemptId id = alloc_attempt();
+  Attempt& a = attempts_[id];
+  a.task = task;
+  a.node = node;
+  a.alive = true;
+  a.local = (src == node);
+  --ns.free_slots;
+  ns.attempts.push_back(id);
+  a.running_index = static_cast<std::uint32_t>(running_.size());
+  running_.push_back(id);
+  for (AttemptId& slot : task_attempts_[task]) {
+    if (slot == kNoAttempt) {
+      slot = id;
+      break;
+    }
+  }
+  ++result_.attempts_started;
+
+  const common::Seconds now = queue_.now();
+  if (a.local) {
+    a.exec_start = now;
+    a.nominal_end = now + config_.gamma;
+    a.event = queue_.schedule(now + config_.gamma,
+                              [this, id] { on_attempt_complete(id); });
+    return;
+  }
+
+  a.from_origin = (src == cluster::kOriginEndpoint);
+  a.fetch_src = src;
+  a.fetching = true;
+  a.fetch = network_.request(src, node, cluster_.block_size_bytes, now);
+  a.nominal_end = a.fetch.end + config_.gamma;
+  ++result_.transfers_started;
+  if (!a.from_origin) {
+    NodeState& src_state = node_state_[src];
+    a.outgoing_index = static_cast<std::uint32_t>(
+        src_state.outgoing_fetches.size());
+    src_state.outgoing_fetches.push_back(id);
+  }
+  a.event = queue_.schedule(a.fetch.end, [this, id] { on_fetch_done(id); });
+}
+
+void MapReduceSimulation::on_fetch_done(AttemptId id) {
+  Attempt& a = attempts_[id];
+  if (!a.alive || !a.fetching) {
+    throw std::logic_error("on_fetch_done: stale event");
+  }
+  result_.overhead.migration += a.fetch.duration();
+  network_.on_transfer_complete(cluster_.block_size_bytes);
+  if (!a.from_origin) {
+    // Unregister from the source's outgoing list.
+    NodeState& src_state = node_state_[a.fetch_src];
+    auto& list = src_state.outgoing_fetches;
+    const std::uint32_t idx = a.outgoing_index;
+    list[idx] = list.back();
+    attempts_[list[idx]].outgoing_index = idx;
+    list.pop_back();
+  }
+  a.fetching = false;
+  a.exec_start = queue_.now();
+  a.event = queue_.schedule(queue_.now() + config_.gamma,
+                            [this, id] { on_attempt_complete(id); });
+}
+
+void MapReduceSimulation::on_attempt_complete(AttemptId id) {
+  Attempt& a = attempts_[id];
+  if (!a.alive || a.fetching) {
+    throw std::logic_error("on_attempt_complete: stale event");
+  }
+  const TaskId task = a.task;
+  const cluster::NodeIndex node = a.node;
+
+  board_.mark_done(task);
+  last_done_at_ = queue_.now();
+  if (config_.record_completion_times) {
+    result_.completion_times[task] = queue_.now();
+    result_.winner_nodes[task] = node;
+  }
+  for (const cluster::NodeIndex home : board_.home_nodes(task)) {
+    NodeState& hs = node_state_[home];
+    if (--hs.undone_home == 0 && hs.recovery_open >= 0.0) {
+      // The node is down but nothing of the job depends on it anymore.
+      result_.overhead.recovery +=
+          (queue_.now() - hs.recovery_open) * cluster_.nodes[home].slots;
+      hs.recovery_open = -1.0;
+    }
+  }
+  if (a.local) {
+    ++result_.local_wins;
+  } else if (a.from_origin) {
+    ++result_.origin_wins;
+  } else {
+    ++result_.remote_wins;
+  }
+
+  detach_attempt(id);
+
+  // Kill the losing duplicate, if any.
+  for (const AttemptId sibling : task_attempts_[task]) {
+    if (sibling != kNoAttempt) {
+      const cluster::NodeIndex sib_node = attempts_[sibling].node;
+      kill_attempt(sibling, KillReason::kRedundant);
+      dispatch(sib_node);
+    }
+  }
+
+  dispatch(node);
+}
+
+void MapReduceSimulation::detach_attempt(AttemptId id) {
+  Attempt& a = attempts_[id];
+  a.alive = false;
+  a.event.cancel();
+
+  // Remove from the running registry (swap-remove).
+  const std::uint32_t ridx = a.running_index;
+  running_[ridx] = running_.back();
+  attempts_[running_[ridx]].running_index = ridx;
+  running_.pop_back();
+
+  // Remove from the hosting node.
+  NodeState& ns = node_state_[a.node];
+  const auto it = std::find(ns.attempts.begin(), ns.attempts.end(), id);
+  if (it == ns.attempts.end()) {
+    throw std::logic_error("detach_attempt: not registered on node");
+  }
+  *it = ns.attempts.back();
+  ns.attempts.pop_back();
+  if (ns.up) ++ns.free_slots;
+
+  // Clear the per-task slot.
+  for (AttemptId& slot : task_attempts_[a.task]) {
+    if (slot == id) slot = kNoAttempt;
+  }
+  --task_attempt_count_[a.task];
+
+  free_attempt(id);
+}
+
+void MapReduceSimulation::kill_attempt(AttemptId id, KillReason reason) {
+  const bool failed = reason != KillReason::kRedundant;
+  Attempt& a = attempts_[id];
+  if (!a.alive) throw std::logic_error("kill_attempt: already dead");
+  const TaskId task = a.task;
+  const common::Seconds now = queue_.now();
+
+  if (a.fetching) {
+    result_.overhead.migration += std::max(0.0, now - a.fetch.start);
+    ++result_.transfers_aborted;
+    switch (reason) {
+      case KillReason::kNodeDown:
+        ++result_.aborts_dst_down;
+        break;
+      case KillReason::kSourceTimeout:
+        ++result_.aborts_src_timeout;
+        break;
+      case KillReason::kRedundant:
+        ++result_.aborts_redundant;
+        break;
+    }
+    network_.abort(a.fetch, now);
+    if (!a.from_origin) {
+      NodeState& src_state = node_state_[a.fetch_src];
+      auto& list = src_state.outgoing_fetches;
+      const std::uint32_t idx = a.outgoing_index;
+      list[idx] = list.back();
+      attempts_[list[idx]].outgoing_index = idx;
+      list.pop_back();
+    }
+  } else if (failed && a.exec_start >= 0.0) {
+    result_.overhead.rework += now - a.exec_start;
+  }
+
+  if (failed) {
+    ++result_.attempts_failed;
+  } else {
+    ++result_.attempts_killed;
+  }
+
+  detach_attempt(id);
+
+  if (failed && task_attempt_count_[task] == 0 &&
+      board_.status(task) == TaskStatus::kRunning) {
+    board_.mark_pending(task);
+    wake_for_task(task);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Interruption listener
+// ---------------------------------------------------------------------
+
+void MapReduceSimulation::on_node_down(cluster::NodeIndex node) {
+  NodeState& ns = node_state_[node];
+  ns.up = false;
+  ns.down_at = queue_.now();
+  if (ns.undone_home > 0) ns.recovery_open = queue_.now();
+  ns.free_slots = 0;
+
+  // Attempts running here fail.
+  const std::vector<AttemptId> local = ns.attempts;
+  for (const AttemptId id : local) {
+    if (attempts_[id].alive) kill_attempt(id, KillReason::kNodeDown);
+  }
+
+  if (config_.transfer_stall_timeout > 0.0) {
+    // Transfers sourced here stall; they resume (shifted) when the node
+    // returns, or abort when the outage outlives the client timeout.
+    for (const AttemptId id : ns.outgoing_fetches) {
+      Attempt& a = attempts_[id];
+      if (!a.alive || !a.fetching) continue;
+      a.transfer_stalled = true;
+      a.event.cancel();
+    }
+    if (!ns.outgoing_fetches.empty()) {
+      ns.stall_timeout_event = queue_.schedule(
+          queue_.now() + config_.transfer_stall_timeout,
+          [this, node] { on_stall_timeout(node); });
+      // Once the stall makes those transfers overdue, idle nodes should
+      // get a chance to speculate rescues; re-check periodically while
+      // the outage lasts (the rescue economics improve as it drags on).
+      if (config_.speculation) {
+        const double overdue = config_.speculation_overdue >= 0.0
+                                   ? config_.speculation_overdue
+                                   : config_.gamma;
+        queue_.schedule(queue_.now() + overdue + 1e-9,
+                        [this, node] { on_stall_wake(node); });
+      }
+    }
+  } else {
+    // Immediate-abort semantics: destinations fail their attempts.
+    const std::vector<AttemptId> outgoing = ns.outgoing_fetches;
+    for (const AttemptId id : outgoing) {
+      const Attempt& a = attempts_[id];
+      if (!a.alive) continue;
+      const cluster::NodeIndex dst = a.node;
+      kill_attempt(id, KillReason::kSourceTimeout);
+      dispatch(dst);
+    }
+    network_.reset_uplink(node, queue_.now());
+  }
+}
+
+void MapReduceSimulation::on_stall_wake(cluster::NodeIndex node) {
+  const NodeState& ns = node_state_[node];
+  if (ns.up) return;  // outage over; resumes handled the rest
+  std::size_t stalled = 0;
+  for (const AttemptId id : ns.outgoing_fetches) {
+    const Attempt& a = attempts_[id];
+    if (a.alive && a.transfer_stalled) ++stalled;
+  }
+  if (stalled == 0) return;
+  for (std::size_t i = 0; i < stalled; ++i) {
+    if (!wake_one_idle()) break;
+  }
+  const double overdue = config_.speculation_overdue >= 0.0
+                             ? config_.speculation_overdue
+                             : config_.gamma;
+  queue_.schedule(queue_.now() + std::max(overdue, config_.gamma),
+                  [this, node] { on_stall_wake(node); });
+}
+
+void MapReduceSimulation::on_stall_timeout(cluster::NodeIndex node) {
+  NodeState& ns = node_state_[node];
+  if (ns.up) return;  // stale event
+  const std::vector<AttemptId> outgoing = ns.outgoing_fetches;
+  for (const AttemptId id : outgoing) {
+    const Attempt& a = attempts_[id];
+    if (!a.alive || !a.transfer_stalled) continue;
+    const cluster::NodeIndex dst = a.node;
+    kill_attempt(id, KillReason::kSourceTimeout);
+    dispatch(dst);
+  }
+  network_.reset_uplink(node, queue_.now());
+}
+
+void MapReduceSimulation::on_node_up(cluster::NodeIndex node) {
+  NodeState& ns = node_state_[node];
+  if (ns.recovery_open >= 0.0) {
+    result_.overhead.recovery +=
+        (queue_.now() - ns.recovery_open) * cluster_.nodes[node].slots;
+    ns.recovery_open = -1.0;
+  }
+  ns.up = true;
+  ns.stall_timeout_event.cancel();
+  const common::Seconds outage =
+      ns.down_at >= 0.0 ? queue_.now() - ns.down_at : 0.0;
+  ns.down_at = -1.0;
+  ns.free_slots = cluster_.nodes[node].slots;
+
+  if (config_.transfer_stall_timeout > 0.0 && outage > 0.0) {
+    // Resume stalled transfers, shifted by the outage; the uplink's
+    // admission clock shifts with them.
+    network_.shift_uplink(node, outage, queue_.now());
+    for (const AttemptId id : ns.outgoing_fetches) {
+      Attempt& a = attempts_[id];
+      if (!a.alive || !a.fetching || !a.transfer_stalled) continue;
+      a.transfer_stalled = false;
+      a.fetch.start += outage;
+      a.fetch.end += outage;
+      a.event =
+          queue_.schedule(a.fetch.end, [this, id] { on_fetch_done(id); });
+    }
+  } else {
+    network_.reset_uplink(node, queue_.now());
+  }
+
+  const std::size_t revived = board_.revive_stalled_for(node);
+  dispatch(node);
+  for (std::size_t i = 0; i < revived; ++i) wake_one_idle();
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+bool MapReduceSimulation::has_live_replica(TaskId task) const {
+  for (const cluster::NodeIndex home : board_.home_nodes(task)) {
+    if (node_state_[home].up) return true;
+  }
+  return false;
+}
+
+std::optional<cluster::NodeIndex> MapReduceSimulation::usable_source(
+    TaskId task) const {
+  std::optional<cluster::NodeIndex> best;
+  common::Seconds best_free = 0.0;
+  for (const cluster::NodeIndex home : board_.home_nodes(task)) {
+    if (!node_state_[home].up) continue;
+    const common::Seconds free_at = network_.uplink_available_at(home);
+    const common::Seconds wait = free_at - queue_.now();
+    const common::Seconds limit =
+        config_.max_source_queue_wait >= 0.0
+            ? config_.max_source_queue_wait
+            : common::transfer_time(cluster_.block_size_bytes,
+                                    cluster_.nodes[home].uplink_bps);
+    if (wait > limit) continue;
+    if (!best || free_at < best_free) {
+      best = home;
+      best_free = free_at;
+    }
+  }
+  return best;
+}
+
+double MapReduceSimulation::estimated_cost_on(cluster::NodeIndex node,
+                                              TaskId task) const {
+  if (board_.is_local_to(task, node) && node_state_[node].up) {
+    return config_.gamma;
+  }
+  double uplink = 0.0;
+  common::Seconds queue_wait = 0.0;
+  if (const auto src = usable_source(task)) {
+    uplink = cluster_.nodes[*src].uplink_bps;
+    queue_wait =
+        std::max(0.0, network_.uplink_available_at(*src) - queue_.now());
+  } else if (config_.allow_origin_fetch) {
+    uplink = network_.origin_uplink_bps();
+    queue_wait = std::max(
+        0.0, network_.uplink_available_at(cluster::kOriginEndpoint) -
+                 queue_.now());
+  } else {
+    return -1.0;  // cannot run it here at all
+  }
+  const double rate = std::min(uplink, cluster_.nodes[node].downlink_bps);
+  return queue_wait +
+         common::transfer_time(cluster_.block_size_bytes, rate) +
+         config_.gamma;
+}
+
+common::Seconds MapReduceSimulation::projected_fetch_end(
+    const Attempt& a) const {
+  common::Seconds end = a.fetch.end;
+  if (a.transfer_stalled) {
+    // The resume will shift the end by the outage length accumulated so
+    // far; project that shift now so the attempt reads as overdue.
+    const common::Seconds down_at = node_state_[a.fetch_src].down_at;
+    if (down_at >= 0.0) end += queue_.now() - down_at;
+  }
+  return end;
+}
+
+double MapReduceSimulation::remaining_time(const Attempt& a) const {
+  if (a.fetching) {
+    if (a.transfer_stalled) {
+      // The resume time is unknown; project the stall observed so far as
+      // the estimate of what is still to come (a renewal-style guess),
+      // so rescue economics improve the longer the outage persists.
+      const common::Seconds down_at = node_state_[a.fetch_src].down_at;
+      const common::Seconds stall =
+          down_at >= 0.0 ? queue_.now() - down_at : 0.0;
+      return (projected_fetch_end(a) - queue_.now()) + config_.gamma +
+             stall;
+    }
+    return (a.fetch.end - queue_.now()) + config_.gamma;
+  }
+  return std::max(0.0, a.exec_start + config_.gamma - queue_.now());
+}
+
+}  // namespace adapt::sim

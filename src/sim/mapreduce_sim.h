@@ -1,0 +1,228 @@
+// Map-phase discrete-event simulation of a Hadoop-like runtime on a
+// volatile cluster ("a discrete event simulator ... with mechanism
+// analogous to that of Hadoop", paper Section V-C).
+//
+// Semantics implemented:
+//  * one map task per block; a TaskTracker slot runs one attempt;
+//  * locality-first scheduling, then remote fetch from a live replica
+//    over the bounded-bandwidth network, then origin re-fetch when every
+//    replica is offline, then speculative duplicates of slow attempts;
+//  * interruptions kill running attempts and in-flight transfers; the
+//    host's blocks survive on disk and its interrupted task is re-run
+//    locally if still pending when the host returns;
+//  * first finished attempt wins; duplicates are killed.
+//
+// Accounting matches Figure 5's decomposition: rework (lost execution),
+// recovery (node downtime during the job), migration (time blocks spent
+// on the wire), misc (residual: duplicate execution, queue gaps, idle
+// tail).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/network.h"
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "hdfs/namenode.h"
+#include "sim/event_queue.h"
+#include "sim/injector.h"
+#include "sim/overhead.h"
+#include "sim/scheduler.h"
+
+namespace adapt::sim {
+
+struct SimJobConfig {
+  double gamma = 12.0;  // failure-free map task time, seconds (Table 4)
+  bool speculation = true;
+  // Duplicate a running attempt when its remaining time exceeds
+  // slack * (expected cost of running it fresh on the idle node).
+  double speculation_slack = 1.2;
+  // ... and only when the attempt is *overdue*: its projected finish has
+  // slipped at least this many seconds past what it projected when it
+  // was launched (Hadoop speculates laggards, not attempts progressing
+  // at their normal rate). Negative = auto: one gamma.
+  common::Seconds speculation_overdue = -1.0;
+  int max_concurrent_attempts = 2;  // original + one speculative copy
+  bool allow_origin_fetch = true;   // last resort when all replicas down
+  // A task whose replicas are all offline is re-fetched from the origin
+  // only after stalling this long (waiting out a short outage is cheaper
+  // than a broadband transfer). Negative = auto: one block's transfer
+  // time from the origin.
+  common::Seconds origin_fetch_delay = -1.0;
+  std::uint64_t seed = 1;
+  bool randomize_replay_offset = true;
+  common::Seconds replay_horizon = 0.0;  // 0 = derive from trace
+  // Per-node replay offsets (see InterruptionInjector::Config); lets the
+  // caller filter placement to nodes up at t = 0.
+  std::vector<common::Seconds> replay_offsets;
+  // Model-mode steady-state initial outages (see draw_initial_down).
+  std::vector<common::Seconds> initial_down_until;
+  // Allow idle nodes to run pending tasks of other nodes (with the block
+  // migrated). Off = strictly local execution, an ablation knob.
+  bool remote_execution = true;
+  // A block transfer whose *source* goes down stalls (TCP rides out a
+  // short outage) and resumes when the source returns, shifted by the
+  // downtime; it aborts only when the outage exceeds this timeout
+  // (Hadoop DFS client behaviour). 0 = abort immediately. Transfers
+  // whose destination dies always abort (the task fails with its host).
+  common::Seconds transfer_stall_timeout = 60.0;
+  // A replica source whose uplink is backed up further than this is not
+  // worth queueing on (the fetch would sit as a zombie attempt); the
+  // task parks instead and is resolved by its home node or the origin.
+  // Negative = auto: one block's transfer time on the source uplink.
+  common::Seconds max_source_queue_wait = -1.0;
+  // Record per-task completion times into JobResult (diagnostics).
+  bool record_completion_times = false;
+};
+
+struct JobResult {
+  common::Seconds elapsed = 0.0;
+  double locality = 0.0;  // winning attempts that ran on a replica holder
+  OverheadBreakdown overhead;
+
+  std::uint64_t tasks = 0;
+  std::uint64_t local_wins = 0;
+  std::uint64_t remote_wins = 0;
+  std::uint64_t origin_wins = 0;
+  std::uint64_t attempts_started = 0;
+  std::uint64_t attempts_failed = 0;   // killed by interruptions
+  std::uint64_t attempts_killed = 0;   // redundant duplicates
+  std::uint64_t transfers_started = 0;
+  std::uint64_t transfers_aborted = 0;
+  std::uint64_t aborts_dst_down = 0;      // fetching node died
+  std::uint64_t aborts_src_timeout = 0;   // source outage > stall timeout
+  std::uint64_t aborts_redundant = 0;     // another attempt won the task
+  std::uint64_t node_transitions = 0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t network_bytes = 0;
+  // Only filled when SimJobConfig::record_completion_times is set:
+  // completion_times[t] and winning node per task.
+  std::vector<common::Seconds> completion_times;
+  std::vector<cluster::NodeIndex> winner_nodes;
+};
+
+// Simulates the map phase of `file` (already placed in `namenode`) on
+// `cluster`. One instance runs one job; construct fresh per run.
+class MapReduceSimulation : public InterruptionInjector::Listener {
+ public:
+  MapReduceSimulation(const cluster::Cluster& cluster,
+                      const hdfs::NameNode& namenode, hdfs::FileId file,
+                      SimJobConfig config);
+
+  JobResult run();
+
+  // InterruptionInjector::Listener
+  void on_node_down(cluster::NodeIndex node) override;
+  void on_node_up(cluster::NodeIndex node) override;
+
+ private:
+  // A source node's outage outlived the DFS client timeout: abort the
+  // transfers stalled on it.
+  void on_stall_timeout(cluster::NodeIndex node);
+  // Periodic while a source is down: offer idle nodes the chance to
+  // speculate rescues of the transfers stalled on it.
+  void on_stall_wake(cluster::NodeIndex node);
+
+ private:
+  using AttemptId = std::uint32_t;
+  static constexpr AttemptId kNoAttempt = ~AttemptId{0};
+
+  struct Attempt {
+    TaskId task = 0;
+    cluster::NodeIndex node = 0;
+    bool alive = false;
+    bool local = false;
+    bool from_origin = false;
+    bool fetching = false;
+    bool transfer_stalled = false;  // source down; end shifts on resume
+    cluster::TransferGrant fetch;
+    common::Seconds exec_start = -1.0;
+    common::Seconds nominal_end = 0.0;  // projected finish at launch
+    EventQueue::Handle event;        // pending fetch-done or completion
+    std::uint32_t running_index = 0; // position in running registry
+    std::uint32_t outgoing_index = 0;
+    cluster::NodeIndex fetch_src = 0;
+  };
+
+  struct NodeState {
+    bool up = true;
+    common::Seconds down_at = -1.0;
+    // Downtime is charged to "recovery" only while the node still has
+    // undone home tasks (that is the downtime that can delay the job);
+    // >= 0 marks an open charging segment.
+    common::Seconds recovery_open = -1.0;
+    EventQueue::Handle stall_timeout_event;
+    std::uint32_t undone_home = 0;  // home tasks not yet completed
+    int free_slots = 1;
+    std::vector<AttemptId> attempts;           // attempts running here
+    std::vector<AttemptId> outgoing_fetches;   // transfers sourced here
+    bool idle_flagged = false;
+  };
+
+  // -- dispatch ------------------------------------------------------
+  void dispatch(cluster::NodeIndex node);
+  bool assign_one(cluster::NodeIndex node);
+  bool try_speculate(cluster::NodeIndex node);
+  void mark_idle(cluster::NodeIndex node);
+  bool wake_one_idle();
+  void wake_for_task(TaskId task);
+  // Schedule a wake-up for when the oldest stalled task ripens for an
+  // origin re-fetch.
+  void arm_ripe_wake();
+  void on_ripe_wake();
+
+  // -- attempt lifecycle ----------------------------------------------
+  void start_attempt(TaskId task, cluster::NodeIndex node,
+                     cluster::NodeIndex src, bool speculative);
+  void on_fetch_done(AttemptId id);
+  void on_attempt_complete(AttemptId id);
+  // Kill paths; kRedundant = another attempt won, the rest are failures.
+  enum class KillReason { kNodeDown, kSourceTimeout, kRedundant };
+  void kill_attempt(AttemptId id, KillReason reason);
+  void detach_attempt(AttemptId id);
+
+  // -- helpers ---------------------------------------------------------
+  bool has_live_replica(TaskId task) const;
+  // Best replica holder that is up *and* whose uplink queue is short
+  // enough to be worth joining; nullopt when none qualifies.
+  std::optional<cluster::NodeIndex> usable_source(TaskId task) const;
+  double estimated_cost_on(cluster::NodeIndex node, TaskId task) const;
+  // Fetch end including the not-yet-applied shift of an ongoing stall.
+  common::Seconds projected_fetch_end(const Attempt& a) const;
+  double remaining_time(const Attempt& a) const;
+  AttemptId alloc_attempt();
+  void free_attempt(AttemptId id);
+
+  const cluster::Cluster& cluster_;
+  const hdfs::NameNode& namenode_;
+  hdfs::FileId file_;
+  SimJobConfig config_;
+
+  EventQueue queue_;
+  cluster::Network network_;
+  common::Rng rng_;
+  TaskBoard board_;
+  InterruptionInjector injector_;
+
+  std::vector<NodeState> node_state_;
+  std::vector<Attempt> attempts_;
+  std::vector<AttemptId> attempt_free_list_;
+  std::vector<AttemptId> running_;  // alive attempt registry
+  std::vector<std::uint8_t> task_attempt_count_;
+  // Concurrent attempts per task, capped at two (original + speculative).
+  std::vector<std::array<AttemptId, 2>> task_attempts_;
+  std::vector<cluster::NodeIndex> idle_stack_;
+
+  JobResult result_;
+  common::Seconds last_done_at_ = 0.0;
+  common::Seconds origin_delay_ = 0.0;
+  common::Seconds ripe_wake_at_ = -1.0;  // armed wake-up time, < 0 = none
+};
+
+// Convenience: board construction input from HDFS metadata.
+std::vector<std::vector<cluster::NodeIndex>> replica_map(
+    const hdfs::NameNode& namenode, hdfs::FileId file);
+
+}  // namespace adapt::sim

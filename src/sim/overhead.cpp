@@ -1,0 +1,34 @@
+#include "sim/overhead.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace adapt::sim {
+
+void OverheadBreakdown::finalize() {
+  const double wall = static_cast<double>(node_count) * elapsed;
+  const double accounted = base + rework + recovery + migration;
+  misc = wall - accounted;
+  // Tolerate float accumulation noise; anything larger is an accounting
+  // bug upstream and must not be silently clamped.
+  if (misc < 0) {
+    if (misc < -1e-6 * std::max(wall, 1.0)) {
+      throw std::logic_error(
+          "overhead: accounted cost exceeds wall-clock node-seconds");
+    }
+    misc = 0;
+  }
+}
+
+std::string OverheadBreakdown::describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "elapsed=%.1fs overhead=%.1f%% (rework=%.1f%% recovery=%.1f%% "
+                "migration=%.1f%% misc=%.1f%%)",
+                elapsed, total_ratio() * 100.0, rework_ratio() * 100.0,
+                recovery_ratio() * 100.0, migration_ratio() * 100.0,
+                misc_ratio() * 100.0);
+  return buf;
+}
+
+}  // namespace adapt::sim

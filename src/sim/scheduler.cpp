@@ -1,0 +1,136 @@
+#include "sim/scheduler.h"
+
+#include <stdexcept>
+
+namespace adapt::sim {
+
+TaskBoard::TaskBoard(std::vector<std::vector<cluster::NodeIndex>> home_nodes,
+                     std::size_t node_count)
+    : home_nodes_(std::move(home_nodes)),
+      node_tasks_(node_count),
+      node_pending_(node_count, 0),
+      node_cursor_(node_count, 0),
+      status_(home_nodes_.size(), TaskStatus::kPending),
+      flags_(home_nodes_.size()),
+      stalled_since_(home_nodes_.size(), 0.0) {
+  for (TaskId t = 0; t < home_nodes_.size(); ++t) {
+    for (const cluster::NodeIndex n : home_nodes_[t]) {
+      node_tasks_.at(n).push_back(t);
+      ++node_pending_.at(n);
+    }
+    push_global(t);
+  }
+  pending_ = home_nodes_.size();
+}
+
+bool TaskBoard::is_local_to(TaskId task, cluster::NodeIndex node) const {
+  for (const cluster::NodeIndex n : home_nodes_.at(task)) {
+    if (n == node) return true;
+  }
+  return false;
+}
+
+void TaskBoard::push_global(TaskId task) {
+  if (!flags_[task].in_global) {
+    flags_[task].in_global = true;
+    global_.push_back(task);
+  }
+}
+
+void TaskBoard::mark_running(TaskId task) {
+  if (status_.at(task) != TaskStatus::kPending) {
+    throw std::logic_error("mark_running: task not pending");
+  }
+  status_[task] = TaskStatus::kRunning;
+  --pending_;
+  for (const cluster::NodeIndex n : home_nodes_[task]) {
+    --node_pending_[n];
+  }
+}
+
+void TaskBoard::mark_pending(TaskId task) {
+  if (status_.at(task) != TaskStatus::kRunning) {
+    throw std::logic_error("mark_pending: task not running");
+  }
+  status_[task] = TaskStatus::kPending;
+  ++pending_;
+  for (const cluster::NodeIndex n : home_nodes_[task]) {
+    ++node_pending_[n];
+    // The task may sit before the scan cursor; rewind so locality is not
+    // lost for re-execution on its home node.
+    node_cursor_[n] = 0;
+  }
+  push_global(task);
+}
+
+void TaskBoard::mark_done(TaskId task) {
+  if (status_.at(task) != TaskStatus::kRunning) {
+    throw std::logic_error("mark_done: task not running");
+  }
+  status_[task] = TaskStatus::kDone;
+  ++done_;
+}
+
+std::optional<TaskId> TaskBoard::take_local(cluster::NodeIndex node) {
+  if (node_pending_.at(node) == 0) return std::nullopt;
+  auto& tasks = node_tasks_[node];
+  for (std::size_t& cursor = node_cursor_[node]; cursor < tasks.size();
+       ++cursor) {
+    const TaskId task = tasks[cursor];
+    if (status_[task] == TaskStatus::kPending) return task;
+  }
+  // Counter said pending > 0 but the scan found none: corruption.
+  throw std::logic_error("take_local: pending counter out of sync");
+}
+
+std::optional<TaskId> TaskBoard::take_stalled(common::Seconds now,
+                                              common::Seconds min_age) {
+  while (!stalled_.empty()) {
+    const TaskId task = stalled_.front();
+    if (flags_[task].in_stalled && status_[task] == TaskStatus::kPending) {
+      // Entries are park-time ordered, so an unripe head means nothing
+      // behind it is ripe either.
+      if (now - stalled_since_[task] < min_age) return std::nullopt;
+      stalled_.pop_front();
+      flags_[task].in_stalled = false;
+      return task;
+    }
+    // Stale entry (task revived into the global queue, re-parked later,
+    // or no longer pending): drop it.
+    stalled_.pop_front();
+    if (status_[task] != TaskStatus::kPending) {
+      flags_[task].in_stalled = false;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<common::Seconds> TaskBoard::next_stalled_park() {
+  while (!stalled_.empty()) {
+    const TaskId task = stalled_.front();
+    if (flags_[task].in_stalled && status_[task] == TaskStatus::kPending) {
+      return stalled_since_[task];
+    }
+    stalled_.pop_front();
+    if (status_[task] != TaskStatus::kPending) {
+      flags_[task].in_stalled = false;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t TaskBoard::revive_stalled_for(cluster::NodeIndex node) {
+  std::size_t revived = 0;
+  for (const TaskId task : node_tasks_.at(node)) {
+    if (status_[task] == TaskStatus::kPending && flags_[task].in_stalled) {
+      // Move back to the global queue; the stalled entry is skipped
+      // lazily when popped.
+      flags_[task].in_stalled = false;
+      push_global(task);
+      ++revived;
+    }
+  }
+  return revived;
+}
+
+}  // namespace adapt::sim

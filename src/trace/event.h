@@ -1,0 +1,34 @@
+// Failure-trace data model.
+//
+// A trace is what the Failure Trace Archive gives the paper for its
+// large-scale simulation: for each host, a sequence of interruption
+// arrivals with repair durations. Arrivals may land while the host is
+// already down; per the paper's M/G/1 assumption they queue FCFS, so the
+// host's unavailability intervals are derived by busy-period merging
+// (see trace/profile.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace adapt::trace {
+
+using NodeId = std::uint32_t;
+
+struct TraceEvent {
+  NodeId node = 0;
+  common::Seconds start = 0.0;     // interruption arrival time
+  common::Seconds duration = 0.0;  // service (repair) time of this event
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+struct Trace {
+  std::size_t node_count = 0;
+  common::Seconds horizon = 0.0;    // observation window [0, horizon)
+  std::vector<TraceEvent> events;   // sorted by (start, node)
+};
+
+}  // namespace adapt::trace

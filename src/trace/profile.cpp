@@ -1,0 +1,88 @@
+#include "trace/profile.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adapt::trace {
+
+std::vector<DownInterval> merge_busy_periods(
+    const std::vector<TraceEvent>& host_events) {
+  std::vector<DownInterval> out;
+  for (const TraceEvent& e : host_events) {
+    if (!out.empty() && e.start < out.back().down) {
+      throw std::invalid_argument("merge_busy_periods: events not sorted");
+    }
+    if (!out.empty() && e.start < out.back().up) {
+      // Arrival during an outage: queued FCFS, service appended.
+      out.back().up += e.duration;
+    } else {
+      out.push_back({e.start, e.start + e.duration});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::vector<TraceEvent>> split_by_node(const Trace& trace) {
+  std::vector<std::vector<TraceEvent>> per_node(trace.node_count);
+  for (const TraceEvent& e : trace.events) {
+    per_node[e.node].push_back(e);
+  }
+  for (auto& events : per_node) {
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return a.start < b.start;
+              });
+  }
+  return per_node;
+}
+
+}  // namespace
+
+std::vector<avail::InterruptionParams> extract_params(const Trace& trace) {
+  if (trace.horizon <= 0) {
+    throw std::invalid_argument("extract_params: non-positive horizon");
+  }
+  std::vector<avail::InterruptionParams> params(trace.node_count);
+  std::vector<std::size_t> counts(trace.node_count, 0);
+  for (const TraceEvent& e : trace.events) {
+    params[e.node].mu += e.duration;
+    ++counts[e.node];
+  }
+  for (std::size_t i = 0; i < trace.node_count; ++i) {
+    if (counts[i] == 0) continue;
+    params[i].mu /= static_cast<double>(counts[i]);
+    params[i].lambda = static_cast<double>(counts[i]) / trace.horizon;
+  }
+  return params;
+}
+
+std::vector<std::vector<DownInterval>> extract_down_intervals(
+    const Trace& trace) {
+  const auto per_node = split_by_node(trace);
+  std::vector<std::vector<DownInterval>> out;
+  out.reserve(per_node.size());
+  for (const auto& events : per_node) {
+    out.push_back(merge_busy_periods(events));
+  }
+  return out;
+}
+
+std::vector<double> extract_availability(const Trace& trace) {
+  if (trace.horizon <= 0) {
+    throw std::invalid_argument("extract_availability: non-positive horizon");
+  }
+  const auto intervals = extract_down_intervals(trace);
+  std::vector<double> out(trace.node_count, 1.0);
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    common::Seconds down = 0.0;
+    for (const DownInterval& iv : intervals[i]) {
+      down += std::min(iv.up, trace.horizon) - std::min(iv.down, trace.horizon);
+    }
+    out[i] = std::max(0.0, 1.0 - down / trace.horizon);
+  }
+  return out;
+}
+
+}  // namespace adapt::trace

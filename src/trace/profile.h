@@ -1,0 +1,42 @@
+// Per-host views of a trace: measured interruption parameters (what the
+// NameNode's predictor would learn) and merged unavailability intervals
+// (what the simulator replays).
+#pragma once
+
+#include <vector>
+
+#include "availability/interruption_model.h"
+#include "common/units.h"
+#include "trace/event.h"
+
+namespace adapt::trace {
+
+// A maximal closed period of unavailability [down, up).
+struct DownInterval {
+  common::Seconds down = 0.0;
+  common::Seconds up = 0.0;
+
+  common::Seconds length() const { return up - down; }
+  friend bool operator==(const DownInterval&, const DownInterval&) = default;
+};
+
+// FCFS busy-period merge of one host's interruption events: an arrival
+// during an outage queues and extends it (paper Section III-A). Events
+// must be sorted by start time. Intervals may extend past the trace
+// horizon (long repairs near the end).
+std::vector<DownInterval> merge_busy_periods(
+    const std::vector<TraceEvent>& host_events);
+
+// Per-host measurement over the whole trace window:
+//   lambda = arrivals / horizon, mu = mean event duration.
+// Hosts without events get lambda = mu = 0.
+std::vector<avail::InterruptionParams> extract_params(const Trace& trace);
+
+// Per-host merged downtime intervals, node-indexed.
+std::vector<std::vector<DownInterval>> extract_down_intervals(
+    const Trace& trace);
+
+// Fraction of [0, horizon) each host is available under FCFS merging.
+std::vector<double> extract_availability(const Trace& trace);
+
+}  // namespace adapt::trace

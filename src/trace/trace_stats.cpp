@@ -1,0 +1,58 @@
+#include "trace/trace_stats.h"
+
+#include <vector>
+
+namespace adapt::trace {
+
+TraceStats compute_trace_stats(const Trace& trace) {
+  // Previous arrival per node; < 0 means none seen yet.
+  std::vector<double> last_arrival(trace.node_count, -1.0);
+  std::vector<bool> seen(trace.node_count, false);
+  std::vector<double> gap_sum(trace.node_count, 0.0);
+  std::vector<std::size_t> gap_count(trace.node_count, 0);
+  std::vector<double> duration_sum(trace.node_count, 0.0);
+  std::vector<std::size_t> duration_count(trace.node_count, 0);
+
+  std::vector<double> gaps;
+  std::vector<double> durations;
+  gaps.reserve(trace.events.size());
+  durations.reserve(trace.events.size());
+
+  for (const TraceEvent& e : trace.events) {
+    durations.push_back(e.duration);
+    duration_sum[e.node] += e.duration;
+    ++duration_count[e.node];
+    double gap;
+    if (seen[e.node]) {
+      gap = e.start - last_arrival[e.node];
+    } else {
+      // First gap measured from observation start, matching how a trace
+      // collector sees it.
+      gap = e.start;
+      seen[e.node] = true;
+    }
+    gaps.push_back(gap);
+    gap_sum[e.node] += gap;
+    ++gap_count[e.node];
+    last_arrival[e.node] = e.start;
+  }
+
+  TraceStats stats;
+  stats.event_count = trace.events.size();
+  std::vector<double> host_mtbi;
+  std::vector<double> host_duration;
+  for (std::size_t i = 0; i < trace.node_count; ++i) {
+    if (!seen[i]) continue;
+    ++stats.hosts_with_events;
+    host_mtbi.push_back(gap_sum[i] / static_cast<double>(gap_count[i]));
+    host_duration.push_back(duration_sum[i] /
+                            static_cast<double>(duration_count[i]));
+  }
+  stats.mtbi = common::summarize(std::move(gaps));
+  stats.duration = common::summarize(std::move(durations));
+  stats.mtbi_per_host = common::summarize(std::move(host_mtbi));
+  stats.duration_per_host = common::summarize(std::move(host_duration));
+  return stats;
+}
+
+}  // namespace adapt::trace

@@ -1,0 +1,27 @@
+// Pooled trace statistics — the numbers the paper reports in Table 1.
+//
+// MTBI samples are the gaps between successive interruption arrivals of
+// the same host, pooled over all hosts (so flaky hosts weigh in
+// proportionally to their event counts, as in the Failure Trace Archive
+// summaries). Duration samples are every event's repair time.
+#pragma once
+
+#include "common/stats.h"
+#include "trace/event.h"
+
+namespace adapt::trace {
+
+struct TraceStats {
+  common::Summary mtbi;      // inter-arrival gaps, pooled over events
+  common::Summary duration;  // repair durations, pooled over events
+  // Population view: one sample per host (its mean gap / mean duration),
+  // the reading of Table 1 the generator calibrates to by default.
+  common::Summary mtbi_per_host;
+  common::Summary duration_per_host;
+  std::size_t hosts_with_events = 0;
+  std::size_t event_count = 0;
+};
+
+TraceStats compute_trace_stats(const Trace& trace);
+
+}  // namespace adapt::trace

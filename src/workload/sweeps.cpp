@@ -1,0 +1,27 @@
+#include "workload/sweeps.h"
+
+namespace adapt::workload {
+
+std::vector<double> interrupted_ratio_sweep() { return {0.25, 0.5, 0.75}; }
+
+std::vector<double> bandwidth_sweep() {
+  return {common::mbps(4), common::mbps(8), common::mbps(16),
+          common::mbps(32)};
+}
+
+std::vector<std::size_t> emulation_node_sweep() { return {32, 64, 128, 256}; }
+
+std::vector<std::uint64_t> block_size_sweep() {
+  return {16 * common::kMiB, 32 * common::kMiB, 64 * common::kMiB,
+          128 * common::kMiB, 256 * common::kMiB};
+}
+
+std::vector<std::size_t> simulation_node_sweep() {
+  return {1024, 2048, 4096, 8192, 16384};
+}
+
+EmulationDefaults emulation_defaults() { return {}; }
+
+SimulationDefaults simulation_defaults() { return {}; }
+
+}  // namespace adapt::workload

@@ -1,0 +1,19 @@
+#include "workload/terasort.h"
+
+namespace adapt::workload {
+
+Workload emulation_workload() {
+  Workload w;
+  w.gamma_per_64mb = 6.0;
+  w.blocks_per_node = 20.0;
+  return w;
+}
+
+Workload simulation_workload() {
+  Workload w;
+  w.gamma_per_64mb = 12.0;
+  w.blocks_per_node = 100.0;
+  return w;
+}
+
+}  // namespace adapt::workload

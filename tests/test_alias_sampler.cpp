@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "placement/alias_sampler.h"
+
+namespace {
+
+using namespace adapt::placement;
+using adapt::common::Rng;
+
+TEST(AliasSampler, SharesNormalized) {
+  const AliasSampler sampler({1.0, 3.0, 4.0});
+  EXPECT_NEAR(sampler.shares()[0], 0.125, 1e-12);
+  EXPECT_NEAR(sampler.shares()[1], 0.375, 1e-12);
+  EXPECT_NEAR(sampler.shares()[2], 0.5, 1e-12);
+}
+
+TEST(AliasSampler, EmpiricalFrequenciesMatch) {
+  const std::vector<double> weights = {0.1, 2.0, 0.0, 5.0, 1.3};
+  const AliasSampler sampler(weights);
+  Rng rng(77);
+  std::vector<std::size_t> counts(weights.size(), 0);
+  constexpr int kDraws = 400000;
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.sample(rng)];
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kDraws,
+                weights[i] / total, 0.005)
+        << "node " << i;
+  }
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(AliasSampler, SingleBucket) {
+  const AliasSampler sampler({42.0});
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(AliasSampler, UniformWeights) {
+  const AliasSampler sampler(std::vector<double>(10, 1.0));
+  Rng rng(2);
+  std::vector<std::size_t> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[sampler.sample(rng)];
+  for (const std::size_t c : counts) EXPECT_NEAR(c, 10000.0, 600.0);
+}
+
+TEST(AliasSampler, Validation) {
+  EXPECT_THROW(AliasSampler({}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(AliasPolicy, MatchesHashTablePolicyStatistically) {
+  // Same ADAPT weights through the alias policy: shares agree with the
+  // Algorithm 1 targets exactly.
+  const std::vector<double> et = {8.0, 16.0, 32.0};
+  const auto policy = make_adapt_alias_policy(et);
+  const auto shares = policy->target_shares();
+  EXPECT_NEAR(shares[0], 4.0 / 7.0, 1e-12);
+  EXPECT_NEAR(shares[1], 2.0 / 7.0, 1e-12);
+  EXPECT_NEAR(shares[2], 1.0 / 7.0, 1e-12);
+  EXPECT_EQ(policy->name(), "adapt-alias");
+}
+
+TEST(AliasPolicy, HonorsEligibility) {
+  const auto policy = make_adapt_alias_policy({1.0, 1000.0, 1000.0});
+  Rng rng(3);
+  std::vector<bool> eligible = {true, false, false};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(policy->choose(eligible, rng).value(), 0u);
+  }
+  EXPECT_FALSE(policy->choose({false, false, false}, rng));
+}
+
+}  // namespace

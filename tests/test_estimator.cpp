@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "availability/estimator.h"
+#include "common/rng.h"
+
+namespace {
+
+using adapt::avail::AvailabilityEstimator;
+using adapt::avail::InterruptionParams;
+using adapt::common::Rng;
+
+TEST(Estimator, NoEventsMeansPerfectAvailability) {
+  AvailabilityEstimator est(0.0);
+  const InterruptionParams p = est.estimate(1000.0);
+  EXPECT_EQ(p.lambda, 0.0);
+  EXPECT_EQ(p.mu, 0.0);
+}
+
+TEST(Estimator, SingleCycle) {
+  AvailabilityEstimator est(0.0);
+  est.record_down(100.0);
+  est.record_up(130.0);
+  const InterruptionParams p = est.estimate(200.0);
+  EXPECT_DOUBLE_EQ(p.lambda, 1.0 / 200.0);
+  EXPECT_DOUBLE_EQ(p.mu, 30.0);
+}
+
+TEST(Estimator, MultipleCycles) {
+  AvailabilityEstimator est(0.0);
+  // Three outages of 10, 20, 30 seconds.
+  est.record_down(100.0);
+  est.record_up(110.0);
+  est.record_down(200.0);
+  est.record_up(220.0);
+  est.record_down(300.0);
+  est.record_up(330.0);
+  const InterruptionParams p = est.estimate(400.0);
+  EXPECT_DOUBLE_EQ(p.lambda, 3.0 / 400.0);
+  EXPECT_DOUBLE_EQ(p.mu, 20.0);
+  EXPECT_EQ(est.interruptions_observed(), 3u);
+}
+
+TEST(Estimator, InProgressOutageCountsPartially) {
+  AvailabilityEstimator est(0.0);
+  est.record_down(50.0);
+  est.record_up(60.0);  // 10 s
+  est.record_down(100.0);
+  // Still down at query time 160: the open outage (60 s so far) is
+  // averaged in so a stuck host is not scored by history alone.
+  const InterruptionParams p = est.estimate(160.0);
+  EXPECT_TRUE(est.currently_down());
+  EXPECT_DOUBLE_EQ(p.mu, (10.0 + 60.0) / 2.0);
+}
+
+TEST(Estimator, FirstOutageStillOpen) {
+  AvailabilityEstimator est(0.0);
+  est.record_down(10.0);
+  const InterruptionParams p = est.estimate(110.0);
+  EXPECT_DOUBLE_EQ(p.mu, 100.0);
+  EXPECT_DOUBLE_EQ(p.lambda, 1.0 / 110.0);
+}
+
+TEST(Estimator, RejectsInvalidTransitions) {
+  AvailabilityEstimator est(0.0);
+  EXPECT_THROW(est.record_up(10.0), std::logic_error);
+  est.record_down(10.0);
+  EXPECT_THROW(est.record_down(20.0), std::logic_error);
+  EXPECT_THROW(est.record_up(5.0), std::invalid_argument);
+}
+
+TEST(Estimator, NonZeroStartTime) {
+  AvailabilityEstimator est(1000.0);
+  est.record_down(1100.0);
+  est.record_up(1110.0);
+  const InterruptionParams p = est.estimate(1200.0);
+  EXPECT_DOUBLE_EQ(p.lambda, 1.0 / 200.0);
+  EXPECT_THROW(AvailabilityEstimator(50.0).record_down(10.0),
+               std::invalid_argument);
+}
+
+// Convergence: feeding a long synthetic M/G/1 history recovers the true
+// parameters.
+TEST(Estimator, ConvergesToTrueParameters) {
+  const double lambda = 0.01;
+  const double mu = 25.0;
+  Rng rng(99);
+  AvailabilityEstimator est(0.0);
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.exponential(lambda);
+    const double down = t;
+    const double up = down + rng.exponential(1.0 / mu);
+    est.record_down(down);
+    est.record_up(up);
+    t = up;
+  }
+  const InterruptionParams p = est.estimate(t);
+  // lambda here is arrivals per wall-clock second of the alternating
+  // process: 1 / (1/lambda + mu).
+  const double expected_lambda = 1.0 / (1.0 / lambda + mu);
+  EXPECT_NEAR(p.lambda, expected_lambda, expected_lambda * 0.05);
+  EXPECT_NEAR(p.mu, mu, mu * 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace {
+
+using adapt::sim::EventQueue;
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelledEventsAreSkipped) {
+  EventQueue q;
+  int fired = 0;
+  auto handle = q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.processed(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) q.schedule(q.now() + 1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RunUntilPredicate) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(i, [&] { ++count; });
+  }
+  EXPECT_TRUE(q.run_until([&] { return count == 4; }));
+  EXPECT_EQ(count, 4);
+  EXPECT_FALSE(q.run_until([&] { return count == 100; }));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_next();
+  EXPECT_THROW(q.schedule(4.0, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(q.schedule(5.0, [] {}));
+}
+
+}  // namespace

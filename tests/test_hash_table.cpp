@@ -1,0 +1,119 @@
+// Algorithm 1's hash table: construction, collision chains, sampling
+// proportionality, and the paper-vs-overlap chain weighting ablation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "placement/hash_table.h"
+
+namespace {
+
+using namespace adapt::placement;
+using adapt::common::Rng;
+
+TEST(HashTable, UniformWeightsGiveSingletonChains) {
+  // Integral widths: every cell maps to exactly one node.
+  const BlockHashTable table({1.0, 1.0, 1.0, 1.0}, 100,
+                             ChainWeighting::kPaper);
+  const auto hist = table.chain_length_histogram();
+  ASSERT_GE(hist.size(), 2u);
+  EXPECT_EQ(hist[1], 100u);  // all chains length 1
+  const auto probs = table.selection_probabilities();
+  for (const double p : probs) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(HashTable, SharesAreNormalizedWeights) {
+  const BlockHashTable table({2.0, 6.0}, 10, ChainWeighting::kPaper);
+  EXPECT_NEAR(table.shares()[0], 0.25, 1e-12);
+  EXPECT_NEAR(table.shares()[1], 0.75, 1e-12);
+}
+
+TEST(HashTable, FractionalBoundariesCreateChains) {
+  // Widths 2.5 and 2.5 over 5 cells: cell 2 is shared.
+  const BlockHashTable table({1.0, 1.0}, 5, ChainWeighting::kOverlap);
+  const auto hist = table.chain_length_histogram();
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(HashTable, OverlapWeightingIsExact) {
+  const std::vector<double> weights = {0.3, 1.7, 2.0, 0.1, 5.9};
+  const BlockHashTable table(weights, 997, ChainWeighting::kOverlap);
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  const auto probs = table.selection_probabilities();
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(probs[i], weights[i] / total, 1e-6) << "node " << i;
+  }
+}
+
+TEST(HashTable, PaperWeightingIsCloseButNotExact) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  const BlockHashTable table(weights, 101, ChainWeighting::kPaper);
+  const auto probs = table.selection_probabilities();
+  double distortion = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    distortion += std::abs(probs[i] - table.shares()[i]);
+  }
+  // The paper's rate_i/Omega rule distorts shares slightly; with m >>
+  // n the total distortion is bounded by ~n/m.
+  EXPECT_GT(distortion, 0.0);
+  EXPECT_LT(distortion, 4.0 / 101.0 * 2.0);
+}
+
+class HashTableSampling
+    : public ::testing::TestWithParam<ChainWeighting> {};
+
+TEST_P(HashTableSampling, EmpiricalFrequenciesMatchProbabilities) {
+  const std::vector<double> weights = {0.5, 1.0, 0.0, 2.5, 1.0};
+  const BlockHashTable table(weights, 200, GetParam());
+  const auto probs = table.selection_probabilities();
+  Rng rng(31);
+  std::vector<std::size_t> counts(weights.size(), 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.sample(rng)];
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double freq = static_cast<double>(counts[i]) / kDraws;
+    EXPECT_NEAR(freq, probs[i], 0.01) << "node " << i;
+  }
+  EXPECT_EQ(counts[2], 0u);  // zero weight -> never sampled
+}
+
+INSTANTIATE_TEST_SUITE_P(BothWeightings, HashTableSampling,
+                         ::testing::Values(ChainWeighting::kPaper,
+                                           ChainWeighting::kOverlap),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(HashTable, SingleNodeTakesEverything) {
+  const BlockHashTable table({3.0}, 7, ChainWeighting::kPaper);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+TEST(HashTable, ManyMoreNodesThanCells) {
+  // n > m: every cell is a long chain; probabilities still normalized.
+  const std::vector<double> weights(64, 1.0);
+  const BlockHashTable table(weights, 8, ChainWeighting::kOverlap);
+  const auto probs = table.selection_probabilities();
+  double sum = 0.0;
+  for (const double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(HashTable, Validation) {
+  EXPECT_THROW(BlockHashTable({}, 10, ChainWeighting::kPaper),
+               std::invalid_argument);
+  EXPECT_THROW(BlockHashTable({1.0}, 0, ChainWeighting::kPaper),
+               std::invalid_argument);
+  EXPECT_THROW(BlockHashTable({0.0, 0.0}, 10, ChainWeighting::kPaper),
+               std::invalid_argument);
+  EXPECT_THROW(BlockHashTable({-1.0, 2.0}, 10, ChainWeighting::kPaper),
+               std::invalid_argument);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(BlockHashTable({inf, 1.0}, 10, ChainWeighting::kPaper),
+               std::invalid_argument);
+}
+
+}  // namespace

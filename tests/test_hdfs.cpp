@@ -1,0 +1,230 @@
+// Mini-HDFS: NameNode metadata, DataNode accounting, client operations.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.h"
+#include "hdfs/client.h"
+#include "hdfs/namenode.h"
+#include "placement/adapt_policy.h"
+#include "placement/random_policy.h"
+
+namespace {
+
+using namespace adapt;
+using namespace adapt::hdfs;
+using adapt::common::Rng;
+
+TEST(DataNodes, CapacityAccounting) {
+  DataNodeDirectory dir({2, 0});  // node 0 capped at 2, node 1 unbounded
+  EXPECT_TRUE(dir.has_space(0));
+  dir.add_replica(0);
+  dir.add_replica(0);
+  EXPECT_FALSE(dir.has_space(0));
+  EXPECT_THROW(dir.add_replica(0), std::logic_error);
+  dir.remove_replica(0);
+  EXPECT_TRUE(dir.has_space(0));
+  EXPECT_EQ(dir.total_stored(), 1u);
+  EXPECT_THROW(dir.remove_replica(1), std::logic_error);
+}
+
+TEST(DataNodes, SkewMetric) {
+  DataNodeDirectory dir(4);
+  for (int i = 0; i < 4; ++i) dir.add_replica(0);
+  for (int i = 0; i < 4; ++i) dir.add_replica(1);
+  EXPECT_DOUBLE_EQ(dir.skew(), 4.0 / 2.0);
+}
+
+TEST(NameNode, CreateFilePlacesDistinctReplicas) {
+  NameNode nn(8);
+  Rng rng(3);
+  const FileId id = nn.create_file("f", 50, 3,
+                                   placement::make_random_policy(8), rng);
+  EXPECT_TRUE(nn.has_file("f"));
+  EXPECT_EQ(nn.file(id).blocks.size(), 50u);
+  for (const BlockId b : nn.file(id).blocks) {
+    const BlockInfo& info = nn.block(b);
+    ASSERT_EQ(info.replicas.size(), 3u);
+    const std::set<cluster::NodeIndex> distinct(info.replicas.begin(),
+                                                info.replicas.end());
+    EXPECT_EQ(distinct.size(), 3u);
+  }
+  EXPECT_EQ(nn.datanodes().total_stored(), 150u);
+}
+
+TEST(NameNode, FileDistributionSumsToReplicaCount) {
+  NameNode nn(4);
+  Rng rng(4);
+  const FileId id = nn.create_file("f", 40, 2,
+                                   placement::make_random_policy(4), rng);
+  const auto dist = nn.file_distribution(id);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : dist) total += c;
+  EXPECT_EQ(total, 80u);
+}
+
+TEST(NameNode, FidelityCapBoundsSkew) {
+  NameNode::Options options;
+  options.fidelity_cap = true;
+  NameNode nn(8, options);
+  Rng rng(5);
+  // A wildly skewed policy: one node absorbs nearly all weight.
+  std::vector<double> et(8, 1000.0);
+  et[0] = 1.0;
+  const FileId id = nn.create_file("f", 80, 1,
+                                   placement::make_adapt_policy(et, 80), rng);
+  const auto dist = nn.file_distribution(id);
+  // Threshold: ceil(80 * 2 / 8) = 20.
+  EXPECT_EQ(dist[0], 20u);
+}
+
+TEST(NameNode, FilterRestrictsPlacement) {
+  NameNode nn(4);
+  Rng rng(6);
+  const FileId id = nn.create_file(
+      "f", 20, 1, placement::make_random_policy(4), rng,
+      [](cluster::NodeIndex node) { return node != 2; });
+  EXPECT_EQ(nn.file_distribution(id)[2], 0u);
+}
+
+TEST(NameNode, Validation) {
+  NameNode nn(3);
+  Rng rng(7);
+  const auto policy = placement::make_random_policy(3);
+  EXPECT_THROW(nn.create_file("f", 0, 1, policy, rng),
+               std::invalid_argument);
+  EXPECT_THROW(nn.create_file("f", 5, 0, policy, rng),
+               std::invalid_argument);
+  EXPECT_THROW(nn.create_file("f", 5, 4, policy, rng),
+               std::invalid_argument);
+  nn.create_file("f", 5, 1, policy, rng);
+  EXPECT_THROW(nn.create_file("f", 5, 1, policy, rng),
+               std::invalid_argument);
+  EXPECT_THROW(nn.file_id("missing"), std::out_of_range);
+  // Impossible placement: every node filtered out.
+  EXPECT_THROW(
+      nn.create_file("g", 1, 1, policy, rng,
+                     [](cluster::NodeIndex) { return false; }),
+      std::runtime_error);
+}
+
+TEST(NameNode, ReplicaMutation) {
+  NameNode nn(3);
+  Rng rng(8);
+  const FileId id = nn.create_file("f", 1, 1,
+                                   placement::make_random_policy(3), rng);
+  const BlockId block = nn.file(id).blocks[0];
+  const cluster::NodeIndex holder = nn.block(block).replicas[0];
+  const cluster::NodeIndex other = holder == 0 ? 1 : 0;
+  nn.add_replica(block, other);
+  EXPECT_EQ(nn.block(block).replicas.size(), 2u);
+  EXPECT_THROW(nn.add_replica(block, other), std::logic_error);
+  nn.remove_replica(block, holder);
+  EXPECT_EQ(nn.block(block).replicas.size(), 1u);
+  EXPECT_THROW(nn.remove_replica(block, holder), std::logic_error);
+}
+
+TEST(NameNode, RebalanceMovesTowardAdaptDistribution) {
+  NameNode nn(6);
+  Rng rng(9);
+  const FileId id = nn.create_file("f", 300, 1,
+                                   placement::make_random_policy(6), rng);
+  // ADAPT target: node 0 is far faster than the rest.
+  std::vector<double> et(6, 100.0);
+  et[0] = 10.0;
+  const auto adapt_policy = placement::make_adapt_policy(et, 300);
+  const auto before = nn.file_distribution(id);
+  const auto moves = nn.rebalance_file(id, adapt_policy, rng);
+  const auto after = nn.file_distribution(id);
+  EXPECT_FALSE(moves.empty());
+  EXPECT_GT(after[0], before[0]);
+  // Replica counts conserved.
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : after) total += c;
+  EXPECT_EQ(total, 300u);
+  // Every reported move is consistent with the final metadata.
+  for (const ReplicaMove& move : moves) {
+    EXPECT_NE(move.from, move.to);
+  }
+}
+
+TEST(NameNode, RebalanceKeepsReplicasDistinct) {
+  NameNode nn(4);
+  Rng rng(10);
+  const FileId id = nn.create_file("f", 50, 2,
+                                   placement::make_random_policy(4), rng);
+  std::vector<double> et = {1.0, 1.0, 50.0, 50.0};
+  nn.rebalance_file(id, placement::make_adapt_policy(et, 50), rng);
+  for (const BlockId b : nn.file(id).blocks) {
+    const BlockInfo& info = nn.block(b);
+    const std::set<cluster::NodeIndex> distinct(info.replicas.begin(),
+                                                info.replicas.end());
+    EXPECT_EQ(distinct.size(), info.replicas.size());
+  }
+}
+
+class ClientFixture : public ::testing::Test {
+ protected:
+  ClientFixture()
+      : namenode_(4),
+        network_(make_network()),
+        client_(namenode_, placement::make_random_policy(4),
+                placement::make_adapt_policy({1.0, 1.0, 10.0, 10.0}, 40),
+                &network_, 64 * common::kMiB),
+        rng_(17) {}
+
+  static cluster::Network make_network() {
+    cluster::Network::Config config;
+    config.uplink_bps.assign(4, common::mbps(8));
+    config.downlink_bps.assign(4, common::mbps(8));
+    return cluster::Network(config);
+  }
+
+  NameNode namenode_;
+  cluster::Network network_;
+  Client client_;
+  Rng rng_;
+};
+
+TEST_F(ClientFixture, CopyFromLocalChargesOriginTransfers) {
+  TransferSummary summary;
+  const FileId id = client_.copy_from_local("in", 10, 2, false, rng_, 0.0,
+                                            &summary);
+  EXPECT_EQ(summary.blocks_moved, 20u);
+  EXPECT_EQ(summary.bytes_moved, 20ull * 64 * common::kMiB);
+  EXPECT_GT(summary.completion_time, 0.0);
+  EXPECT_EQ(namenode_.file(id).blocks.size(), 10u);
+}
+
+TEST_F(ClientFixture, AdaptFlagSelectsPolicy) {
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const FileId with = client_.copy_from_local("a", 200, 1, true, rng_a);
+  const FileId without = client_.copy_from_local("b", 200, 1, false, rng_b);
+  const auto da = namenode_.file_distribution(with);
+  const auto db = namenode_.file_distribution(without);
+  // ADAPT weights point at nodes 0/1; random spreads evenly.
+  EXPECT_GT(da[0] + da[1], 150u);
+  EXPECT_NEAR(static_cast<double>(db[0] + db[1]), 100.0, 35.0);
+}
+
+TEST_F(ClientFixture, CpDuplicatesFile) {
+  client_.copy_from_local("src", 10, 1, false, rng_);
+  TransferSummary summary;
+  const FileId dst = client_.cp("src", "dst", true, rng_, 0.0, &summary);
+  EXPECT_EQ(namenode_.file(dst).blocks.size(), 10u);
+  EXPECT_TRUE(namenode_.has_file("dst"));
+  EXPECT_LE(summary.blocks_moved, 10u);  // same-node copies are free
+}
+
+TEST_F(ClientFixture, AdaptRebalanceReportsMoves) {
+  client_.copy_from_local("f", 100, 1, false, rng_);
+  const TransferSummary summary = client_.adapt_rebalance("f", rng_);
+  EXPECT_GT(summary.blocks_moved, 0u);
+  // The fixture's ADAPT policy has E[T] = {1, 1, 10, 10}: weight flows
+  // to nodes 0 and 1.
+  const auto dist = namenode_.file_distribution(namenode_.file_id("f"));
+  EXPECT_GT(dist[0] + dist[1], dist[2] + dist[3]);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "cluster/heartbeat.h"
+
+namespace {
+
+using adapt::cluster::HeartbeatCollector;
+
+HeartbeatCollector::Config config_3s_2miss() {
+  HeartbeatCollector::Config config;
+  config.interval = 3.0;
+  config.miss_threshold = 2;
+  return config;
+}
+
+TEST(Heartbeat, MessageModeDetectsMisses) {
+  HeartbeatCollector hb(1, config_3s_2miss());
+  hb.observe_heartbeat(0, 3.0);
+  hb.observe_heartbeat(0, 6.0);
+  EXPECT_TRUE(hb.believed_up(0, 8.0));
+  // Silence past 6 + 2*3 = 12 -> down.
+  EXPECT_FALSE(hb.believed_up(0, 13.0));
+  // Beats resume -> up, and the outage is recorded.
+  hb.observe_heartbeat(0, 20.0);
+  EXPECT_TRUE(hb.believed_up(0, 20.0));
+  // Query before the next miss deadline (20 + 6).
+  const auto p = hb.estimate(0, 25.0);
+  EXPECT_GT(p.lambda, 0.0);
+  EXPECT_NEAR(p.mu, 8.0, 1e-9);  // down at 12, up at 20
+  // Silence after the last beat is itself a detected outage.
+  EXPECT_FALSE(hb.believed_up(0, 30.0));
+}
+
+TEST(Heartbeat, TransitionModeAddsDetectionLatency) {
+  HeartbeatCollector hb(1, config_3s_2miss());
+  hb.notify_down(0, 10.0);
+  EXPECT_TRUE(hb.believed_up(0, 12.0));    // not yet noticed
+  EXPECT_FALSE(hb.believed_up(0, 16.1));   // 10 + 6 passed
+  hb.notify_up(0, 40.0);
+  const auto p = hb.estimate(0, 50.0);
+  EXPECT_NEAR(p.mu, 40.0 - 16.0, 1e-9);
+}
+
+TEST(Heartbeat, ShortOutageEscapesDetection) {
+  HeartbeatCollector hb(1, config_3s_2miss());
+  hb.notify_down(0, 10.0);
+  hb.notify_up(0, 12.0);  // back before 10 + 6
+  EXPECT_TRUE(hb.believed_up(0, 100.0));
+  const auto p = hb.estimate(0, 100.0);
+  EXPECT_EQ(p.lambda, 0.0);
+}
+
+TEST(Heartbeat, TransitionModeNodesStayUpWithoutNotifications) {
+  HeartbeatCollector hb(2, config_3s_2miss());
+  // No heartbeats ever observed, no notifications: still believed up.
+  EXPECT_TRUE(hb.believed_up(0, 1e6));
+  EXPECT_EQ(hb.estimate(0, 1e6).lambda, 0.0);
+}
+
+TEST(Heartbeat, EstimatesAllNodes) {
+  HeartbeatCollector hb(3, config_3s_2miss());
+  hb.notify_down(1, 0.0);
+  hb.notify_up(1, 100.0);
+  const auto all = hb.estimates(200.0);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].lambda, 0.0);
+  EXPECT_GT(all[1].lambda, 0.0);
+  EXPECT_EQ(all[2].lambda, 0.0);
+}
+
+TEST(Heartbeat, Validation) {
+  EXPECT_THROW(HeartbeatCollector(0, config_3s_2miss()),
+               std::invalid_argument);
+  HeartbeatCollector::Config bad;
+  bad.interval = 0.0;
+  EXPECT_THROW(HeartbeatCollector(1, bad), std::invalid_argument);
+}
+
+}  // namespace

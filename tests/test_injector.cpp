@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/node.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/injector.h"
+
+namespace {
+
+using namespace adapt;
+using namespace adapt::sim;
+using cluster::ArrivalClock;
+using cluster::AvailabilityMode;
+using cluster::NodeSpec;
+
+struct Recorder : InterruptionInjector::Listener {
+  struct Event {
+    cluster::NodeIndex node;
+    bool up;
+    common::Seconds when;
+  };
+  EventQueue* queue = nullptr;
+  std::vector<Event> events;
+  void on_node_down(cluster::NodeIndex node) override {
+    events.push_back({node, false, queue->now()});
+  }
+  void on_node_up(cluster::NodeIndex node) override {
+    events.push_back({node, true, queue->now()});
+  }
+};
+
+NodeSpec replay_node(std::vector<trace::DownInterval> intervals) {
+  NodeSpec spec;
+  spec.mode = AvailabilityMode::kReplay;
+  spec.down_intervals = std::move(intervals);
+  return spec;
+}
+
+TEST(Injector, ReplayExactIntervals) {
+  std::vector<NodeSpec> nodes = {replay_node({{10.0, 20.0}, {50.0, 55.0}})};
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector::Config config;
+  config.replay_horizon = 100.0;
+  config.randomize_replay_offset = false;
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(1),
+                                config);
+  injector.start();
+  queue.run_until([&] { return queue.now() >= 60.0; });
+  ASSERT_GE(recorder.events.size(), 4u);
+  EXPECT_FALSE(recorder.events[0].up);
+  EXPECT_DOUBLE_EQ(recorder.events[0].when, 10.0);
+  EXPECT_TRUE(recorder.events[1].up);
+  EXPECT_DOUBLE_EQ(recorder.events[1].when, 20.0);
+  EXPECT_DOUBLE_EQ(recorder.events[2].when, 50.0);
+  EXPECT_DOUBLE_EQ(recorder.events[3].when, 55.0);
+}
+
+TEST(Injector, ReplayWrapsAroundHorizon) {
+  std::vector<NodeSpec> nodes = {replay_node({{10.0, 20.0}})};
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector::Config config;
+  config.replay_horizon = 100.0;
+  config.randomize_replay_offset = false;
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(1),
+                                config);
+  injector.start();
+  queue.run_until([&] { return queue.now() >= 250.0; });
+  // Downs at 10, 110, 210.
+  std::vector<common::Seconds> downs;
+  for (const auto& e : recorder.events) {
+    if (!e.up) downs.push_back(e.when);
+  }
+  ASSERT_GE(downs.size(), 3u);
+  EXPECT_DOUBLE_EQ(downs[0], 10.0);
+  EXPECT_DOUBLE_EQ(downs[1], 110.0);
+  EXPECT_DOUBLE_EQ(downs[2], 210.0);
+}
+
+TEST(Injector, ReplayOffsetStraddlingOutageStartsDown) {
+  std::vector<NodeSpec> nodes = {replay_node({{10.0, 30.0}})};
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector::Config config;
+  config.replay_horizon = 100.0;
+  config.replay_offsets = {15.0};  // inside [10, 30): starts down
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(1),
+                                config);
+  injector.start();
+  queue.run_until([&] { return queue.now() >= 20.0; });
+  ASSERT_GE(recorder.events.size(), 2u);
+  EXPECT_FALSE(recorder.events[0].up);
+  EXPECT_DOUBLE_EQ(recorder.events[0].when, 0.0);
+  EXPECT_TRUE(recorder.events[1].up);
+  EXPECT_DOUBLE_EQ(recorder.events[1].when, 15.0);  // 30 - 15
+}
+
+TEST(Injector, ModelAbsoluteClockMatchesSteadyState) {
+  NodeSpec spec;
+  spec.mode = AvailabilityMode::kModel;
+  spec.arrival_clock = ArrivalClock::kAbsoluteTime;
+  spec.params = {0.02, 10.0};  // rho = 0.2
+  std::vector<NodeSpec> nodes = {spec};
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(5));
+  injector.start();
+  const double horizon = 2e6;
+  queue.run_until([&] { return queue.now() >= horizon; });
+  double down_time = 0.0;
+  double down_since = -1.0;
+  for (const auto& e : recorder.events) {
+    if (!e.up && down_since < 0) down_since = e.when;
+    if (e.up && down_since >= 0) {
+      down_time += e.when - down_since;
+      down_since = -1.0;
+    }
+  }
+  // M/G/1: unavailable fraction = rho.
+  EXPECT_NEAR(down_time / horizon, 0.2, 0.02);
+}
+
+TEST(Injector, ModelUptimeClockMatchesAlternatingRenewal) {
+  NodeSpec spec;
+  spec.mode = AvailabilityMode::kModel;
+  spec.arrival_clock = ArrivalClock::kUptime;
+  spec.params = {0.1, 8.0};  // up Exp(10), down Exp(8)
+  std::vector<NodeSpec> nodes = {spec};
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(6));
+  injector.start();
+  const double horizon = 1e6;
+  queue.run_until([&] { return queue.now() >= horizon; });
+  double down_time = 0.0;
+  double down_since = -1.0;
+  for (const auto& e : recorder.events) {
+    if (!e.up && down_since < 0) down_since = e.when;
+    if (e.up && down_since >= 0) {
+      down_time += e.when - down_since;
+      down_since = -1.0;
+    }
+  }
+  // Alternating renewal: unavailability = mu / (MTBI + mu) = 8/18.
+  EXPECT_NEAR(down_time / horizon, 8.0 / 18.0, 0.02);
+}
+
+TEST(Injector, InitialDownStartsNodeDown) {
+  NodeSpec spec;
+  spec.mode = AvailabilityMode::kModel;
+  spec.arrival_clock = ArrivalClock::kAbsoluteTime;
+  spec.params = {1e-9, 5.0};  // practically no fresh arrivals
+  std::vector<NodeSpec> nodes = {spec};
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector::Config config;
+  config.initial_down_until = {42.0};
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(7),
+                                config);
+  injector.start();
+  queue.run_until([&] { return queue.now() >= 50.0; });
+  ASSERT_GE(recorder.events.size(), 2u);
+  EXPECT_FALSE(recorder.events[0].up);
+  EXPECT_DOUBLE_EQ(recorder.events[0].when, 0.0);
+  EXPECT_TRUE(recorder.events[1].up);
+  EXPECT_DOUBLE_EQ(recorder.events[1].when, 42.0);
+}
+
+TEST(Injector, DrawInitialDownStatistics) {
+  NodeSpec stable;
+  stable.mode = AvailabilityMode::kModel;
+  stable.params = {0.01, 30.0};  // rho = 0.3
+  NodeSpec unstable;
+  unstable.mode = AvailabilityMode::kModel;
+  unstable.params = {0.5, 3.0};  // rho = 1.5
+  NodeSpec dedicated;  // kAlwaysUp
+
+  std::vector<NodeSpec> nodes;
+  for (int i = 0; i < 3000; ++i) nodes.push_back(stable);
+  nodes.push_back(unstable);
+  nodes.push_back(dedicated);
+
+  common::Rng rng(8);
+  const auto down = draw_initial_down(nodes, rng);
+  std::size_t down_count = 0;
+  for (std::size_t i = 0; i < 3000; ++i) {
+    if (down[i] > 0) ++down_count;
+  }
+  EXPECT_NEAR(down_count, 900.0, 90.0);  // P(down) = rho = 0.3
+  EXPECT_GT(down[3000], 1e5);            // unstable: effectively gone
+  EXPECT_EQ(down[3001], 0.0);            // dedicated never starts down
+}
+
+TEST(Injector, ReplayUpAtHelper) {
+  const NodeSpec node = replay_node({{10.0, 20.0}, {30.0, 40.0}});
+  EXPECT_TRUE(replay_up_at(node, 5.0));
+  EXPECT_FALSE(replay_up_at(node, 10.0));
+  EXPECT_FALSE(replay_up_at(node, 19.9));
+  EXPECT_TRUE(replay_up_at(node, 20.0));
+  EXPECT_TRUE(replay_up_at(node, 25.0));
+  EXPECT_FALSE(replay_up_at(node, 35.0));
+  EXPECT_TRUE(replay_up_at(node, 45.0));
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Tests for the paper's Section III model (Eq. 2-5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "availability/interruption_model.h"
+
+namespace {
+
+using namespace adapt::avail;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Model, ParamsDerivedQuantities) {
+  const InterruptionParams p{0.1, 4.0};
+  EXPECT_DOUBLE_EQ(p.mtbi(), 10.0);
+  EXPECT_DOUBLE_EQ(p.utilization(), 0.4);
+  EXPECT_DOUBLE_EQ(p.steady_state_availability(), 0.6);
+  EXPECT_TRUE(p.stable());
+
+  const InterruptionParams dedicated{0.0, 0.0};
+  EXPECT_EQ(dedicated.mtbi(), kInf);
+  EXPECT_DOUBLE_EQ(dedicated.steady_state_availability(), 1.0);
+
+  const InterruptionParams unstable{0.5, 3.0};
+  EXPECT_FALSE(unstable.stable());
+  EXPECT_DOUBLE_EQ(unstable.steady_state_availability(), 0.0);
+}
+
+TEST(Model, Equation3BusyPeriod) {
+  // E[Y] = mu / (1 - lambda mu): group 1 of Table 2.
+  const InterruptionParams p{0.1, 4.0};
+  EXPECT_NEAR(expected_downtime(p), 4.0 / 0.6, 1e-12);
+  EXPECT_EQ(expected_downtime({0.5, 3.0}), kInf);
+  EXPECT_DOUBLE_EQ(expected_downtime({0.0, 7.0}), 7.0);
+}
+
+TEST(Model, Equation4FailedAttempts) {
+  const InterruptionParams p{0.1, 4.0};
+  EXPECT_NEAR(expected_failed_attempts(p, 10.0), std::exp(1.0) - 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(expected_failed_attempts({0.0, 0.0}, 10.0), 0.0);
+}
+
+TEST(Model, Equation2ReworkBounds) {
+  // 0 < E[X] < gamma for lambda > 0; E[X] -> gamma/2 as lambda -> 0.
+  const double gamma = 10.0;
+  const InterruptionParams p{0.1, 4.0};
+  const double ex = expected_rework(p, gamma);
+  EXPECT_GT(ex, 0.0);
+  EXPECT_LT(ex, gamma);
+  const double ex_small = expected_rework({1e-9, 4.0}, gamma);
+  EXPECT_NEAR(ex_small, gamma / 2.0, 1e-4);
+}
+
+TEST(Model, Equation5KnownValue) {
+  // Group 1 of Table 2 at gamma = 10: (e - 1)(10 + 4/0.6).
+  const InterruptionParams p{0.1, 4.0};
+  const double expected = (std::exp(1.0) - 1.0) * (10.0 + 4.0 / 0.6);
+  EXPECT_NEAR(expected_task_time(p, 10.0), expected, 1e-9);
+}
+
+TEST(Model, Equation5Limits) {
+  EXPECT_DOUBLE_EQ(expected_task_time({0.0, 0.0}, 12.0), 12.0);
+  EXPECT_EQ(expected_task_time({0.5, 3.0}, 12.0), kInf);
+  // lambda -> 0 continuity.
+  EXPECT_NEAR(expected_task_time({1e-12, 4.0}, 12.0), 12.0, 1e-6);
+}
+
+TEST(Model, ValidationErrors) {
+  EXPECT_THROW(expected_task_time({-0.1, 4.0}, 10.0), std::invalid_argument);
+  EXPECT_THROW(expected_task_time({0.1, -4.0}, 10.0), std::invalid_argument);
+  EXPECT_THROW(expected_task_time({0.1, 4.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(expected_rework({0.1, 4.0}, -1.0), std::invalid_argument);
+}
+
+// Property: Eq. 5 equals its recomposition gamma + E[S](E[X] + E[Y]) on a
+// parameter grid (the identity the paper derives).
+struct GridPoint {
+  double lambda;
+  double mu;
+  double gamma;
+};
+
+class ModelConsistency : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(ModelConsistency, ClosedFormMatchesRecomposition) {
+  const auto [lambda, mu, gamma] = GetParam();
+  const InterruptionParams p{lambda, mu};
+  const double direct = expected_task_time(p, gamma);
+  const double recomposed = expected_task_time_recomposed(p, gamma);
+  if (std::isinf(direct)) {
+    EXPECT_TRUE(std::isinf(recomposed));
+  } else {
+    EXPECT_NEAR(direct, recomposed, 1e-9 * std::max(1.0, direct));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ModelConsistency,
+    ::testing::Values(GridPoint{0.1, 4.0, 8.0}, GridPoint{0.1, 8.0, 8.0},
+                      GridPoint{0.05, 4.0, 8.0}, GridPoint{0.05, 8.0, 8.0},
+                      GridPoint{0.001, 100.0, 12.0},
+                      GridPoint{1e-5, 1000.0, 12.0},
+                      GridPoint{0.3, 3.0, 5.0},  // unstable: rho = 0.9 < 1
+                      GridPoint{0.4, 2.6, 20.0}));
+
+// Property: E[T] is monotone non-decreasing in lambda, mu, and gamma.
+TEST(Model, Monotonicity) {
+  const double base = expected_task_time({0.05, 4.0}, 10.0);
+  EXPECT_GT(expected_task_time({0.10, 4.0}, 10.0), base);
+  EXPECT_GT(expected_task_time({0.05, 8.0}, 10.0), base);
+  EXPECT_GT(expected_task_time({0.05, 4.0}, 15.0), base);
+}
+
+// The ADAPT weight of a dedicated node always exceeds an interrupted one.
+TEST(Model, DedicatedNodeIsFastest) {
+  const double gamma = 8.0;
+  const double dedicated = expected_task_time({0.0, 0.0}, gamma);
+  for (const double lambda : {0.01, 0.05, 0.1}) {
+    for (const double mu : {1.0, 4.0, 8.0}) {
+      EXPECT_GT(expected_task_time({lambda, mu}, gamma), dedicated);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cluster/network.h"
+#include "common/units.h"
+
+namespace {
+
+using namespace adapt;
+using cluster::kOriginEndpoint;
+using cluster::Network;
+using cluster::TransferGrant;
+using common::kMiB;
+using common::mbps;
+
+Network::Config symmetric(std::size_t n, double bps,
+                          double origin_bps = 0.0) {
+  Network::Config config;
+  config.uplink_bps.assign(n, bps);
+  config.downlink_bps.assign(n, bps);
+  config.origin_uplink_bps = origin_bps;
+  return config;
+}
+
+constexpr std::uint64_t kBlock = 64 * kMiB;
+
+TEST(Network, SingleTransferDuration) {
+  Network net(symmetric(2, mbps(8)));
+  const TransferGrant g = net.request(0, 1, kBlock, 0.0);
+  EXPECT_DOUBLE_EQ(g.start, 0.0);
+  EXPECT_NEAR(g.duration(), common::transfer_time(kBlock, mbps(8)), 1e-9);
+}
+
+TEST(Network, EqualLinksSerializeFifo) {
+  Network net(symmetric(3, mbps(8)));
+  const TransferGrant a = net.request(0, 1, kBlock, 0.0);
+  const TransferGrant b = net.request(0, 2, kBlock, 0.0);
+  EXPECT_DOUBLE_EQ(b.start, a.end);  // same uplink, same rate: FIFO
+}
+
+TEST(Network, FastSourceServesSlowClientsConcurrently) {
+  // Source uplink 64 Mb/s, clients 8 Mb/s: admission spacing is the
+  // fair-share time (1/8 of the transfer), so ~8 transfers overlap.
+  Network::Config config = symmetric(3, mbps(8));
+  config.uplink_bps[0] = mbps(64);
+  Network net(config);
+  const TransferGrant a = net.request(0, 1, kBlock, 0.0);
+  const TransferGrant b = net.request(0, 2, kBlock, 0.0);
+  EXPECT_NEAR(b.start, common::transfer_time(kBlock, mbps(64)), 1e-9);
+  EXPECT_LT(b.start, a.end);  // overlapping
+}
+
+TEST(Network, RateIsMinOfEnds) {
+  Network::Config config = symmetric(2, mbps(8));
+  config.downlink_bps[1] = mbps(4);
+  Network net(config);
+  const TransferGrant g = net.request(0, 1, kBlock, 0.0);
+  EXPECT_NEAR(g.duration(), common::transfer_time(kBlock, mbps(4)), 1e-9);
+}
+
+TEST(Network, OriginUnconstrainedByDefault) {
+  Network net(symmetric(4, mbps(8)));
+  EXPECT_TRUE(std::isinf(net.origin_uplink_bps()));
+  // Several origin fetches all start immediately at the client rate.
+  for (std::uint32_t dst = 0; dst < 4; ++dst) {
+    const TransferGrant g = net.request(kOriginEndpoint, dst, kBlock, 5.0);
+    EXPECT_DOUBLE_EQ(g.start, 5.0);
+    EXPECT_NEAR(g.duration(), common::transfer_time(kBlock, mbps(8)), 1e-9);
+  }
+}
+
+TEST(Network, ConstrainedOriginQueues) {
+  Network net(symmetric(2, mbps(8), mbps(8)));
+  const TransferGrant a = net.request(kOriginEndpoint, 0, kBlock, 0.0);
+  const TransferGrant b = net.request(kOriginEndpoint, 1, kBlock, 0.0);
+  EXPECT_DOUBLE_EQ(b.start, a.end);
+}
+
+TEST(Network, AbortNewestReleasesShare) {
+  Network net(symmetric(3, mbps(8)));
+  (void)net.request(0, 1, kBlock, 0.0);
+  const TransferGrant b = net.request(0, 2, kBlock, 0.0);
+  net.abort(b, 10.0);
+  // The next request starts where b would have (its share was released).
+  const TransferGrant c = net.request(0, 2, kBlock, 20.0);
+  EXPECT_DOUBLE_EQ(c.start, b.start);
+}
+
+TEST(Network, AbortOlderLeavesHole) {
+  Network net(symmetric(3, mbps(8)));
+  const TransferGrant a = net.request(0, 1, kBlock, 0.0);
+  const TransferGrant b = net.request(0, 2, kBlock, 0.0);
+  net.abort(a, 1.0);  // not the newest: pessimistic hole remains
+  const TransferGrant c = net.request(0, 1, kBlock, 1.0);
+  EXPECT_DOUBLE_EQ(c.start, b.end);
+}
+
+TEST(Network, ResetClearsQueue) {
+  Network net(symmetric(2, mbps(8)));
+  (void)net.request(0, 1, kBlock, 0.0);
+  net.reset_uplink(0, 100.0);
+  const TransferGrant g = net.request(0, 1, kBlock, 100.0);
+  EXPECT_DOUBLE_EQ(g.start, 100.0);
+}
+
+TEST(Network, ShiftPushesPendingAdmissions) {
+  Network net(symmetric(2, mbps(8)));
+  const TransferGrant a = net.request(0, 1, kBlock, 0.0);
+  net.shift_uplink(0, 30.0, 40.0);
+  EXPECT_DOUBLE_EQ(net.uplink_available_at(0), a.end + 30.0);
+}
+
+TEST(Network, UnlimitedModeHasNoQueueing) {
+  Network::Config config = symmetric(2, mbps(8));
+  config.fifo_admission = false;
+  Network net(config);
+  const TransferGrant a = net.request(0, 1, kBlock, 0.0);
+  const TransferGrant b = net.request(0, 1, kBlock, 0.0);
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(b.start, 0.0);
+  EXPECT_DOUBLE_EQ(net.uplink_available_at(0), 0.0);
+}
+
+TEST(Network, TracksCompletedBytes) {
+  Network net(symmetric(2, mbps(8)));
+  EXPECT_EQ(net.bytes_transferred(), 0u);
+  net.on_transfer_complete(kBlock);
+  EXPECT_EQ(net.bytes_transferred(), kBlock);
+}
+
+TEST(Network, Validation) {
+  EXPECT_THROW(Network(Network::Config{}), std::invalid_argument);
+  Network::Config bad = symmetric(2, mbps(8));
+  bad.uplink_bps[0] = 0.0;
+  EXPECT_THROW(Network{bad}, std::invalid_argument);
+  Network net(symmetric(2, mbps(8)));
+  EXPECT_THROW(net.request(0, 0, kBlock, 0.0), std::invalid_argument);
+}
+
+}  // namespace

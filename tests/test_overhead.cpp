@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "sim/overhead.h"
+
+namespace {
+
+using adapt::sim::OverheadBreakdown;
+
+TEST(Overhead, FinalizeDerivesMiscFromConservation) {
+  OverheadBreakdown b;
+  b.base = 1000.0;
+  b.rework = 50.0;
+  b.recovery = 100.0;
+  b.migration = 150.0;
+  b.elapsed = 200.0;
+  b.node_count = 10;  // wall = 2000
+  b.finalize();
+  EXPECT_DOUBLE_EQ(b.misc, 700.0);
+  EXPECT_DOUBLE_EQ(b.total_overhead(), 1000.0);
+  EXPECT_DOUBLE_EQ(b.total_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(b.rework_ratio(), 0.05);
+  EXPECT_DOUBLE_EQ(b.recovery_ratio(), 0.1);
+  EXPECT_DOUBLE_EQ(b.migration_ratio(), 0.15);
+  EXPECT_DOUBLE_EQ(b.misc_ratio(), 0.7);
+}
+
+TEST(Overhead, TinyNegativeResidueClamps) {
+  OverheadBreakdown b;
+  b.base = 1000.0;
+  b.elapsed = 100.0;
+  b.node_count = 10;
+  b.rework = 1e-9;  // accounted fractionally above wall via fp noise
+  b.finalize();
+  EXPECT_DOUBLE_EQ(b.misc, 0.0);
+}
+
+TEST(Overhead, LargeOveraccountingThrows) {
+  OverheadBreakdown b;
+  b.base = 1000.0;
+  b.elapsed = 100.0;
+  b.node_count = 10;
+  b.migration = 500.0;  // wall is only 1000
+  EXPECT_THROW(b.finalize(), std::logic_error);
+}
+
+TEST(Overhead, ZeroBaseRatios) {
+  OverheadBreakdown b;
+  b.finalize();
+  EXPECT_EQ(b.total_ratio(), 0.0);
+  EXPECT_EQ(b.misc_ratio(), 0.0);
+}
+
+TEST(Overhead, DescribeMentionsComponents) {
+  OverheadBreakdown b;
+  b.base = 100.0;
+  b.elapsed = 20.0;
+  b.node_count = 10;
+  b.finalize();
+  const std::string s = b.describe();
+  EXPECT_NE(s.find("rework"), std::string::npos);
+  EXPECT_NE(s.find("migration"), std::string::npos);
+}
+
+}  // namespace

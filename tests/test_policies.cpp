@@ -1,0 +1,187 @@
+// Placement policies: random, ADAPT (Algorithm 1), naive, and the
+// Section IV-C fidelity cap.
+#include <gtest/gtest.h>
+
+#include "availability/interruption_model.h"
+#include "placement/adapt_policy.h"
+#include "placement/capped_policy.h"
+#include "placement/naive_policy.h"
+#include "placement/random_policy.h"
+
+namespace {
+
+using namespace adapt;
+using namespace adapt::placement;
+using adapt::common::Rng;
+
+std::vector<std::size_t> draw_many(const PlacementPolicy& policy,
+                                   std::size_t nodes, int draws, Rng& rng) {
+  std::vector<bool> eligible(nodes, true);
+  std::vector<std::size_t> counts(nodes, 0);
+  for (int i = 0; i < draws; ++i) {
+    const auto choice = policy.choose(eligible, rng);
+    ++counts.at(choice.value());
+  }
+  return counts;
+}
+
+TEST(RandomPolicy, UniformOverNodes) {
+  RandomPolicy policy(8);
+  Rng rng(5);
+  const auto counts = draw_many(policy, 8, 80000, rng);
+  for (const std::size_t c : counts) EXPECT_NEAR(c, 10000.0, 600.0);
+  for (const double share : policy.target_shares()) {
+    EXPECT_NEAR(share, 0.125, 1e-12);
+  }
+}
+
+TEST(RandomPolicy, HonorsEligibilityMask) {
+  RandomPolicy policy(4);
+  Rng rng(6);
+  std::vector<bool> eligible = {false, true, false, false};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.choose(eligible, rng).value(), 1u);
+  }
+  EXPECT_FALSE(policy.choose({false, false, false, false}, rng));
+}
+
+TEST(AdaptPolicy, SharesProportionalToInverseExpectedTime) {
+  // E[T] = {10, 20, 40}: shares should be {4/7, 2/7, 1/7}.
+  const auto policy = make_adapt_policy({10.0, 20.0, 40.0}, 1000);
+  const auto shares = policy->target_shares();
+  EXPECT_NEAR(shares[0], 4.0 / 7.0, 1e-9);
+  EXPECT_NEAR(shares[1], 2.0 / 7.0, 1e-9);
+  EXPECT_NEAR(shares[2], 1.0 / 7.0, 1e-9);
+}
+
+TEST(AdaptPolicy, UnstableNodesGetNothing) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto policy = make_adapt_policy({10.0, inf, 10.0}, 100);
+  Rng rng(7);
+  const auto counts = draw_many(*policy, 3, 5000, rng);
+  EXPECT_EQ(counts[1], 0u);
+}
+
+TEST(AdaptPolicy, HomogeneousDegeneratesToUniform) {
+  // "Logically equivalent to the existing data placement algorithm if
+  // all the nodes share the same availability pattern."
+  const auto policy = make_adapt_policy(std::vector<double>(6, 17.0), 600);
+  Rng rng(8);
+  const auto counts = draw_many(*policy, 6, 60000, rng);
+  for (const std::size_t c : counts) EXPECT_NEAR(c, 10000.0, 700.0);
+}
+
+TEST(AdaptPolicy, EmpiricalSharesTrackTargets) {
+  const auto policy =
+      make_adapt_policy({8.0, 16.0, 12.0, 8.0, 100.0}, 2000);
+  Rng rng(9);
+  constexpr int kDraws = 100000;
+  const auto counts = draw_many(*policy, 5, kDraws, rng);
+  const auto shares = policy->target_shares();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kDraws, shares[i], 0.01);
+  }
+}
+
+TEST(AdaptPolicy, MaskedFallbackStaysWeighted) {
+  const auto policy = make_adapt_policy({8.0, 8.0, 800.0}, 300);
+  Rng rng(10);
+  // Mask out node 0 (the joint-heaviest): remaining draws should favor
+  // node 1 over node 2 by ~100:1.
+  std::vector<bool> eligible = {false, true, true};
+  std::size_t ones = 0;
+  std::size_t twos = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto choice = policy->choose(eligible, rng).value();
+    ASSERT_NE(choice, 0u);
+    (choice == 1 ? ones : twos) += 1;
+  }
+  EXPECT_GT(ones, twos * 20);
+}
+
+TEST(AdaptPolicy, AllEligibleZeroWeightFallsBackUniform) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const auto policy = make_adapt_policy({10.0, inf, inf}, 100);
+  Rng rng(11);
+  std::vector<bool> eligible = {false, true, true};
+  std::size_t ones = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto choice = policy->choose(eligible, rng).value();
+    ASSERT_NE(choice, 0u);
+    ones += choice == 1;
+  }
+  EXPECT_NEAR(ones, 1000.0, 150.0);
+}
+
+TEST(AdaptPolicy, RejectsBadExpectedTimes) {
+  EXPECT_THROW(make_adapt_policy({10.0, -1.0}, 100), std::invalid_argument);
+  EXPECT_THROW(make_adapt_policy({0.0}, 100), std::invalid_argument);
+}
+
+TEST(NaivePolicy, WeightsAreSteadyStateAvailability) {
+  const std::vector<avail::InterruptionParams> params = {
+      {0.0, 0.0},    // dedicated: availability 1
+      {0.1, 4.0},    // rho 0.4 -> 0.6
+      {0.5, 3.0},    // unstable -> 0
+  };
+  const auto policy = make_naive_policy(params, 160);
+  const auto shares = policy->target_shares();
+  EXPECT_NEAR(shares[0], 1.0 / 1.6, 1e-9);
+  EXPECT_NEAR(shares[1], 0.6 / 1.6, 1e-9);
+  EXPECT_NEAR(shares[2], 0.0, 1e-12);
+  EXPECT_EQ(policy->name(), "naive");
+}
+
+TEST(FidelityThreshold, MatchesFormula) {
+  // ceil(m (k+1) / n).
+  EXPECT_EQ(fidelity_threshold(2560, 1, 128), 40u);
+  EXPECT_EQ(fidelity_threshold(2560, 2, 128), 60u);
+  EXPECT_EQ(fidelity_threshold(100, 1, 3), 67u);
+  EXPECT_THROW(fidelity_threshold(10, 0, 4), std::invalid_argument);
+  EXPECT_THROW(fidelity_threshold(10, 1, 0), std::invalid_argument);
+}
+
+TEST(CappedPolicy, NeverExceedsCap) {
+  const auto inner = make_adapt_policy({1.0, 1000.0, 1000.0}, 90);
+  CappedPolicy capped(inner, 3, 30);
+  Rng rng(12);
+  std::vector<std::size_t> counts(3, 0);
+  const std::vector<bool> all(3, true);
+  for (int i = 0; i < 90; ++i) {
+    const auto node = capped.choose(all, rng);
+    ASSERT_TRUE(node);
+    capped.record_placement(*node);
+    ++counts[*node];
+  }
+  // Node 0 wants everything but is capped; spill covers the others.
+  EXPECT_EQ(counts[0], 30u);
+  EXPECT_EQ(counts[1] + counts[2], 60u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(capped.placed(static_cast<adapt::cluster::NodeIndex>(i)), 30u);
+  }
+  // Everything capped out -> no placement possible.
+  EXPECT_FALSE(capped.choose(all, rng));
+}
+
+TEST(CappedPolicy, ZeroCapDisables) {
+  const auto inner = make_random_policy(2);
+  CappedPolicy capped(inner, 2, 0);
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    capped.record_placement(capped.choose({true, true}, rng).value());
+  }
+  EXPECT_EQ(capped.name(), "random");
+}
+
+TEST(CappedPolicy, RemovalFreesHeadroom) {
+  const auto inner = make_random_policy(1);
+  CappedPolicy capped(inner, 1, 1);
+  Rng rng(14);
+  capped.record_placement(0);
+  EXPECT_FALSE(capped.choose({true}, rng));
+  capped.record_removal(0);
+  EXPECT_TRUE(capped.choose({true}, rng));
+  EXPECT_THROW(capped.record_removal(1), std::out_of_range);
+}
+
+}  // namespace

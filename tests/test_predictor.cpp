@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "availability/predictor.h"
+
+namespace {
+
+using namespace adapt::avail;
+
+TEST(Predictor, UsesPriorGammaUntilTaught) {
+  PerformancePredictor p(4, 8.0);
+  EXPECT_DOUBLE_EQ(p.gamma(), 8.0);
+  p.record_task_length(10.0);
+  p.record_task_length(14.0);
+  EXPECT_DOUBLE_EQ(p.gamma(), 12.0);
+}
+
+TEST(Predictor, DedicatedNodesPredictGamma) {
+  PerformancePredictor p(3, 8.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(p.expected_task_time(i), 8.0);
+  }
+}
+
+TEST(Predictor, HonorsPerNodeParameters) {
+  PerformancePredictor p(2, 10.0);
+  p.set_params(1, {0.1, 4.0});
+  EXPECT_DOUBLE_EQ(p.expected_task_time(0), 10.0);
+  EXPECT_NEAR(p.expected_task_time(1),
+              expected_task_time({0.1, 4.0}, 10.0), 1e-12);
+  const auto all = p.expected_task_times();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0], 10.0);
+  EXPECT_GT(all[1], all[0]);
+}
+
+TEST(Predictor, GammaUpdatesPropagate) {
+  PerformancePredictor p(1, 10.0);
+  p.set_params(0, {0.05, 4.0});
+  const double before = p.expected_task_time(0);
+  p.record_task_length(20.0);  // longer tasks -> longer E[T]
+  EXPECT_GT(p.expected_task_time(0), before);
+}
+
+TEST(Predictor, Validation) {
+  EXPECT_THROW(PerformancePredictor(0, 8.0), std::invalid_argument);
+  EXPECT_THROW(PerformancePredictor(2, 0.0), std::invalid_argument);
+  PerformancePredictor p(2, 8.0);
+  EXPECT_THROW(p.set_params(7, {}), std::out_of_range);
+  EXPECT_THROW(p.record_task_length(0.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace {
+
+using adapt::common::Rng;
+using adapt::common::RunningStats;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stats.add(u);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(9);
+  constexpr std::uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = rng.uniform_index(n);
+    ASSERT_LT(v, n);
+    ++counts[v];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / n, kDraws / n * 0.1);
+  }
+}
+
+TEST(Rng, UniformIndexOfOneIsZero) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_index(1), 0u);
+  }
+}
+
+TEST(Rng, ExponentialMatchesMean) {
+  Rng rng(11);
+  RunningStats stats;
+  const double rate = 0.25;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.exponential(rate);
+    ASSERT_GE(x, 0.0);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), 1.0 / rate, 0.05);
+  EXPECT_NEAR(stats.stddev(), 1.0 / rate, 0.1);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng rng(12);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.add(rng.normal(10.0, 3.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng parent(42);
+  Rng a1 = parent.fork(1);
+  Rng a2 = parent.fork(1);
+  Rng b = parent.fork(2);
+  // Same stream id -> identical sequence; different id -> different.
+  EXPECT_EQ(a1(), a2());
+  EXPECT_NE(a1(), b());
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.fork(3);
+  EXPECT_EQ(a(), b());
+}
+
+}  // namespace

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/config.h"
+#include "common/table.h"
+
+namespace {
+
+using adapt::common::Flags;
+using adapt::common::format_double;
+using adapt::common::format_percent;
+using adapt::common::Table;
+
+TEST(Table, RendersAlignedMarkdown) {
+  Table t({"policy", "elapsed"});
+  t.add_row({"random", "391"});
+  t.add_row({"adapt", "234"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| policy | elapsed |"), std::string::npos);
+  EXPECT_NE(s.find("| random | 391     |"), std::string::npos);
+  EXPECT_NE(s.find("| adapt  | 234     |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NE(t.to_string().find("| x |"), std::string::npos);
+}
+
+TEST(Table, NumericRowHelper) {
+  Table t({"label", "v1", "v2"});
+  t.add_row("row", {1.234, 5.678}, 1);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.2"), std::string::npos);
+  EXPECT_NE(s.find("5.7"), std::string::npos);
+}
+
+TEST(Formatting, Doubles) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_percent(0.873), "87.3%");
+  EXPECT_EQ(format_percent(1.72), "172.0%");
+}
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v = {"prog"};
+  v.insert(v.end(), args);
+  return v;
+}
+
+TEST(Flags, ParsesAllForms) {
+  // A bare boolean must be followed by another flag or end-of-line;
+  // positionals therefore come first.
+  const auto argv =
+      argv_of({"positional", "--nodes=128", "--bandwidth", "8", "--full"});
+  const Flags flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(flags.get_int("nodes", 0), 128);
+  EXPECT_DOUBLE_EQ(flags.get_double("bandwidth", 0), 8.0);
+  EXPECT_TRUE(flags.get_bool("full", false));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(Flags, FallbacksAndHas) {
+  const auto argv = argv_of({"--x=1"});
+  const Flags flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.has("x"));
+  EXPECT_FALSE(flags.has("y"));
+  EXPECT_EQ(flags.get_int("y", 42), 42);
+  EXPECT_EQ(flags.get_string("z", "dflt"), "dflt");
+}
+
+TEST(Flags, BareBooleanBeforeAnotherFlag) {
+  const auto argv = argv_of({"--verbose", "--n", "3"});
+  const Flags flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_EQ(flags.get_int("n", 0), 3);
+}
+
+TEST(Flags, TypeErrorsThrow) {
+  const auto argv = argv_of({"--n=abc", "--b=maybe"});
+  const Flags flags(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(flags.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(flags.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Flags, TracksUnusedFlags) {
+  const auto argv = argv_of({"--used=1", "--typo=2"});
+  const Flags flags(static_cast<int>(argv.size()), argv.data());
+  (void)flags.get_int("used", 0);
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.h"
+
+namespace {
+
+using namespace adapt::sim;
+using adapt::cluster::NodeIndex;
+
+TaskBoard two_node_board() {
+  // Tasks 0,1 homed on node 0; task 2 on node 1; task 3 on both.
+  return TaskBoard({{0}, {0}, {1}, {0, 1}}, 2);
+}
+
+TEST(TaskBoard, InitialState) {
+  TaskBoard board = two_node_board();
+  EXPECT_EQ(board.task_count(), 4u);
+  EXPECT_EQ(board.pending_count(), 4u);
+  EXPECT_FALSE(board.all_done());
+  EXPECT_TRUE(board.is_local_to(3, 0));
+  EXPECT_TRUE(board.is_local_to(3, 1));
+  EXPECT_FALSE(board.is_local_to(0, 1));
+}
+
+TEST(TaskBoard, TakeLocalPrefersHomeTasks) {
+  TaskBoard board = two_node_board();
+  const auto t = board.take_local(0);
+  ASSERT_TRUE(t);
+  EXPECT_TRUE(board.is_local_to(*t, 0));
+  board.mark_running(*t);
+  EXPECT_EQ(board.pending_count(), 3u);
+}
+
+TEST(TaskBoard, TakeLocalExhausts) {
+  TaskBoard board = two_node_board();
+  int taken = 0;
+  while (auto t = board.take_local(0)) {
+    board.mark_running(*t);
+    ++taken;
+  }
+  EXPECT_EQ(taken, 3);  // tasks 0, 1, 3
+  EXPECT_TRUE(board.take_local(1).has_value());  // task 2 remains
+}
+
+TEST(TaskBoard, LifecycleTransitions) {
+  TaskBoard board = two_node_board();
+  board.mark_running(0);
+  EXPECT_EQ(board.status(0), TaskStatus::kRunning);
+  board.mark_pending(0);
+  EXPECT_EQ(board.status(0), TaskStatus::kPending);
+  board.mark_running(0);
+  board.mark_done(0);
+  EXPECT_EQ(board.status(0), TaskStatus::kDone);
+  EXPECT_EQ(board.done_count(), 1u);
+  EXPECT_THROW(board.mark_done(0), std::logic_error);
+  EXPECT_THROW(board.mark_running(0), std::logic_error);
+}
+
+TEST(TaskBoard, RePendingTaskIsLocallyVisibleAgain) {
+  TaskBoard board = two_node_board();
+  // Drain node 0's local view.
+  std::vector<TaskId> taken;
+  while (auto t = board.take_local(0)) {
+    board.mark_running(*t);
+    taken.push_back(*t);
+  }
+  // One comes back (interrupted): node 0 must see it again.
+  board.mark_pending(taken[0]);
+  const auto again = board.take_local(0);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(*again, taken[0]);
+}
+
+TEST(TaskBoard, RemoteTakeParksUnreachableTasks) {
+  TaskBoard board = two_node_board();
+  // Only task 2 (homed on node 1) is reachable; the scan parks the
+  // unreachable tasks it walks over and stops at the hit.
+  const auto t = board.take_remote(
+      10.0, [&board](TaskId task) { return board.is_local_to(task, 1); });
+  ASSERT_TRUE(t);
+  EXPECT_TRUE(board.is_local_to(*t, 1));
+  board.mark_running(*t);
+  // Nothing reachable remains: the rest gets parked.
+  EXPECT_FALSE(board.take_remote(11.0, [](TaskId) { return false; }));
+  // Parked tasks ripen by age (parked at 10 and 11).
+  EXPECT_FALSE(board.take_stalled(11.0, 60.0));
+  const auto ripe = board.take_stalled(100.0, 60.0);
+  ASSERT_TRUE(ripe);
+  board.mark_running(*ripe);
+}
+
+TEST(TaskBoard, ReviveStalledRestoresRemoteVisibility) {
+  TaskBoard board({{0}, {0}}, 2);
+  // Park both tasks (no live replica).
+  EXPECT_FALSE(board.take_remote(0.0, [](TaskId) { return false; }));
+  EXPECT_EQ(board.revive_stalled_for(0), 2u);
+  // Now reachable again through the global queue.
+  EXPECT_TRUE(board.take_remote(1.0, [](TaskId) { return true; }));
+}
+
+TEST(TaskBoard, NextStalledParkReportsOldest) {
+  TaskBoard board({{0}, {0}}, 1);
+  EXPECT_FALSE(board.next_stalled_park().has_value());
+  (void)board.take_remote(5.0, [](TaskId) { return false; });
+  const auto park = board.next_stalled_park();
+  ASSERT_TRUE(park);
+  EXPECT_DOUBLE_EQ(*park, 5.0);
+}
+
+TEST(TaskBoard, DoneTasksVanishFromQueues) {
+  TaskBoard board = two_node_board();
+  board.mark_running(2);
+  board.mark_done(2);
+  // take_remote must skip the done task.
+  int seen = 0;
+  while (auto t = board.take_remote(0.0, [](TaskId) { return true; })) {
+    EXPECT_NE(*t, 2u);
+    board.mark_running(*t);
+    ++seen;
+  }
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(TaskBoard, AllDone) {
+  TaskBoard board({{0}}, 1);
+  board.mark_running(0);
+  board.mark_done(0);
+  EXPECT_TRUE(board.all_done());
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "cluster/topology.h"
+#include "trace/generator.h"
+
+namespace {
+
+using namespace adapt;
+using namespace adapt::cluster;
+
+TEST(Topology, Table2Groups) {
+  const auto& groups = table2_groups();
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_DOUBLE_EQ(groups[0].mtbi, 10.0);
+  EXPECT_DOUBLE_EQ(groups[0].mean_service, 4.0);
+  EXPECT_DOUBLE_EQ(groups[3].mtbi, 20.0);
+  EXPECT_DOUBLE_EQ(groups[3].mean_service, 8.0);
+}
+
+TEST(Topology, EmulatedClusterRespectsRatioAndGroups) {
+  EmulationConfig config;
+  config.node_count = 128;
+  config.interrupted_ratio = 0.5;
+  const Cluster cluster = emulated_cluster(config);
+  ASSERT_EQ(cluster.size(), 128u);
+
+  std::size_t interrupted = 0;
+  std::array<std::size_t, 4> per_group = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const NodeSpec& node = cluster.nodes[i];
+    if (node.interruptible()) {
+      ++interrupted;
+      ASSERT_EQ(node.mode, AvailabilityMode::kModel);
+      ++per_group[i % 4];
+      EXPECT_EQ(node.arrival_clock, ArrivalClock::kUptime);
+    }
+  }
+  EXPECT_EQ(interrupted, 64u);
+  // "Divided evenly into four groups".
+  for (const std::size_t count : per_group) EXPECT_EQ(count, 16u);
+}
+
+TEST(Topology, EmulatedClusterRatioEdges) {
+  EmulationConfig config;
+  config.node_count = 16;
+  config.interrupted_ratio = 0.0;
+  EXPECT_EQ(emulated_cluster(config).params()[0].lambda, 0.0);
+  config.interrupted_ratio = 1.0;
+  const Cluster all = emulated_cluster(config);
+  for (const NodeSpec& node : all.nodes) EXPECT_TRUE(node.interruptible());
+  config.interrupted_ratio = 1.5;
+  EXPECT_THROW(emulated_cluster(config), std::invalid_argument);
+  config.interrupted_ratio = 0.5;
+  config.node_count = 0;
+  EXPECT_THROW(emulated_cluster(config), std::invalid_argument);
+}
+
+TEST(Topology, ObservedParamsConvertUptimeClock) {
+  EmulationConfig config;
+  config.node_count = 8;
+  config.interrupted_ratio = 1.0;
+  const Cluster cluster = emulated_cluster(config);
+  // Group 1: MTBI 10, mu 4 -> wall-clock lambda 1/14.
+  const auto params = cluster.params();
+  EXPECT_NEAR(params[0].lambda, 1.0 / 14.0, 1e-12);
+  EXPECT_DOUBLE_EQ(params[0].mu, 4.0);
+
+  config.absolute_arrival_clock = true;
+  const auto absolute = emulated_cluster(config).params();
+  EXPECT_NEAR(absolute[0].lambda, 1.0 / 10.0, 1e-12);
+}
+
+TEST(Topology, TraceClusterExtractsProfiles) {
+  trace::Trace tr;
+  tr.node_count = 2;
+  tr.horizon = 1000.0;
+  tr.events = {{0, 100.0, 50.0}, {0, 500.0, 50.0}};
+  const Cluster cluster = trace_cluster(tr, TraceClusterConfig{});
+  ASSERT_EQ(cluster.size(), 2u);
+  EXPECT_EQ(cluster.nodes[0].mode, AvailabilityMode::kReplay);
+  EXPECT_EQ(cluster.nodes[0].down_intervals.size(), 2u);
+  EXPECT_NEAR(cluster.nodes[0].params.lambda, 2.0 / 1000.0, 1e-12);
+  EXPECT_EQ(cluster.nodes[1].mode, AvailabilityMode::kAlwaysUp);
+  EXPECT_DOUBLE_EQ(cluster.replay_horizon, 1000.0);
+  EXPECT_FALSE(cluster.fifo_uplinks);
+}
+
+TEST(Topology, ModelClusterFromParams) {
+  std::vector<avail::InterruptionParams> params = {
+      {0.0, 0.0}, {0.001, 100.0}};
+  const Cluster cluster = model_cluster(params, TraceClusterConfig{});
+  ASSERT_EQ(cluster.size(), 2u);
+  EXPECT_EQ(cluster.nodes[0].mode, AvailabilityMode::kAlwaysUp);
+  EXPECT_EQ(cluster.nodes[1].mode, AvailabilityMode::kModel);
+  EXPECT_EQ(cluster.nodes[1].arrival_clock, ArrivalClock::kAbsoluteTime);
+  EXPECT_NEAR(cluster.nodes[1].service_time->mean(), 100.0, 1e-12);
+}
+
+TEST(Topology, DescribeNodeSpecs) {
+  EmulationConfig config;
+  config.node_count = 4;
+  config.interrupted_ratio = 0.5;
+  const Cluster cluster = emulated_cluster(config);
+  EXPECT_NE(describe(cluster.nodes[0]).find("model"), std::string::npos);
+  EXPECT_NE(describe(cluster.nodes[3]).find("always-up"), std::string::npos);
+}
+
+}  // namespace

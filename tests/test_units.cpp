@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace {
+
+using namespace adapt::common;
+
+TEST(Units, TransferTime) {
+  // 64 MiB over 8 Mb/s: 64 * 2^20 * 8 / 8e6 s.
+  const double expected = 64.0 * 1024 * 1024 * 8.0 / 8e6;
+  EXPECT_NEAR(transfer_time(64 * kMiB, mbps(8)), expected, 1e-9);
+  EXPECT_THROW(transfer_time(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(transfer_time(1, -5.0), std::invalid_argument);
+}
+
+TEST(Units, Mbps) {
+  EXPECT_DOUBLE_EQ(mbps(8), 8e6);
+  EXPECT_DOUBLE_EQ(mbps(0.5), 5e5);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(64 * kMiB), "64MiB");
+  EXPECT_EQ(format_bytes(kGiB), "1GiB");
+  EXPECT_EQ(format_bytes(1536), "1.50KiB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(0.5), "500.0ms");
+  EXPECT_EQ(format_seconds(12.0), "12.0s");
+  EXPECT_EQ(format_seconds(600.0), "10.0min");
+  EXPECT_EQ(format_seconds(7200.0), "2.0h");
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(mbps(8)), "8Mb/s");
+  EXPECT_EQ(format_bandwidth(1.5e9), "1.5Gb/s");
+  EXPECT_EQ(format_bandwidth(512e3), "512Kb/s");
+}
+
+TEST(Units, ParseBytes) {
+  EXPECT_EQ(parse_bytes("4096"), 4096u);
+  EXPECT_EQ(parse_bytes("64MB"), 64 * kMiB);
+  EXPECT_EQ(parse_bytes("64 MiB"), 64 * kMiB);
+  EXPECT_EQ(parse_bytes("2g"), 2 * kGiB);
+  EXPECT_EQ(parse_bytes("1.5k"), 1536u);
+  EXPECT_THROW(parse_bytes(""), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("64xb"), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("-3MB"), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "workload/sweeps.h"
+#include "workload/terasort.h"
+
+namespace {
+
+using namespace adapt;
+using namespace adapt::workload;
+
+TEST(Workload, GammaScalesWithBlockSize) {
+  Workload w = simulation_workload();
+  EXPECT_DOUBLE_EQ(w.gamma(), 12.0);  // Table 4: 12 s per 64 MB block
+  w.block_size_bytes = 128 * common::kMiB;
+  EXPECT_DOUBLE_EQ(w.gamma(), 24.0);
+  w.block_size_bytes = 16 * common::kMiB;
+  EXPECT_DOUBLE_EQ(w.gamma(), 3.0);
+}
+
+TEST(Workload, BlockCounts) {
+  EXPECT_EQ(emulation_workload().blocks_for(128), 2560u);   // 20 per node
+  EXPECT_EQ(simulation_workload().blocks_for(1024), 102400u);
+}
+
+TEST(Sweeps, MatchPaperGrids) {
+  EXPECT_EQ(interrupted_ratio_sweep(), (std::vector<double>{0.25, 0.5, 0.75}));
+  const auto bw = bandwidth_sweep();
+  ASSERT_EQ(bw.size(), 4u);
+  EXPECT_DOUBLE_EQ(bw.front(), common::mbps(4));
+  EXPECT_DOUBLE_EQ(bw.back(), common::mbps(32));
+  EXPECT_EQ(emulation_node_sweep(),
+            (std::vector<std::size_t>{32, 64, 128, 256}));
+  const auto blocks = block_size_sweep();
+  EXPECT_EQ(blocks.front(), 16 * common::kMiB);
+  EXPECT_EQ(blocks.back(), 256 * common::kMiB);
+  EXPECT_EQ(simulation_node_sweep().back(), 16384u);
+}
+
+TEST(Sweeps, DefaultsMatchTables) {
+  const auto emu = emulation_defaults();
+  EXPECT_EQ(emu.node_count, 128u);            // Table 3
+  EXPECT_DOUBLE_EQ(emu.interrupted_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(emu.bandwidth_bps, common::mbps(8));
+  const auto sim = simulation_defaults();
+  EXPECT_EQ(sim.node_count, 8192u);           // Table 4 ("8196" typo)
+  EXPECT_DOUBLE_EQ(sim.gamma, 12.0);
+  EXPECT_DOUBLE_EQ(sim.tasks_per_node, 100.0);
+}
+
+}  // namespace
