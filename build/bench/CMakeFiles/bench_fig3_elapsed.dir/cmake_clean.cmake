@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_elapsed.dir/bench_fig3_elapsed.cpp.o"
+  "CMakeFiles/bench_fig3_elapsed.dir/bench_fig3_elapsed.cpp.o.d"
+  "bench_fig3_elapsed"
+  "bench_fig3_elapsed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_elapsed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebalance.dir/rebalance.cpp.o"
+  "CMakeFiles/rebalance.dir/rebalance.cpp.o.d"
+  "rebalance"
+  "rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_efficiency.dir/storage_efficiency.cpp.o"
+  "CMakeFiles/storage_efficiency.dir/storage_efficiency.cpp.o.d"
+  "storage_efficiency"
+  "storage_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

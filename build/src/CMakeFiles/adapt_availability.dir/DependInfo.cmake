@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/availability/distribution.cpp" "src/CMakeFiles/adapt_availability.dir/availability/distribution.cpp.o" "gcc" "src/CMakeFiles/adapt_availability.dir/availability/distribution.cpp.o.d"
+  "/root/repo/src/availability/estimator.cpp" "src/CMakeFiles/adapt_availability.dir/availability/estimator.cpp.o" "gcc" "src/CMakeFiles/adapt_availability.dir/availability/estimator.cpp.o.d"
+  "/root/repo/src/availability/interruption_model.cpp" "src/CMakeFiles/adapt_availability.dir/availability/interruption_model.cpp.o" "gcc" "src/CMakeFiles/adapt_availability.dir/availability/interruption_model.cpp.o.d"
+  "/root/repo/src/availability/predictor.cpp" "src/CMakeFiles/adapt_availability.dir/availability/predictor.cpp.o" "gcc" "src/CMakeFiles/adapt_availability.dir/availability/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adapt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_availability.dir/availability/distribution.cpp.o"
+  "CMakeFiles/adapt_availability.dir/availability/distribution.cpp.o.d"
+  "CMakeFiles/adapt_availability.dir/availability/estimator.cpp.o"
+  "CMakeFiles/adapt_availability.dir/availability/estimator.cpp.o.d"
+  "CMakeFiles/adapt_availability.dir/availability/interruption_model.cpp.o"
+  "CMakeFiles/adapt_availability.dir/availability/interruption_model.cpp.o.d"
+  "CMakeFiles/adapt_availability.dir/availability/predictor.cpp.o"
+  "CMakeFiles/adapt_availability.dir/availability/predictor.cpp.o.d"
+  "libadapt_availability.a"
+  "libadapt_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

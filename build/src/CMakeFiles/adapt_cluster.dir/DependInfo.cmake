@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/heartbeat.cpp" "src/CMakeFiles/adapt_cluster.dir/cluster/heartbeat.cpp.o" "gcc" "src/CMakeFiles/adapt_cluster.dir/cluster/heartbeat.cpp.o.d"
+  "/root/repo/src/cluster/network.cpp" "src/CMakeFiles/adapt_cluster.dir/cluster/network.cpp.o" "gcc" "src/CMakeFiles/adapt_cluster.dir/cluster/network.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/adapt_cluster.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/adapt_cluster.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/CMakeFiles/adapt_cluster.dir/cluster/topology.cpp.o" "gcc" "src/CMakeFiles/adapt_cluster.dir/cluster/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adapt_availability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_cluster.dir/cluster/heartbeat.cpp.o"
+  "CMakeFiles/adapt_cluster.dir/cluster/heartbeat.cpp.o.d"
+  "CMakeFiles/adapt_cluster.dir/cluster/network.cpp.o"
+  "CMakeFiles/adapt_cluster.dir/cluster/network.cpp.o.d"
+  "CMakeFiles/adapt_cluster.dir/cluster/node.cpp.o"
+  "CMakeFiles/adapt_cluster.dir/cluster/node.cpp.o.d"
+  "CMakeFiles/adapt_cluster.dir/cluster/topology.cpp.o"
+  "CMakeFiles/adapt_cluster.dir/cluster/topology.cpp.o.d"
+  "libadapt_cluster.a"
+  "libadapt_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

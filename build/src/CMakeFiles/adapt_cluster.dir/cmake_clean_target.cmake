@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadapt_cluster.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_common.dir/common/config.cpp.o"
+  "CMakeFiles/adapt_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/adapt_common.dir/common/log.cpp.o"
+  "CMakeFiles/adapt_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/adapt_common.dir/common/rng.cpp.o"
+  "CMakeFiles/adapt_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/adapt_common.dir/common/stats.cpp.o"
+  "CMakeFiles/adapt_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/adapt_common.dir/common/table.cpp.o"
+  "CMakeFiles/adapt_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/adapt_common.dir/common/units.cpp.o"
+  "CMakeFiles/adapt_common.dir/common/units.cpp.o.d"
+  "libadapt_common.a"
+  "libadapt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

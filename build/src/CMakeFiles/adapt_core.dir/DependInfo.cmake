@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adapt.cpp" "src/CMakeFiles/adapt_core.dir/core/adapt.cpp.o" "gcc" "src/CMakeFiles/adapt_core.dir/core/adapt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adapt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_availability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_core.dir/core/adapt.cpp.o"
+  "CMakeFiles/adapt_core.dir/core/adapt.cpp.o.d"
+  "libadapt_core.a"
+  "libadapt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

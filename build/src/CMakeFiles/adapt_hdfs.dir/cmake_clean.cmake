@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_hdfs.dir/hdfs/client.cpp.o"
+  "CMakeFiles/adapt_hdfs.dir/hdfs/client.cpp.o.d"
+  "CMakeFiles/adapt_hdfs.dir/hdfs/datanode.cpp.o"
+  "CMakeFiles/adapt_hdfs.dir/hdfs/datanode.cpp.o.d"
+  "CMakeFiles/adapt_hdfs.dir/hdfs/namenode.cpp.o"
+  "CMakeFiles/adapt_hdfs.dir/hdfs/namenode.cpp.o.d"
+  "libadapt_hdfs.a"
+  "libadapt_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

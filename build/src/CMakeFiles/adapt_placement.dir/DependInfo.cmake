@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/adapt_policy.cpp" "src/CMakeFiles/adapt_placement.dir/placement/adapt_policy.cpp.o" "gcc" "src/CMakeFiles/adapt_placement.dir/placement/adapt_policy.cpp.o.d"
+  "/root/repo/src/placement/alias_sampler.cpp" "src/CMakeFiles/adapt_placement.dir/placement/alias_sampler.cpp.o" "gcc" "src/CMakeFiles/adapt_placement.dir/placement/alias_sampler.cpp.o.d"
+  "/root/repo/src/placement/capped_policy.cpp" "src/CMakeFiles/adapt_placement.dir/placement/capped_policy.cpp.o" "gcc" "src/CMakeFiles/adapt_placement.dir/placement/capped_policy.cpp.o.d"
+  "/root/repo/src/placement/hash_table.cpp" "src/CMakeFiles/adapt_placement.dir/placement/hash_table.cpp.o" "gcc" "src/CMakeFiles/adapt_placement.dir/placement/hash_table.cpp.o.d"
+  "/root/repo/src/placement/naive_policy.cpp" "src/CMakeFiles/adapt_placement.dir/placement/naive_policy.cpp.o" "gcc" "src/CMakeFiles/adapt_placement.dir/placement/naive_policy.cpp.o.d"
+  "/root/repo/src/placement/random_policy.cpp" "src/CMakeFiles/adapt_placement.dir/placement/random_policy.cpp.o" "gcc" "src/CMakeFiles/adapt_placement.dir/placement/random_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adapt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_availability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_placement.dir/placement/adapt_policy.cpp.o"
+  "CMakeFiles/adapt_placement.dir/placement/adapt_policy.cpp.o.d"
+  "CMakeFiles/adapt_placement.dir/placement/alias_sampler.cpp.o"
+  "CMakeFiles/adapt_placement.dir/placement/alias_sampler.cpp.o.d"
+  "CMakeFiles/adapt_placement.dir/placement/capped_policy.cpp.o"
+  "CMakeFiles/adapt_placement.dir/placement/capped_policy.cpp.o.d"
+  "CMakeFiles/adapt_placement.dir/placement/hash_table.cpp.o"
+  "CMakeFiles/adapt_placement.dir/placement/hash_table.cpp.o.d"
+  "CMakeFiles/adapt_placement.dir/placement/naive_policy.cpp.o"
+  "CMakeFiles/adapt_placement.dir/placement/naive_policy.cpp.o.d"
+  "CMakeFiles/adapt_placement.dir/placement/random_policy.cpp.o"
+  "CMakeFiles/adapt_placement.dir/placement/random_policy.cpp.o.d"
+  "libadapt_placement.a"
+  "libadapt_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

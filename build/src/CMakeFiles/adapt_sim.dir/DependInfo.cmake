@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/adapt_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/adapt_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/injector.cpp" "src/CMakeFiles/adapt_sim.dir/sim/injector.cpp.o" "gcc" "src/CMakeFiles/adapt_sim.dir/sim/injector.cpp.o.d"
+  "/root/repo/src/sim/mapreduce_sim.cpp" "src/CMakeFiles/adapt_sim.dir/sim/mapreduce_sim.cpp.o" "gcc" "src/CMakeFiles/adapt_sim.dir/sim/mapreduce_sim.cpp.o.d"
+  "/root/repo/src/sim/overhead.cpp" "src/CMakeFiles/adapt_sim.dir/sim/overhead.cpp.o" "gcc" "src/CMakeFiles/adapt_sim.dir/sim/overhead.cpp.o.d"
+  "/root/repo/src/sim/reduce_phase.cpp" "src/CMakeFiles/adapt_sim.dir/sim/reduce_phase.cpp.o" "gcc" "src/CMakeFiles/adapt_sim.dir/sim/reduce_phase.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/adapt_sim.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/adapt_sim.dir/sim/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adapt_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_availability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/adapt_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/adapt_sim.dir/sim/injector.cpp.o"
+  "CMakeFiles/adapt_sim.dir/sim/injector.cpp.o.d"
+  "CMakeFiles/adapt_sim.dir/sim/mapreduce_sim.cpp.o"
+  "CMakeFiles/adapt_sim.dir/sim/mapreduce_sim.cpp.o.d"
+  "CMakeFiles/adapt_sim.dir/sim/overhead.cpp.o"
+  "CMakeFiles/adapt_sim.dir/sim/overhead.cpp.o.d"
+  "CMakeFiles/adapt_sim.dir/sim/reduce_phase.cpp.o"
+  "CMakeFiles/adapt_sim.dir/sim/reduce_phase.cpp.o.d"
+  "CMakeFiles/adapt_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/adapt_sim.dir/sim/scheduler.cpp.o.d"
+  "libadapt_sim.a"
+  "libadapt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/generator.cpp" "src/CMakeFiles/adapt_trace.dir/trace/generator.cpp.o" "gcc" "src/CMakeFiles/adapt_trace.dir/trace/generator.cpp.o.d"
+  "/root/repo/src/trace/profile.cpp" "src/CMakeFiles/adapt_trace.dir/trace/profile.cpp.o" "gcc" "src/CMakeFiles/adapt_trace.dir/trace/profile.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/adapt_trace.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/adapt_trace.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/CMakeFiles/adapt_trace.dir/trace/trace_stats.cpp.o" "gcc" "src/CMakeFiles/adapt_trace.dir/trace/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adapt_availability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_trace.dir/trace/generator.cpp.o"
+  "CMakeFiles/adapt_trace.dir/trace/generator.cpp.o.d"
+  "CMakeFiles/adapt_trace.dir/trace/profile.cpp.o"
+  "CMakeFiles/adapt_trace.dir/trace/profile.cpp.o.d"
+  "CMakeFiles/adapt_trace.dir/trace/trace_io.cpp.o"
+  "CMakeFiles/adapt_trace.dir/trace/trace_io.cpp.o.d"
+  "CMakeFiles/adapt_trace.dir/trace/trace_stats.cpp.o"
+  "CMakeFiles/adapt_trace.dir/trace/trace_stats.cpp.o.d"
+  "libadapt_trace.a"
+  "libadapt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

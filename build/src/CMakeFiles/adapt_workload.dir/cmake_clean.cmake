@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_workload.dir/workload/sweeps.cpp.o"
+  "CMakeFiles/adapt_workload.dir/workload/sweeps.cpp.o.d"
+  "CMakeFiles/adapt_workload.dir/workload/terasort.cpp.o"
+  "CMakeFiles/adapt_workload.dir/workload/terasort.cpp.o.d"
+  "libadapt_workload.a"
+  "libadapt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

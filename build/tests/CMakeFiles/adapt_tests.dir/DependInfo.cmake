@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alias_sampler.cpp" "tests/CMakeFiles/adapt_tests.dir/test_alias_sampler.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_alias_sampler.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/adapt_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_distribution.cpp" "tests/CMakeFiles/adapt_tests.dir/test_distribution.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_distribution.cpp.o.d"
+  "/root/repo/tests/test_estimator.cpp" "tests/CMakeFiles/adapt_tests.dir/test_estimator.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_estimator.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/adapt_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_hash_table.cpp" "tests/CMakeFiles/adapt_tests.dir/test_hash_table.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_hash_table.cpp.o.d"
+  "/root/repo/tests/test_hdfs.cpp" "tests/CMakeFiles/adapt_tests.dir/test_hdfs.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_hdfs.cpp.o.d"
+  "/root/repo/tests/test_heartbeat.cpp" "tests/CMakeFiles/adapt_tests.dir/test_heartbeat.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_heartbeat.cpp.o.d"
+  "/root/repo/tests/test_injector.cpp" "tests/CMakeFiles/adapt_tests.dir/test_injector.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_injector.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/adapt_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interruption_model.cpp" "tests/CMakeFiles/adapt_tests.dir/test_interruption_model.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_interruption_model.cpp.o.d"
+  "/root/repo/tests/test_model_validation.cpp" "tests/CMakeFiles/adapt_tests.dir/test_model_validation.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_model_validation.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/adapt_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_overhead.cpp" "tests/CMakeFiles/adapt_tests.dir/test_overhead.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_overhead.cpp.o.d"
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/adapt_tests.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_policies.cpp.o.d"
+  "/root/repo/tests/test_predictor.cpp" "tests/CMakeFiles/adapt_tests.dir/test_predictor.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_predictor.cpp.o.d"
+  "/root/repo/tests/test_reduce_phase.cpp" "tests/CMakeFiles/adapt_tests.dir/test_reduce_phase.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_reduce_phase.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/adapt_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/adapt_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/adapt_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/adapt_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table_config.cpp" "tests/CMakeFiles/adapt_tests.dir/test_table_config.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_table_config.cpp.o.d"
+  "/root/repo/tests/test_task_board.cpp" "tests/CMakeFiles/adapt_tests.dir/test_task_board.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_task_board.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/adapt_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/adapt_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/adapt_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/adapt_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/adapt_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adapt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_availability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adapt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
