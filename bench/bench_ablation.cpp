@@ -10,7 +10,7 @@
 //   5. Interruption arrival clock: uptime (fault-injector style) vs
 //      absolute time (strict M/G/1).
 //
-//   ./bench_ablation [--runs R] [--seed S]
+//   ./bench_ablation [--runs R] [--seed S] [--threads T] [--json PATH]
 #include <cstdio>
 
 #include "bench_util.h"
@@ -22,11 +22,6 @@ namespace {
 
 using namespace adapt;
 
-core::RepeatedResult run(const cluster::Cluster& cl,
-                         core::ExperimentConfig config, int runs) {
-  return core::run_repeated(cl, config, runs);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -34,10 +29,14 @@ int main(int argc, char** argv) {
   const common::Flags flags(argc, argv);
   const int runs = static_cast<int>(flags.get_int("runs", 5));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 99));
+  const bench::RunnerOptions options = bench::runner_options(flags);
   bench::abort_on_unused_flags(flags);
 
   bench::print_header("Ablations (DESIGN.md §5)",
                       std::to_string(runs) + " runs per point");
+
+  runner::ExperimentRunner exec(options.threads);
+  runner::Report report("ablation", seed, runs);
 
   const workload::Workload w = workload::emulation_workload();
   cluster::EmulationConfig emu;
@@ -57,10 +56,12 @@ int main(int argc, char** argv) {
                                  placement::ChainWeighting::kOverlap}) {
       core::ExperimentConfig config = base;
       config.weighting = weighting;
-      const auto r = run(cl, config, runs);
+      const auto r = exec.run_replications(cl, config, runs);
       table.add_row({placement::to_string(weighting),
                      common::format_double(r.elapsed.mean, 0),
                      common::format_percent(r.locality.mean)});
+      report.add_result("1. chain weighting",
+                        placement::to_string(weighting), "adapt r1", r);
     }
     std::printf("\n--- 1. Algorithm 1 chain weighting ---\n%s",
                 table.to_string().c_str());
@@ -83,11 +84,13 @@ int main(int argc, char** argv) {
       for (const auto c : r.distribution) {
         max_blocks = std::max(max_blocks, c);
       }
-      const auto repeated = run(skewed, config, runs);
+      const auto repeated = exec.run_replications(skewed, config, runs);
       table.add_row({cap ? "on (m(k+1)/n)" : "off",
                      common::format_double(repeated.elapsed.mean, 0),
                      std::to_string(max_blocks),
                      common::format_double(r.placement_skew, 2)});
+      report.add_result("2. fidelity cap", cap ? "on" : "off", "adapt r1",
+                        repeated);
     }
     std::printf("\n--- 2. Section IV-C fidelity cap (strict-M/G/1 "
                 "cluster) ---\n%s",
@@ -100,12 +103,16 @@ int main(int argc, char** argv) {
       core::ExperimentConfig config = base;
       config.job.speculation = speculation;
       config.policy = core::PolicyKind::kRandom;
-      const auto random = run(cl, config, runs);
+      const auto random = exec.run_replications(cl, config, runs);
       config.policy = core::PolicyKind::kAdapt;
-      const auto adapt_r = run(cl, config, runs);
+      const auto adapt_r = exec.run_replications(cl, config, runs);
       table.add_row({speculation ? "on" : "off",
                      common::format_double(random.elapsed.mean, 0),
                      common::format_double(adapt_r.elapsed.mean, 0)});
+      report.add_result("3. speculation", speculation ? "on" : "off",
+                        "random r1", random);
+      report.add_result("3. speculation", speculation ? "on" : "off",
+                        "adapt r1", adapt_r);
     }
     std::printf("\n--- 3. Speculative execution ---\n%s",
                 table.to_string().c_str());
@@ -134,15 +141,21 @@ int main(int argc, char** argv) {
       config.steady_state_start = true;
       config.seed = seed;
       config.policy = core::PolicyKind::kRandom;
-      const auto random = run(sim_cl, config, std::max(1, runs / 2));
+      const auto random =
+          exec.run_replications(sim_cl, config, std::max(1, runs / 2));
       config.policy = core::PolicyKind::kAdapt;
-      const auto adapt_r = run(sim_cl, config, std::max(1, runs / 2));
+      const auto adapt_r =
+          exec.run_replications(sim_cl, config, std::max(1, runs / 2));
       table.add_row({common::format_seconds(delay),
                      common::format_percent(random.total_ratio),
                      common::format_percent(adapt_r.total_ratio),
                      common::format_percent(
                          1.0 - (1.0 + adapt_r.total_ratio) /
                                    (1.0 + random.total_ratio))});
+      report.add_result("4. reissue delay", common::format_seconds(delay),
+                        "random r1", random);
+      report.add_result("4. reissue delay", common::format_seconds(delay),
+                        "adapt r1", adapt_r);
     }
     std::printf("\n--- 4. Rescue capability (origin re-issue delay) ---\n%s",
                 table.to_string().c_str());
@@ -156,12 +169,15 @@ int main(int argc, char** argv) {
       const cluster::Cluster clock_cl = cluster::emulated_cluster(config_emu);
       core::ExperimentConfig config = base;
       config.policy = core::PolicyKind::kRandom;
-      const auto random = run(clock_cl, config, runs);
+      const auto random = exec.run_replications(clock_cl, config, runs);
       config.policy = core::PolicyKind::kAdapt;
-      const auto adapt_r = run(clock_cl, config, runs);
+      const auto adapt_r = exec.run_replications(clock_cl, config, runs);
+      const std::string point = absolute ? "absolute" : "uptime";
       table.add_row({absolute ? "absolute (strict M/G/1)" : "uptime",
                      common::format_double(random.elapsed.mean, 0),
                      common::format_double(adapt_r.elapsed.mean, 0)});
+      report.add_result("5. arrival clock", point, "random r1", random);
+      report.add_result("5. arrival clock", point, "adapt r1", adapt_r);
     }
     std::printf("\n--- 5. Interruption arrival clock ---\n%s",
                 table.to_string().c_str());
@@ -169,7 +185,10 @@ int main(int argc, char** argv) {
 
   {
     // Extension (paper future work): shuffle + reduce phase with
-    // random vs availability-aware reducer placement.
+    // random vs availability-aware reducer placement. The per-run
+    // seeds are explicit (fixed offsets from the base seed), so the
+    // jobs go through the low-level fan-out rather than
+    // run_replications' derived seeds.
     common::Table table({"reducer placement", "reduce elapsed (s)",
                          "reassignments", "origin refetches"});
     for (const bool aware : {false, true}) {
@@ -177,12 +196,17 @@ int main(int argc, char** argv) {
       config.run_reduce = true;
       config.reduce.output_ratio = 1.0;  // Terasort shuffles everything
       config.reduce_availability_aware = aware;
+      std::vector<runner::ExperimentRunner::Job> jobs;
+      jobs.reserve(static_cast<std::size_t>(runs));
+      for (int i = 0; i < runs; ++i) {
+        config.seed = seed + 1000 + static_cast<std::uint64_t>(i);
+        jobs.push_back({&cl, config});
+      }
+      const auto results = exec.run_all(jobs);
       double elapsed = 0.0;
       std::uint64_t reassigned = 0;
       std::uint64_t refetched = 0;
-      for (int i = 0; i < runs; ++i) {
-        config.seed = seed + 1000 + i;
-        const core::ExperimentResult r = core::run_experiment(cl, config);
+      for (const core::ExperimentResult& r : results) {
         elapsed += r.reduce.elapsed;
         reassigned += r.reduce.reducer_reassignments;
         refetched += r.reduce.origin_refetches;
@@ -193,9 +217,13 @@ int main(int argc, char** argv) {
                          static_cast<double>(reassigned) / runs, 1),
                      common::format_double(
                          static_cast<double>(refetched) / runs, 1)});
+      report.add_result("6. reduce placement",
+                        aware ? "availability-aware" : "random", "adapt r1",
+                        runner::merge_results(results));
     }
     std::printf("\n--- 6. Reduce phase (future-work extension) ---\n%s",
                 table.to_string().c_str());
   }
+  bench::write_report(report, options.json_path);
   return 0;
 }

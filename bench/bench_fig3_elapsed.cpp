@@ -6,7 +6,9 @@
 // Series: random/ADAPT x 1/2 replicas; defaults follow Tables 2 and 3.
 //
 //   ./bench_fig3_elapsed [--runs R] [--seed S] [--full]
+//                        [--threads T] [--json PATH]
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 #include "cluster/topology.h"
@@ -24,31 +26,44 @@ struct Sweep {
   std::vector<cluster::EmulationConfig> configs;
 };
 
-void run_sweep(const Sweep& sweep, int runs, std::uint64_t seed) {
+void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
+               const Sweep& sweep, int runs, std::uint64_t seed) {
   const workload::Workload w = workload::emulation_workload();
-  common::Table table({sweep.column, "random r1 (s)", "adapt r1 (s)",
-                       "random r2 (s)", "adapt r2 (s)", "adapt r1 gain"});
+  const std::vector<bench::Series> series = bench::fig3_series();
+
+  std::vector<runner::ExperimentRunner::SweepCell> cells;
+  cells.reserve(sweep.configs.size() * series.size());
   for (std::size_t i = 0; i < sweep.configs.size(); ++i) {
-    const cluster::Cluster cl = cluster::emulated_cluster(sweep.configs[i]);
+    const auto cl = std::make_shared<const cluster::Cluster>(
+        cluster::emulated_cluster(sweep.configs[i]));
     core::ExperimentConfig config;
-    config.blocks = w.blocks_for(cl.size());
+    config.blocks = w.blocks_for(cl->size());
     config.job.gamma = w.gamma();
     config.seed = seed + i;
+    for (const bench::Series& s : series) {
+      config.policy = s.policy;
+      config.replication = s.replication;
+      cells.push_back({cl, config, runs});
+    }
+  }
+  const std::vector<core::RepeatedResult> results = exec.run_sweep(cells);
 
+  common::Table table({sweep.column, "random r1 (s)", "adapt r1 (s)",
+                       "random r2 (s)", "adapt r2 (s)", "adapt r1 gain"});
+  std::size_t cell = 0;
+  for (std::size_t i = 0; i < sweep.configs.size(); ++i) {
     std::vector<std::string> row = {sweep.labels[i]};
     double random_r1 = 0.0;
     double adapt_r1 = 0.0;
-    for (const bench::Series& series : bench::fig3_series()) {
-      config.policy = series.policy;
-      config.replication = series.replication;
-      const core::RepeatedResult r = core::run_repeated(cl, config, runs);
+    for (const bench::Series& s : series) {
+      const core::RepeatedResult& r = results[cell++];
       row.push_back(common::format_double(r.elapsed.mean, 0) + " ±" +
                     common::format_double(r.elapsed.ci95_half_width, 0));
-      if (series.replication == 1) {
-        (series.policy == core::PolicyKind::kRandom ? random_r1
-                                                    : adapt_r1) =
+      if (s.replication == 1) {
+        (s.policy == core::PolicyKind::kRandom ? random_r1 : adapt_r1) =
             r.elapsed.mean;
       }
+      report.add_result(sweep.title, sweep.labels[i], s.label(), r);
     }
     row.push_back(common::format_percent(
         random_r1 > 0 ? 1.0 - adapt_r1 / random_r1 : 0.0));
@@ -56,6 +71,7 @@ void run_sweep(const Sweep& sweep, int runs, std::uint64_t seed) {
   }
   std::printf("\n--- %s ---\n%s", sweep.title.c_str(),
               table.to_string().c_str());
+  std::fflush(stdout);
 }
 
 }  // namespace
@@ -66,6 +82,7 @@ int main(int argc, char** argv) {
   const bool full = flags.get_bool("full", false);
   const int runs = static_cast<int>(flags.get_int("runs", full ? 10 : 5));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2012));
+  const bench::RunnerOptions options = bench::runner_options(flags);
   bench::abort_on_unused_flags(flags);
 
   bench::print_header(
@@ -74,6 +91,9 @@ int main(int argc, char** argv) {
       "adapt r1 = 234 s (40% gain)\n" +
           std::to_string(runs) + " runs per point" +
           (full ? "" : "; pass --full for the paper's 10 runs"));
+
+  runner::ExperimentRunner exec(options.threads);
+  runner::Report report("fig3_elapsed", seed, runs);
 
   const workload::EmulationDefaults defaults =
       workload::emulation_defaults();
@@ -89,7 +109,7 @@ int main(int argc, char** argv) {
     ratio_sweep.labels.push_back(common::format_double(ratio, 2));
     ratio_sweep.configs.push_back(config);
   }
-  run_sweep(ratio_sweep, runs, seed);
+  run_sweep(exec, report, ratio_sweep, runs, seed);
 
   Sweep bw_sweep;
   bw_sweep.title = "Figure 3(b): network bandwidth";
@@ -102,7 +122,7 @@ int main(int argc, char** argv) {
     bw_sweep.labels.push_back(common::format_bandwidth(bps));
     bw_sweep.configs.push_back(config);
   }
-  run_sweep(bw_sweep, runs, seed + 100);
+  run_sweep(exec, report, bw_sweep, runs, seed + 100);
 
   Sweep node_sweep;
   node_sweep.title = "Figure 3(c): number of nodes";
@@ -115,6 +135,8 @@ int main(int argc, char** argv) {
     node_sweep.labels.push_back(std::to_string(n));
     node_sweep.configs.push_back(config);
   }
-  run_sweep(node_sweep, runs, seed + 200);
+  run_sweep(exec, report, node_sweep, runs, seed + 200);
+
+  bench::write_report(report, options.json_path);
   return 0;
 }

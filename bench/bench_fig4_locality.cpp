@@ -3,7 +3,9 @@
 // Figure 3.
 //
 //   ./bench_fig4_locality [--runs R] [--seed S] [--full]
+//                         [--threads T] [--json PATH]
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 #include "cluster/topology.h"
@@ -14,29 +16,45 @@ namespace {
 
 using namespace adapt;
 
-void run_sweep(const std::string& title, const std::string& column,
+void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
+               const std::string& title, const std::string& column,
                const std::vector<std::string>& labels,
                const std::vector<cluster::EmulationConfig>& configs,
                int runs, std::uint64_t seed) {
   const workload::Workload w = workload::emulation_workload();
-  common::Table table({column, "random r1", "adapt r1", "random r2",
-                       "adapt r2"});
+  const std::vector<bench::Series> series = bench::fig3_series();
+
+  std::vector<runner::ExperimentRunner::SweepCell> cells;
+  cells.reserve(configs.size() * series.size());
   for (std::size_t i = 0; i < configs.size(); ++i) {
-    const cluster::Cluster cl = cluster::emulated_cluster(configs[i]);
+    const auto cl = std::make_shared<const cluster::Cluster>(
+        cluster::emulated_cluster(configs[i]));
     core::ExperimentConfig config;
-    config.blocks = w.blocks_for(cl.size());
+    config.blocks = w.blocks_for(cl->size());
     config.job.gamma = w.gamma();
     config.seed = seed + i;
+    for (const bench::Series& s : series) {
+      config.policy = s.policy;
+      config.replication = s.replication;
+      cells.push_back({cl, config, runs});
+    }
+  }
+  const std::vector<core::RepeatedResult> results = exec.run_sweep(cells);
+
+  common::Table table({column, "random r1", "adapt r1", "random r2",
+                       "adapt r2"});
+  std::size_t cell = 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
     std::vector<std::string> row = {labels[i]};
-    for (const bench::Series& series : bench::fig3_series()) {
-      config.policy = series.policy;
-      config.replication = series.replication;
-      const core::RepeatedResult r = core::run_repeated(cl, config, runs);
+    for (const bench::Series& s : series) {
+      const core::RepeatedResult& r = results[cell++];
       row.push_back(common::format_percent(r.locality.mean));
+      report.add_result(title, labels[i], s.label(), r);
     }
     table.add_row(row);
   }
   std::printf("\n--- %s ---\n%s", title.c_str(), table.to_string().c_str());
+  std::fflush(stdout);
 }
 
 }  // namespace
@@ -47,6 +65,7 @@ int main(int argc, char** argv) {
   const bool full = flags.get_bool("full", false);
   const int runs = static_cast<int>(flags.get_int("runs", full ? 10 : 5));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2012));
+  const bench::RunnerOptions options = bench::runner_options(flags);
   bench::abort_on_unused_flags(flags);
 
   bench::print_header(
@@ -54,6 +73,9 @@ int main(int argc, char** argv) {
       "paper reference: random r1 dips (~87% at ratio 1/2) and falls "
       "with bandwidth;\nADAPT stays high and stable. " +
           std::to_string(runs) + " runs per point.");
+
+  runner::ExperimentRunner exec(options.threads);
+  runner::Report report("fig4_locality", seed, runs);
 
   const workload::EmulationDefaults defaults =
       workload::emulation_defaults();
@@ -68,8 +90,8 @@ int main(int argc, char** argv) {
       labels.push_back(common::format_double(ratio, 2));
       configs.push_back(config);
     }
-    run_sweep("Figure 4(a): ratio of interrupted nodes", "interrupted",
-              labels, configs, runs, seed);
+    run_sweep(exec, report, "Figure 4(a): ratio of interrupted nodes",
+              "interrupted", labels, configs, runs, seed);
   }
   {
     std::vector<std::string> labels;
@@ -81,8 +103,8 @@ int main(int argc, char** argv) {
       labels.push_back(common::format_bandwidth(bps));
       configs.push_back(config);
     }
-    run_sweep("Figure 4(b): network bandwidth", "bandwidth", labels,
-              configs, runs, seed + 100);
+    run_sweep(exec, report, "Figure 4(b): network bandwidth", "bandwidth",
+              labels, configs, runs, seed + 100);
   }
   {
     std::vector<std::string> labels;
@@ -93,8 +115,9 @@ int main(int argc, char** argv) {
       labels.push_back(std::to_string(n));
       configs.push_back(config);
     }
-    run_sweep("Figure 4(c): number of nodes", "nodes", labels, configs,
-              runs, seed + 200);
+    run_sweep(exec, report, "Figure 4(c): number of nodes", "nodes",
+              labels, configs, runs, seed + 200);
   }
+  bench::write_report(report, options.json_path);
   return 0;
 }

@@ -12,7 +12,9 @@
 //
 //   ./bench_fig5_simulation [--nodes N] [--runs R] [--seed S]
 //                           [--reissue-delay SEC] [--full]
+//                           [--threads T] [--json PATH]
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 #include "cluster/topology.h"
@@ -46,19 +48,22 @@ struct Point {
   std::uint64_t block_size;
 };
 
-void run_sweep(const std::string& title, const std::string& column,
+void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
+               const std::string& title, const std::string& column,
                const std::vector<Point>& points,
                const std::vector<bench::Series>& series, int runs,
                std::uint64_t seed, double reissue_delay) {
-  common::Table table({column, "series", "elapsed (s)", "total ovh",
-                       "rework", "recovery", "migration", "misc",
-                       "locality"});
+  // Build the whole (point x series) grid first; every individual
+  // replication then runs as an independent pool job.
+  std::vector<runner::ExperimentRunner::SweepCell> cells;
+  cells.reserve(points.size() * series.size());
   for (const Point& point : points) {
     const auto params = draw_population(point.nodes, seed);
     cluster::TraceClusterConfig tc;
     tc.bandwidth_bps = point.bandwidth_bps;
     tc.block_size_bytes = point.block_size;
-    const cluster::Cluster cl = cluster::model_cluster(params, tc);
+    const auto cl = std::make_shared<const cluster::Cluster>(
+        cluster::model_cluster(params, tc));
 
     workload::Workload w = workload::simulation_workload();
     w.block_size_bytes = point.block_size;
@@ -73,7 +78,18 @@ void run_sweep(const std::string& title, const std::string& column,
     for (const bench::Series& s : series) {
       config.policy = s.policy;
       config.replication = s.replication;
-      const core::RepeatedResult r = core::run_repeated(cl, config, runs);
+      cells.push_back({cl, config, runs});
+    }
+  }
+  const std::vector<core::RepeatedResult> results = exec.run_sweep(cells);
+
+  common::Table table({column, "series", "elapsed (s)", "total ovh",
+                       "rework", "recovery", "migration", "misc",
+                       "locality"});
+  std::size_t cell = 0;
+  for (const Point& point : points) {
+    for (const bench::Series& s : series) {
+      const core::RepeatedResult& r = results[cell++];
       table.add_row({point.label, s.label(),
                      common::format_double(r.elapsed.mean, 0),
                      common::format_percent(r.total_ratio),
@@ -82,6 +98,7 @@ void run_sweep(const std::string& title, const std::string& column,
                      common::format_percent(r.migration_ratio),
                      common::format_percent(r.misc_ratio),
                      common::format_percent(r.locality.mean)});
+      report.add_result(title, point.label, s.label(), r);
     }
   }
   std::printf("\n--- %s ---\n%s", title.c_str(), table.to_string().c_str());
@@ -99,6 +116,7 @@ int main(int argc, char** argv) {
   const int runs = static_cast<int>(flags.get_int("runs", full ? 3 : 1));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
   const double reissue = flags.get_double("reissue-delay", 600.0);
+  const bench::RunnerOptions options = bench::runner_options(flags);
   bench::abort_on_unused_flags(flags);
 
   bench::print_header(
@@ -108,6 +126,11 @@ int main(int argc, char** argv) {
       "scaled to " + std::to_string(nodes) + " nodes, " +
           std::to_string(runs) +
           " run(s) per point (paper: 8192; pass --full).");
+
+  runner::ExperimentRunner exec(options.threads);
+  runner::Report report("fig5_simulation", seed, runs);
+  report.set_config("nodes", static_cast<double>(nodes));
+  report.set_config("reissue_delay", reissue);
 
   const auto series = bench::fig5_series(full);
   const workload::SimulationDefaults defaults =
@@ -119,8 +142,8 @@ int main(int argc, char** argv) {
       points.push_back({common::format_bandwidth(bps), nodes, bps,
                         defaults.block_size_bytes});
     }
-    run_sweep("Figure 5(a): network bandwidth", "bandwidth", points,
-              series, runs, seed, reissue);
+    run_sweep(exec, report, "Figure 5(a): network bandwidth", "bandwidth",
+              points, series, runs, seed, reissue);
   }
   {
     std::vector<Point> points;
@@ -128,8 +151,8 @@ int main(int argc, char** argv) {
       points.push_back({common::format_bytes(bytes), nodes,
                         defaults.bandwidth_bps, bytes});
     }
-    run_sweep("Figure 5(b): block size", "block size", points, series,
-              runs, seed + 1, reissue);
+    run_sweep(exec, report, "Figure 5(b): block size", "block size",
+              points, series, runs, seed + 1, reissue);
   }
   {
     std::vector<Point> points;
@@ -139,8 +162,9 @@ int main(int argc, char** argv) {
                         defaults.bandwidth_bps,
                         defaults.block_size_bytes});
     }
-    run_sweep("Figure 5(c): number of nodes", "nodes", points, series,
-              runs, seed + 2, reissue);
+    run_sweep(exec, report, "Figure 5(c): number of nodes", "nodes",
+              points, series, runs, seed + 2, reissue);
   }
+  bench::write_report(report, options.json_path);
   return 0;
 }

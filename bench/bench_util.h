@@ -4,14 +4,56 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
 #include "common/table.h"
 #include "core/adapt.h"
+#include "runner/report.h"
+#include "runner/runner.h"
 
 namespace adapt::bench {
+
+// Shared runner flags: every figure bench accepts
+//   --threads N   worker threads (0 = one per hardware thread)
+//   --json PATH   machine-readable results (byte-identical across
+//                 thread counts for the same seed)
+struct RunnerOptions {
+  std::size_t threads = 0;
+  std::string json_path;
+};
+
+inline RunnerOptions runner_options(const common::Flags& flags) {
+  RunnerOptions options;
+  options.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  options.json_path = flags.get_string("json", "");
+  if (!options.json_path.empty()) {
+    // Fail fast on an unwritable path rather than after the whole run.
+    std::FILE* probe = std::fopen(options.json_path.c_str(), "wb");
+    if (probe == nullptr) {
+      std::fprintf(stderr, "cannot open --json path %s for writing\n",
+                   options.json_path.c_str());
+      std::exit(2);
+    }
+    std::fclose(probe);
+  }
+  return options;
+}
+
+inline void write_report(const runner::Report& report,
+                         const std::string& path) {
+  if (path.empty()) return;
+  try {
+    report.write(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(1);
+  }
+  std::printf("\nwrote %zu result row(s) to %s\n", report.rows(),
+              path.c_str());
+}
 
 // A (policy, replication) curve as plotted in the paper's figures.
 struct Series {

@@ -30,9 +30,19 @@ void AvailabilityEstimator::record_up(common::Seconds now) {
 
 InterruptionParams AvailabilityEstimator::estimate(common::Seconds now) const {
   InterruptionParams p;
-  const double observed = now - start_;
-  if (observed > 0 && downs_ > 0) {
-    p.lambda = static_cast<double>(downs_) / observed;
+  // A down-transition is an M/G/1 busy-period *start*: arrivals landing
+  // while the host is already down only extend the outage and are never
+  // observed as transitions. Transition starts happen at rate
+  // lambda*(1-rho) per wall-clock second but at rate lambda per *uptime*
+  // second, so uptime — wall clock minus accumulated downtime, including
+  // an in-progress outage — is the exposure to divide by. Dividing by
+  // wall clock would bias lambda low by exactly the factor (1-rho),
+  // under-penalizing the flaky hosts Eq. 5 exists to down-weight.
+  double downtime = total_downtime_;
+  if (currently_down()) downtime += now - down_since_;
+  const double uptime = (now - start_) - downtime;
+  if (uptime > 0 && downs_ > 0) {
+    p.lambda = static_cast<double>(downs_) / uptime;
   }
   if (recoveries_ > 0) {
     // An in-progress outage contributes its elapsed portion so that a

@@ -25,7 +25,9 @@ class AvailabilityEstimator {
   // Host transitioned down -> up (heartbeats resumed) at `now`.
   void record_up(common::Seconds now);
 
-  // Current estimate. lambda = interruptions / observed time;
+  // Current estimate. lambda = interruptions / observed *uptime* (the
+  // exposure during which a new interruption can arrive; wall-clock time
+  // would bias lambda low by (1-rho) on flaky hosts);
   // mu = mean of completed downtime intervals. Before the first
   // interruption completes, falls back to `prior` (a host with no
   // observed interruptions is treated as reliable: lambda estimate 0).

@@ -5,12 +5,13 @@
 namespace adapt::cluster {
 
 avail::InterruptionParams NodeSpec::observed_params() const {
-  if (mode != AvailabilityMode::kModel ||
-      arrival_clock == ArrivalClock::kAbsoluteTime || params.lambda <= 0) {
-    return params;
-  }
-  const double cycle = 1.0 / params.lambda + params.mu;
-  return {1.0 / cycle, params.mu};
+  // The estimator measures lambda as interruptions per *uptime* second,
+  // which recovers the injection-model rate under either arrival clock:
+  // uptime-clock inter-arrivals are Exp(lambda) of uptime by
+  // construction, and absolute-clock busy periods start at lambda(1-rho)
+  // per wall-clock second = lambda per uptime second. So the converged
+  // observation is the ground-truth parameters themselves.
+  return params;
 }
 
 std::string describe(const NodeSpec& spec) {

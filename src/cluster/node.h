@@ -45,9 +45,10 @@ struct NodeSpec {
   avail::InterruptionParams params;
   ArrivalClock arrival_clock = ArrivalClock::kAbsoluteTime;
 
-  // What a wall-clock observer (the heartbeat collector) would measure.
-  // Under kUptime the inter-arrival of interruptions in wall time is
-  // MTBI + mu, so the observed lambda is 1/(MTBI + mu).
+  // What a converged heartbeat collector would report. The estimator
+  // divides interruption counts by observed *uptime*, which recovers the
+  // injection-model lambda under either arrival clock, so this is the
+  // ground-truth parameters.
   avail::InterruptionParams observed_params() const;
 
   // Service-time distribution for kModel. Null means exponential(mu).

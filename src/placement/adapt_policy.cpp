@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "placement/masked_draw.h"
+
 namespace adapt::placement {
 
 WeightedHashPolicy::WeightedHashPolicy(std::string name,
@@ -11,43 +13,20 @@ WeightedHashPolicy::WeightedHashPolicy(std::string name,
                                        ChainWeighting weighting)
     : name_(std::move(name)),
       weights_(std::move(weights)),
-      table_(weights_, blocks, weighting) {}
+      table_(weights_, blocks, weighting),
+      realized_(table_.selection_probabilities()) {}
 
 std::optional<cluster::NodeIndex> WeightedHashPolicy::choose(
     const std::vector<bool>& eligible, common::Rng& rng) const {
   if (eligible.size() != weights_.size()) {
     throw std::invalid_argument("choose: eligibility mask size mismatch");
   }
-
-  // Fast path: rejection-sample the hash table.
-  constexpr int kMaxRejections = 32;
-  for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
-    const std::uint32_t node = table_.sample(rng);
-    if (eligible[node]) return node;
-  }
-
-  // Exact fallback: weighted draw restricted to the eligible set.
-  double total = 0.0;
-  for (std::size_t i = 0; i < weights_.size(); ++i) {
-    if (eligible[i]) total += weights_[i];
-  }
-  if (total > 0.0) {
-    double r = rng.uniform() * total;
-    for (std::size_t i = 0; i < weights_.size(); ++i) {
-      if (!eligible[i]) continue;
-      r -= weights_[i];
-      if (r <= 0.0) return static_cast<cluster::NodeIndex>(i);
-    }
-  }
-
-  // All eligible nodes have zero weight: fall back to uniform so a load
-  // can still complete (e.g. only capped-out unstable nodes remain).
-  std::vector<cluster::NodeIndex> candidates;
-  for (std::size_t i = 0; i < eligible.size(); ++i) {
-    if (eligible[i]) candidates.push_back(static_cast<cluster::NodeIndex>(i));
-  }
-  if (candidates.empty()) return std::nullopt;
-  return candidates[rng.uniform_index(candidates.size())];
+  // Rejection-sample the hash table; the bounded fallback draws from the
+  // table's realized selection probabilities (not the raw weights, which
+  // the paper's chain normalization distorts).
+  return masked_choose(
+      [this](common::Rng& r) { return table_.sample(r); }, realized_,
+      eligible, rng);
 }
 
 PolicyPtr make_adapt_policy(const std::vector<double>& expected_task_times,

@@ -31,6 +31,9 @@ class WeightedHashPolicy : public PlacementPolicy {
   std::string name_;
   std::vector<double> weights_;
   BlockHashTable table_;
+  // Cached table_.selection_probabilities(); the masked-draw fallback
+  // must match the distribution the rejection loop realizes.
+  std::vector<double> realized_;
 };
 
 // ADAPT: weight_i = 1 / E[T_i] (zero for unstable nodes, whose expected

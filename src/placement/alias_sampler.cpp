@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "placement/masked_draw.h"
+
 namespace adapt::placement {
 
 AliasSampler::AliasSampler(const std::vector<double>& weights) {
@@ -74,29 +76,11 @@ std::optional<cluster::NodeIndex> AliasPolicy::choose(
   if (eligible.size() != weights_.size()) {
     throw std::invalid_argument("choose: eligibility mask size mismatch");
   }
-  constexpr int kMaxRejections = 32;
-  for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
-    const std::uint32_t node = sampler_.sample(rng);
-    if (eligible[node]) return node;
-  }
-  double total = 0.0;
-  for (std::size_t i = 0; i < weights_.size(); ++i) {
-    if (eligible[i]) total += weights_[i];
-  }
-  if (total > 0.0) {
-    double r = rng.uniform() * total;
-    for (std::size_t i = 0; i < weights_.size(); ++i) {
-      if (!eligible[i]) continue;
-      r -= weights_[i];
-      if (r <= 0.0) return static_cast<cluster::NodeIndex>(i);
-    }
-  }
-  std::vector<cluster::NodeIndex> candidates;
-  for (std::size_t i = 0; i < eligible.size(); ++i) {
-    if (eligible[i]) candidates.push_back(static_cast<cluster::NodeIndex>(i));
-  }
-  if (candidates.empty()) return std::nullopt;
-  return candidates[rng.uniform_index(candidates.size())];
+  // The alias table realizes its normalized shares exactly, so the
+  // fallback draws from shares() rather than the raw weights.
+  return masked_choose(
+      [this](common::Rng& r) { return sampler_.sample(r); },
+      sampler_.shares(), eligible, rng);
 }
 
 PolicyPtr make_adapt_alias_policy(

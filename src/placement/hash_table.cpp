@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace adapt::placement {
@@ -53,20 +54,33 @@ BlockHashTable::BlockHashTable(const std::vector<double>& weights,
   for (std::size_t i = 0; i < weights.size(); ++i) {
     const double width = shares_[i] * m;
     if (width <= 0.0) continue;
-    double end = cursor + width;
-    segments.push_back({static_cast<std::uint32_t>(i), cursor, end,
-                        shares_[i]});
-    cursor = end;
+    // Clamp every boundary to [0, m]: the cumulative cursor accumulates
+    // rounding drift, and upward drift can push a later segment's begin
+    // past m, which would silently give that node zero selection
+    // probability (its cell range would be empty).
+    const double begin = std::min(cursor, m);
+    cursor += width;
+    segments.push_back({static_cast<std::uint32_t>(i), begin,
+                        std::min(cursor, m), shares_[i]});
   }
   // Guard the accumulated rounding drift at the top end.
   segments.back().end = m;
 
+  // A resolution weight must survive the float narrowing: a subnormal
+  // double share would otherwise round to 0.0f and vanish in the chain
+  // normalization.
+  const auto entry_weight = [](double w) {
+    return std::max(static_cast<float>(w),
+                    std::numeric_limits<float>::min());
+  };
   std::vector<std::vector<Entry>> chains(cells);
   for (const Segment& seg : segments) {
-    const auto first = static_cast<std::uint64_t>(seg.begin);
+    const auto anchor = std::min(
+        static_cast<std::uint64_t>(seg.begin), cells - 1);
     const auto last = static_cast<std::uint64_t>(
         std::min(m - 1.0, std::ceil(seg.end) - 1.0));
-    for (std::uint64_t j = first; j <= last && j < cells; ++j) {
+    bool inserted = false;
+    for (std::uint64_t j = anchor; j <= last && j < cells; ++j) {
       const double cell_lo = static_cast<double>(j);
       const double cell_hi = cell_lo + 1.0;
       const double overlap =
@@ -75,7 +89,15 @@ BlockHashTable::BlockHashTable(const std::vector<double>& weights,
       const double w = weighting_ == ChainWeighting::kPaper
                            ? seg.rate
                            : overlap;
-      chains[j].push_back({seg.node, static_cast<float>(w)});
+      chains[j].push_back({seg.node, entry_weight(w)});
+      inserted = true;
+    }
+    if (!inserted) {
+      // Rounding squeezed the segment to zero width (tiny share, or a
+      // clamped boundary at m). Every positive-weight node must keep a
+      // positive selection probability, so force one chain entry at the
+      // segment's anchor cell.
+      chains[anchor].push_back({seg.node, entry_weight(seg.rate)});
     }
   }
 

@@ -1,0 +1,34 @@
+#include "placement/masked_draw.h"
+
+namespace adapt::placement {
+
+std::optional<cluster::NodeIndex> masked_exact_draw(
+    const std::vector<double>& realized, const std::vector<bool>& eligible,
+    common::Rng& rng) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < realized.size(); ++i) {
+    if (eligible[i]) total += realized[i];
+  }
+  if (total > 0.0) {
+    double r = rng.uniform() * total;
+    for (std::size_t i = 0; i < realized.size(); ++i) {
+      if (!eligible[i]) continue;
+      r -= realized[i];
+      if (r <= 0.0) return static_cast<cluster::NodeIndex>(i);
+    }
+    // Rounding left r marginally positive: return the last eligible node.
+    for (std::size_t i = realized.size(); i-- > 0;) {
+      if (eligible[i] && realized[i] > 0.0) {
+        return static_cast<cluster::NodeIndex>(i);
+      }
+    }
+  }
+  std::vector<cluster::NodeIndex> candidates;
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    if (eligible[i]) candidates.push_back(static_cast<cluster::NodeIndex>(i));
+  }
+  if (candidates.empty()) return std::nullopt;
+  return candidates[rng.uniform_index(candidates.size())];
+}
+
+}  // namespace adapt::placement

@@ -1,0 +1,49 @@
+// Shared eligibility-mask sampling for weighted placement policies.
+//
+// Policies built on a fast unconditional sampler (Algorithm 1's hash
+// table, the alias table) handle the NameNode's eligibility mask by
+// rejection: draw, retry while the draw is masked out. Under heavy
+// masking the loop is cut off after a bounded number of attempts and an
+// exact draw finishes the job. That exact draw must come from the same
+// distribution the rejection loop realizes — the sampler's *realized*
+// per-node selection probabilities, conditioned on the mask — not from
+// the raw construction weights: the hash table's chain normalization
+// shifts realized shares away from the weights (ChainWeighting::kPaper),
+// so falling back to the weights would sample a subtly different
+// distribution on exactly the heavily-masked draws.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/node.h"
+#include "common/rng.h"
+
+namespace adapt::placement {
+
+// Exact weighted draw over `realized` restricted to the eligible set.
+// When every eligible node has zero realized probability, falls back to
+// a uniform draw over the eligible set (a load must still complete when
+// only capped-out or unstable nodes remain); nullopt when no node is
+// eligible at all.
+std::optional<cluster::NodeIndex> masked_exact_draw(
+    const std::vector<double>& realized, const std::vector<bool>& eligible,
+    common::Rng& rng);
+
+// The common choose() body: rejection-sample `sample` against the mask,
+// then finish with masked_exact_draw over the sampler's realized
+// selection probabilities.
+template <typename SampleFn>
+std::optional<cluster::NodeIndex> masked_choose(
+    const SampleFn& sample, const std::vector<double>& realized,
+    const std::vector<bool>& eligible, common::Rng& rng) {
+  constexpr int kMaxRejections = 32;
+  for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
+    const std::uint32_t node = sample(rng);
+    if (eligible[node]) return node;
+  }
+  return masked_exact_draw(realized, eligible, rng);
+}
+
+}  // namespace adapt::placement

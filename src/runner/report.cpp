@@ -1,0 +1,130 @@
+#include "runner/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace adapt::runner {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  // JSON has no Infinity/NaN; emit null so consumers fail loudly rather
+  // than parse garbage.
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_metrics(
+    std::string& out,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  out += "{";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + json_escape(metrics[i].first) +
+           "\": " + json_number(metrics[i].second);
+  }
+  out += "}";
+}
+
+}  // namespace
+
+Report::Report(std::string bench, std::uint64_t seed, int runs)
+    : bench_(std::move(bench)), seed_(seed), runs_(runs) {}
+
+void Report::add_result(const std::string& sweep, const std::string& point,
+                        const std::string& series,
+                        const core::RepeatedResult& result) {
+  Row row;
+  row.sweep = sweep;
+  row.point = point;
+  row.series = series;
+  row.metrics = {
+      {"elapsed_mean", result.elapsed.mean},
+      {"elapsed_stddev", result.elapsed.stddev},
+      {"elapsed_p95", result.elapsed.p95},
+      {"elapsed_ci95", result.elapsed.ci95_half_width},
+      {"locality_mean", result.locality.mean},
+      {"rework_ratio", result.rework_ratio},
+      {"recovery_ratio", result.recovery_ratio},
+      {"migration_ratio", result.migration_ratio},
+      {"misc_ratio", result.misc_ratio},
+      {"total_ratio", result.total_ratio},
+      {"samples", static_cast<double>(result.elapsed.count)},
+  };
+  rows_.push_back(std::move(row));
+}
+
+void Report::set_config(const std::string& key, double value) {
+  config_.emplace_back(key, value);
+}
+
+std::string Report::to_json() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"" + json_escape(bench_) + "\",\n";
+  out += "  \"seed\": " + std::to_string(seed_) + ",\n";
+  out += "  \"runs\": " + std::to_string(runs_) + ",\n";
+  out += "  \"config\": ";
+  append_metrics(out, config_);
+  out += ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& row = rows_[i];
+    out += "    {\"sweep\": \"" + json_escape(row.sweep) + "\", ";
+    out += "\"point\": \"" + json_escape(row.point) + "\", ";
+    out += "\"series\": \"" + json_escape(row.series) + "\", ";
+    out += "\"metrics\": ";
+    append_metrics(out, row.metrics);
+    out += i + 1 < rows_.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+void Report::write(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("report: cannot open " + path);
+  }
+  const std::string json = to_json();
+  const std::size_t written =
+      std::fwrite(json.data(), 1, json.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != json.size() || close_rc != 0) {
+    throw std::runtime_error("report: short write to " + path);
+  }
+}
+
+}  // namespace adapt::runner

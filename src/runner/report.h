@@ -1,0 +1,55 @@
+// Machine-readable results emitter for the bench binaries.
+//
+// Collects one row per (sweep, point, series) cell and serializes the
+// lot as JSON so CI can record a BENCH_*.json perf/fidelity trajectory
+// next to the human-readable tables. Serialization is deterministic:
+// fixed key order, locale-independent "%.17g" doubles (round-trip
+// exact), no timestamps and no environment data — two runs with the
+// same seed produce byte-identical files regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adapt.h"
+
+namespace adapt::runner {
+
+class Report {
+ public:
+  Report(std::string bench, std::uint64_t seed, int runs);
+
+  // Append one aggregate cell. Row order is preserved in the output.
+  void add_result(const std::string& sweep, const std::string& point,
+                  const std::string& series,
+                  const core::RepeatedResult& result);
+
+  // Extra scalar attached to a row-less context (e.g. a config knob
+  // worth recording); emitted in the "config" object.
+  void set_config(const std::string& key, double value);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string to_json() const;
+
+  // Serialize to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  struct Row {
+    std::string sweep;
+    std::string point;
+    std::string series;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  std::string bench_;
+  std::uint64_t seed_;
+  int runs_;
+  std::vector<std::pair<std::string, double>> config_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace adapt::runner

@@ -1,0 +1,131 @@
+#include "runner/runner.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace adapt::runner {
+
+std::uint64_t derive_run_seed(std::uint64_t base_seed,
+                              std::uint64_t run_index) {
+  // Same stream-keyed splitmix64 derivation as Rng::fork: statistically
+  // independent streams for distinct run indices, reproducible from the
+  // base seed alone.
+  std::uint64_t s = base_seed ^ (0xd1b54a32d192ed03ull * (run_index + 1));
+  return common::splitmix64(s);
+}
+
+core::RepeatedResult merge_results(
+    const std::vector<core::ExperimentResult>& results) {
+  if (results.empty()) {
+    throw std::invalid_argument("merge_results: no runs");
+  }
+  std::vector<double> elapsed;
+  std::vector<double> locality;
+  elapsed.reserve(results.size());
+  locality.reserve(results.size());
+  core::RepeatedResult out;
+  for (const core::ExperimentResult& result : results) {
+    elapsed.push_back(result.job.elapsed);
+    locality.push_back(result.job.locality);
+    out.rework_ratio += result.job.overhead.rework_ratio();
+    out.recovery_ratio += result.job.overhead.recovery_ratio();
+    out.migration_ratio += result.job.overhead.migration_ratio();
+    out.misc_ratio += result.job.overhead.misc_ratio();
+    out.total_ratio += result.job.overhead.total_ratio();
+    out.policy_name = result.policy_name;
+  }
+  const double n = static_cast<double>(results.size());
+  out.rework_ratio /= n;
+  out.recovery_ratio /= n;
+  out.migration_ratio /= n;
+  out.misc_ratio /= n;
+  out.total_ratio /= n;
+  out.elapsed = common::summarize(std::move(elapsed));
+  out.locality = common::summarize(std::move(locality));
+  return out;
+}
+
+ExperimentRunner::ExperimentRunner(std::size_t threads) : pool_(threads) {}
+
+std::vector<core::ExperimentResult> ExperimentRunner::run_all(
+    const std::vector<Job>& jobs) {
+  std::vector<core::ExperimentResult> results(jobs.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    if (job.cluster == nullptr) {
+      throw std::invalid_argument("run_all: job without a cluster");
+    }
+    tasks.push_back([&results, &job, i] {
+      results[i] = core::run_experiment(*job.cluster, job.config);
+    });
+  }
+  pool_.run_all(std::move(tasks));
+  return results;
+}
+
+core::RepeatedResult ExperimentRunner::run_replications(
+    const cluster::Cluster& cluster, core::ExperimentConfig config,
+    int runs) {
+  if (runs < 1) {
+    throw std::invalid_argument("run_replications: runs must be >= 1");
+  }
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    Job job;
+    job.cluster = &cluster;
+    job.config = config;
+    job.config.seed =
+        derive_run_seed(config.seed, static_cast<std::uint64_t>(r));
+    job.config.job.seed = job.config.seed;
+    jobs.push_back(std::move(job));
+  }
+  return merge_results(run_all(jobs));
+}
+
+std::vector<core::RepeatedResult> ExperimentRunner::run_sweep(
+    const std::vector<SweepCell>& cells) {
+  std::vector<Job> jobs;
+  std::vector<std::size_t> cell_begin;  // job index of each cell's run 0
+  cell_begin.reserve(cells.size());
+  for (const SweepCell& cell : cells) {
+    if (!cell.cluster) {
+      throw std::invalid_argument("run_sweep: cell without a cluster");
+    }
+    if (cell.runs < 1) {
+      throw std::invalid_argument("run_sweep: cell runs must be >= 1");
+    }
+    cell_begin.push_back(jobs.size());
+    for (int r = 0; r < cell.runs; ++r) {
+      Job job;
+      job.cluster = cell.cluster.get();
+      job.config = cell.config;
+      job.config.seed =
+          derive_run_seed(cell.config.seed, static_cast<std::uint64_t>(r));
+      job.config.job.seed = job.config.seed;
+      jobs.push_back(std::move(job));
+    }
+  }
+  const std::vector<core::ExperimentResult> results = run_all(jobs);
+  std::vector<core::RepeatedResult> merged;
+  merged.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const auto begin = results.begin() + static_cast<std::ptrdiff_t>(cell_begin[c]);
+    merged.push_back(merge_results(std::vector<core::ExperimentResult>(
+        begin, begin + cells[c].runs)));
+  }
+  return merged;
+}
+
+std::shared_ptr<const cluster::Cluster> borrow(
+    const cluster::Cluster& cluster) {
+  // Aliasing constructor: shared_ptr semantics without ownership.
+  return std::shared_ptr<const cluster::Cluster>(
+      std::shared_ptr<const cluster::Cluster>(), &cluster);
+}
+
+}  // namespace adapt::runner

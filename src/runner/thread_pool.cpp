@@ -1,0 +1,68 @@
+#include "runner/thread_pool.h"
+
+#include <algorithm>
+
+namespace adapt::runner {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& job : jobs) queue_.push_back(std::move(job));
+    in_flight_ += jobs.size();
+  }
+  work_ready_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--in_flight_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace adapt::runner

@@ -1,0 +1,51 @@
+// A small fixed-size thread pool for fanning independent simulation
+// runs across hardware threads.
+//
+// Deliberately minimal: a shared FIFO of std::function jobs, a fixed set
+// of worker threads, and a blocking run_all() that executes a batch and
+// propagates the first exception. Determinism is the caller's job —
+// every experiment run derives its own RNG stream and writes into its
+// own result slot, so completion order never matters.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adapt::runner {
+
+class ThreadPool {
+ public:
+  // 0 = one worker per hardware thread.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Run every job, block until all finish. Jobs may run in any order and
+  // on any worker. If one or more jobs throw, the first exception (in
+  // job submission order of completion handling) is rethrown after the
+  // whole batch has drained.
+  void run_all(std::vector<std::function<void()>> jobs);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace adapt::runner

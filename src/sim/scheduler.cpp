@@ -86,17 +86,18 @@ std::optional<TaskId> TaskBoard::take_local(cluster::NodeIndex node) {
 std::optional<TaskId> TaskBoard::take_stalled(common::Seconds now,
                                               common::Seconds min_age) {
   while (!stalled_.empty()) {
-    const TaskId task = stalled_.front();
-    if (flags_[task].in_stalled && status_[task] == TaskStatus::kPending) {
-      // Entries are park-time ordered, so an unripe head means nothing
-      // behind it is ripe either.
+    const auto [task, parked_at] = stalled_.front();
+    if (flags_[task].in_stalled && status_[task] == TaskStatus::kPending &&
+        parked_at == stalled_since_[task]) {
+      // Live entries are park-time ordered, so an unripe head means
+      // nothing behind it is ripe either.
       if (now - stalled_since_[task] < min_age) return std::nullopt;
       stalled_.pop_front();
       flags_[task].in_stalled = false;
       return task;
     }
-    // Stale entry (task revived into the global queue, re-parked later,
-    // or no longer pending): drop it.
+    // Stale entry (task revived into the global queue, re-parked later
+    // with a newer stamp, or no longer pending): drop it.
     stalled_.pop_front();
     if (status_[task] != TaskStatus::kPending) {
       flags_[task].in_stalled = false;
@@ -107,8 +108,9 @@ std::optional<TaskId> TaskBoard::take_stalled(common::Seconds now,
 
 std::optional<common::Seconds> TaskBoard::next_stalled_park() {
   while (!stalled_.empty()) {
-    const TaskId task = stalled_.front();
-    if (flags_[task].in_stalled && status_[task] == TaskStatus::kPending) {
+    const auto [task, parked_at] = stalled_.front();
+    if (flags_[task].in_stalled && status_[task] == TaskStatus::kPending &&
+        parked_at == stalled_since_[task]) {
       return stalled_since_[task];
     }
     stalled_.pop_front();

@@ -84,11 +84,19 @@ class TaskBoard {
   std::vector<std::size_t> node_pending_;  // pending tasks homed per node
   std::vector<std::size_t> node_cursor_;   // take_local scan position
 
+  // A stalled entry remembers the park time it was queued with; after a
+  // revive + re-park the task's stalled_since_ moves forward and the old
+  // entry (now a stale duplicate) is recognized by the mismatch.
+  struct StalledEntry {
+    TaskId task;
+    common::Seconds parked_at;
+  };
+
   std::vector<TaskStatus> status_;
   std::vector<Flags> flags_;
   std::vector<common::Seconds> stalled_since_;
   std::deque<TaskId> global_;
-  std::deque<TaskId> stalled_;
+  std::deque<StalledEntry> stalled_;
   std::size_t done_ = 0;
   std::size_t pending_ = 0;
 };
@@ -105,7 +113,7 @@ std::optional<TaskId> TaskBoard::take_remote(common::Seconds now,
     if (!flags_[task].in_stalled) {
       flags_[task].in_stalled = true;
       stalled_since_[task] = now;
-      stalled_.push_back(task);
+      stalled_.push_back({task, now});
     }
   }
   return std::nullopt;

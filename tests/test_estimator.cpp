@@ -23,7 +23,9 @@ TEST(Estimator, SingleCycle) {
   est.record_down(100.0);
   est.record_up(130.0);
   const InterruptionParams p = est.estimate(200.0);
-  EXPECT_DOUBLE_EQ(p.lambda, 1.0 / 200.0);
+  // Exposure is uptime, not wall clock: 200 s observed minus the 30 s
+  // outage.
+  EXPECT_DOUBLE_EQ(p.lambda, 1.0 / 170.0);
   EXPECT_DOUBLE_EQ(p.mu, 30.0);
 }
 
@@ -37,7 +39,7 @@ TEST(Estimator, MultipleCycles) {
   est.record_down(300.0);
   est.record_up(330.0);
   const InterruptionParams p = est.estimate(400.0);
-  EXPECT_DOUBLE_EQ(p.lambda, 3.0 / 400.0);
+  EXPECT_DOUBLE_EQ(p.lambda, 3.0 / (400.0 - 60.0));
   EXPECT_DOUBLE_EQ(p.mu, 20.0);
   EXPECT_EQ(est.interruptions_observed(), 3u);
 }
@@ -59,7 +61,9 @@ TEST(Estimator, FirstOutageStillOpen) {
   est.record_down(10.0);
   const InterruptionParams p = est.estimate(110.0);
   EXPECT_DOUBLE_EQ(p.mu, 100.0);
-  EXPECT_DOUBLE_EQ(p.lambda, 1.0 / 110.0);
+  // The in-progress outage is excluded from the exposure: 10 s of
+  // uptime produced the one observed interruption.
+  EXPECT_DOUBLE_EQ(p.lambda, 1.0 / 10.0);
 }
 
 TEST(Estimator, RejectsInvalidTransitions) {
@@ -75,7 +79,7 @@ TEST(Estimator, NonZeroStartTime) {
   est.record_down(1100.0);
   est.record_up(1110.0);
   const InterruptionParams p = est.estimate(1200.0);
-  EXPECT_DOUBLE_EQ(p.lambda, 1.0 / 200.0);
+  EXPECT_DOUBLE_EQ(p.lambda, 1.0 / 190.0);
   EXPECT_THROW(AvailabilityEstimator(50.0).record_down(10.0),
                std::invalid_argument);
 }
@@ -97,11 +101,45 @@ TEST(Estimator, ConvergesToTrueParameters) {
     t = up;
   }
   const InterruptionParams p = est.estimate(t);
-  // lambda here is arrivals per wall-clock second of the alternating
-  // process: 1 / (1/lambda + mu).
-  const double expected_lambda = 1.0 / (1.0 / lambda + mu);
-  EXPECT_NEAR(p.lambda, expected_lambda, expected_lambda * 0.05);
+  // Uptime exposure recovers the true arrival rate itself, not the
+  // wall-clock transition rate 1/(1/lambda + mu).
+  EXPECT_NEAR(p.lambda, lambda, lambda * 0.05);
   EXPECT_NEAR(p.mu, mu, mu * 0.05);
+}
+
+// Regression for the wall-clock bias: on a high-utilization host
+// (rho = lambda*mu close to 1) the busy-period starts per wall-clock
+// second are lambda*(1-rho), so dividing by wall clock under-estimates
+// lambda by the availability factor — exactly on the flaky hosts ADAPT
+// must down-weight. The uptime-based estimator recovers lambda.
+TEST(Estimator, UptimeExposureRemovesHighUtilizationBias) {
+  const double lambda = 0.02;  // one interruption per 50 s of uptime
+  const double mu = 37.5;      // rho = 0.75: host down 3/7 of wall clock
+  Rng rng(1234);
+  AvailabilityEstimator est(0.0);
+  double t = 0.0;
+  std::size_t downs = 0;
+  for (int i = 0; i < 50000; ++i) {
+    t += rng.exponential(lambda);
+    const double down = t;
+    const double up = down + rng.exponential(1.0 / mu);
+    est.record_down(down);
+    est.record_up(up);
+    ++downs;
+    t = up;
+  }
+  // What the old estimator computed: transitions per wall-clock second.
+  const double wall_clock_estimate = static_cast<double>(downs) / t;
+  // Alternating renewal: wall-clock rate is 1/(1/lambda + mu), i.e. the
+  // old estimator is biased low by the up-fraction 1/(1 + lambda*mu).
+  const double bias_factor = 1.0 / (1.0 + lambda * mu);  // ~0.57
+  EXPECT_NEAR(wall_clock_estimate, lambda * bias_factor,
+              lambda * bias_factor * 0.05);
+  EXPECT_LT(wall_clock_estimate, 0.65 * lambda);  // >35% under-estimate
+  // The uptime-based estimator recovers lambda within a few percent.
+  const InterruptionParams p = est.estimate(t);
+  EXPECT_NEAR(p.lambda, lambda, lambda * 0.03);
+  EXPECT_NEAR(p.mu, mu, mu * 0.03);
 }
 
 }  // namespace

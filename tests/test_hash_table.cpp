@@ -2,6 +2,7 @@
 // proportionality, and the paper-vs-overlap chain weighting ablation.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 
 #include "placement/hash_table.h"
@@ -100,6 +101,47 @@ TEST(HashTable, ManyMoreNodesThanCells) {
   double sum = 0.0;
   for (const double p : probs) sum += p;
   EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+// Property: a positive construction weight must never round away to a
+// zero selection probability. Adversarial vectors drive the cumulative
+// boundary cursor into rounding drift (tiny trailing shares at the
+// clamped top end of the table, extreme dynamic range whose resolution
+// weights would underflow the float chain entries).
+TEST(HashTable, PositiveWeightAlwaysSelectable) {
+  std::vector<std::vector<double>> vectors = {
+      {1e12, 1.0, 1e12, 1e-9},
+      {1e30, 1e-30, 1e30, 1e-30, 1.0},
+      {0.1, 0.0, 1e-12, 7.7, 1e-40},
+      {1e150, 1e-150, 1.0},
+  };
+  // Log-uniform random vectors sprinkle tiny segments across the whole
+  // table, not just the top end.
+  Rng rng(2024);
+  for (int v = 0; v < 16; ++v) {
+    std::vector<double> w;
+    for (int i = 0; i < 64; ++i) w.push_back(std::exp(rng.uniform(-80.0, 10.0)));
+    w[3] = 0.0;  // keep the zero-weight -> zero-probability leg covered
+    vectors.push_back(std::move(w));
+  }
+  for (const auto& weights : vectors) {
+    for (const auto weighting :
+         {ChainWeighting::kPaper, ChainWeighting::kOverlap}) {
+      for (const std::uint64_t cells : {7ull, 128ull, 1009ull}) {
+        const BlockHashTable table(weights, cells, weighting);
+        const auto probs = table.selection_probabilities();
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+          if (weights[i] > 0.0) {
+            EXPECT_GT(probs[i], 0.0)
+                << "node " << i << " cells " << cells << " weighting "
+                << to_string(weighting);
+          } else {
+            EXPECT_EQ(probs[i], 0.0) << "node " << i;
+          }
+        }
+      }
+    }
+  }
 }
 
 TEST(HashTable, Validation) {

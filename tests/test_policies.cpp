@@ -4,6 +4,7 @@
 
 #include "availability/interruption_model.h"
 #include "placement/adapt_policy.h"
+#include "placement/alias_sampler.h"
 #include "placement/capped_policy.h"
 #include "placement/naive_policy.h"
 #include "placement/random_policy.h"
@@ -97,6 +98,51 @@ TEST(AdaptPolicy, MaskedFallbackStaysWeighted) {
     (choice == 1 ? ones : twos) += 1;
   }
   EXPECT_GT(ones, twos * 20);
+}
+
+TEST(AdaptPolicy, MaskedFallbackMatchesRealizedDistribution) {
+  // Heavy masked nodes + two tiny eligible nodes force nearly every draw
+  // through the 32-rejection cutoff into the exact fallback. The
+  // fallback must draw from the hash table's *realized* selection
+  // probabilities conditioned on the mask — under kPaper chain
+  // weighting these differ measurably from the raw weights, which the
+  // old fallback sampled.
+  const std::vector<double> weights = {2.6, 0.02, 1.4, 0.013, 2.0, 1.0};
+  WeightedHashPolicy policy("test", weights, 7, ChainWeighting::kPaper);
+  const auto realized = policy.table().selection_probabilities();
+  const double p_realized = realized[1] / (realized[1] + realized[3]);
+  const double p_raw = weights[1] / (weights[1] + weights[3]);
+  // The setup only discriminates if the two conditionals differ by more
+  // than the empirical tolerance below.
+  ASSERT_GT(std::abs(p_realized - p_raw), 0.03);
+
+  std::vector<bool> eligible = {false, true, false, true, false, false};
+  Rng rng(42);
+  constexpr int kDraws = 120000;
+  std::size_t ones = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto choice = policy.choose(eligible, rng).value();
+    ASSERT_TRUE(choice == 1 || choice == 3);
+    ones += choice == 1;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kDraws, p_realized, 0.01);
+}
+
+TEST(AliasPolicy, MaskedFallbackMatchesShares) {
+  // Same agreement property on the alias policy: masked draws (almost
+  // all through the fallback) follow the sampler's realized shares
+  // conditioned on the mask.
+  AliasPolicy policy("test", {1000.0, 1000.0, 1000.0, 0.7, 0.3});
+  std::vector<bool> eligible = {false, false, false, true, true};
+  Rng rng(43);
+  constexpr int kDraws = 60000;
+  std::size_t threes = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto choice = policy.choose(eligible, rng).value();
+    ASSERT_TRUE(choice == 3 || choice == 4);
+    threes += choice == 3;
+  }
+  EXPECT_NEAR(static_cast<double>(threes) / kDraws, 0.7, 0.01);
 }
 
 TEST(AdaptPolicy, AllEligibleZeroWeightFallsBackUniform) {

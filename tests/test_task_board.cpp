@@ -98,6 +98,46 @@ TEST(TaskBoard, ReviveStalledRestoresRemoteVisibility) {
   EXPECT_TRUE(board.take_remote(1.0, [](TaskId) { return true; }));
 }
 
+TEST(TaskBoard, ReparkAfterReviveDoesNotShadowOlderStalledTasks) {
+  // Task 0 homed on node 0, task 1 on node 1. Park 0 at t=10, 1 at t=20;
+  // node 0 recovers (0 revived) and fails again, re-parking 0 at t=100.
+  // The stale t=10 queue entry for task 0 now fronts the stalled queue
+  // with a re-stamped park time; it must not hide task 1 (ripe at t=90)
+  // nor let task 0 out before its *new* park time ages.
+  TaskBoard board({{0}, {1}}, 2);
+  // Parks task 0 at t=10 while scanning past it to task 1.
+  const auto first = board.take_remote(10.0, [](TaskId t) { return t != 0; });
+  ASSERT_TRUE(first);
+  EXPECT_EQ(*first, 1u);
+  // Put task 1 back and park it at t=20.
+  board.mark_running(1);
+  board.mark_pending(1);
+  EXPECT_FALSE(board.take_remote(20.0, [](TaskId) { return false; }));
+
+  // Node 0 recovers: task 0 revived into the global queue...
+  EXPECT_EQ(board.revive_stalled_for(0), 1u);
+  // ...then fails again before anyone could run it: re-parked at t=100.
+  EXPECT_FALSE(board.take_remote(100.0, [](TaskId) { return false; }));
+
+  // Oldest *live* park is task 1's t=20, not task 0's stale entry.
+  const auto park = board.next_stalled_park();
+  ASSERT_TRUE(park);
+  EXPECT_DOUBLE_EQ(*park, 20.0);
+
+  // At t=90 with min_age 60 only task 1 is ripe (task 0 re-parked at
+  // 100); the stale front entry must not block it.
+  const auto ripe = board.take_stalled(90.0, 60.0);
+  ASSERT_TRUE(ripe);
+  EXPECT_EQ(*ripe, 1u);
+  board.mark_running(*ripe);
+
+  // Task 0's age is measured from the re-park, not the original park.
+  EXPECT_FALSE(board.take_stalled(130.0, 60.0));
+  const auto again = board.take_stalled(160.0, 60.0);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(*again, 0u);
+}
+
 TEST(TaskBoard, NextStalledParkReportsOldest) {
   TaskBoard board({{0}, {0}}, 1);
   EXPECT_FALSE(board.next_stalled_park().has_value());
