@@ -11,6 +11,7 @@
 //      absolute time (strict M/G/1).
 //
 //   ./bench_ablation [--runs R] [--seed S] [--threads T] [--json PATH]
+//                    [--trace PATH] [--metrics]
 #include <cstdio>
 
 #include "bench_util.h"
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
 
   runner::ExperimentRunner exec(options.threads);
   runner::Report report("ablation", seed, runs);
+  bench::ObsSink sink(options);
 
   const workload::Workload w = workload::emulation_workload();
   cluster::EmulationConfig emu;
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
   base.replication = 1;
   base.seed = seed;
   base.policy = core::PolicyKind::kAdapt;
+  base.obs = options.obs;
 
   {
     common::Table table({"chain weighting", "elapsed (s)", "locality"});
@@ -56,7 +59,8 @@ int main(int argc, char** argv) {
                                  placement::ChainWeighting::kOverlap}) {
       core::ExperimentConfig config = base;
       config.weighting = weighting;
-      const auto r = exec.run_replications(cl, config, runs);
+      const auto r =
+          exec.run_replications(cl, config, runs, sink.collector());
       table.add_row({placement::to_string(weighting),
                      common::format_double(r.elapsed.mean, 0),
                      common::format_percent(r.locality.mean)});
@@ -84,7 +88,8 @@ int main(int argc, char** argv) {
       for (const auto c : r.distribution) {
         max_blocks = std::max(max_blocks, c);
       }
-      const auto repeated = exec.run_replications(skewed, config, runs);
+      const auto repeated =
+          exec.run_replications(skewed, config, runs, sink.collector());
       table.add_row({cap ? "on (m(k+1)/n)" : "off",
                      common::format_double(repeated.elapsed.mean, 0),
                      std::to_string(max_blocks),
@@ -103,9 +108,11 @@ int main(int argc, char** argv) {
       core::ExperimentConfig config = base;
       config.job.speculation = speculation;
       config.policy = core::PolicyKind::kRandom;
-      const auto random = exec.run_replications(cl, config, runs);
+      const auto random =
+          exec.run_replications(cl, config, runs, sink.collector());
       config.policy = core::PolicyKind::kAdapt;
-      const auto adapt_r = exec.run_replications(cl, config, runs);
+      const auto adapt_r =
+          exec.run_replications(cl, config, runs, sink.collector());
       table.add_row({speculation ? "on" : "off",
                      common::format_double(random.elapsed.mean, 0),
                      common::format_double(adapt_r.elapsed.mean, 0)});
@@ -140,12 +147,13 @@ int main(int argc, char** argv) {
       config.job.origin_fetch_delay = delay;
       config.steady_state_start = true;
       config.seed = seed;
+      config.obs = options.obs;
       config.policy = core::PolicyKind::kRandom;
-      const auto random =
-          exec.run_replications(sim_cl, config, std::max(1, runs / 2));
+      const auto random = exec.run_replications(
+          sim_cl, config, std::max(1, runs / 2), sink.collector());
       config.policy = core::PolicyKind::kAdapt;
-      const auto adapt_r =
-          exec.run_replications(sim_cl, config, std::max(1, runs / 2));
+      const auto adapt_r = exec.run_replications(
+          sim_cl, config, std::max(1, runs / 2), sink.collector());
       table.add_row({common::format_seconds(delay),
                      common::format_percent(random.total_ratio),
                      common::format_percent(adapt_r.total_ratio),
@@ -169,9 +177,11 @@ int main(int argc, char** argv) {
       const cluster::Cluster clock_cl = cluster::emulated_cluster(config_emu);
       core::ExperimentConfig config = base;
       config.policy = core::PolicyKind::kRandom;
-      const auto random = exec.run_replications(clock_cl, config, runs);
+      const auto random =
+          exec.run_replications(clock_cl, config, runs, sink.collector());
       config.policy = core::PolicyKind::kAdapt;
-      const auto adapt_r = exec.run_replications(clock_cl, config, runs);
+      const auto adapt_r =
+          exec.run_replications(clock_cl, config, runs, sink.collector());
       const std::string point = absolute ? "absolute" : "uptime";
       table.add_row({absolute ? "absolute (strict M/G/1)" : "uptime",
                      common::format_double(random.elapsed.mean, 0),
@@ -202,7 +212,14 @@ int main(int argc, char** argv) {
         config.seed = seed + 1000 + static_cast<std::uint64_t>(i);
         jobs.push_back({&cl, config});
       }
-      const auto results = exec.run_all(jobs);
+      auto results = exec.run_all(jobs);
+      // run_all has no observation parameter; drain each result's
+      // observations into the sink by hand, in job order.
+      if (std::vector<obs::RunObservations>* out = sink.collector()) {
+        for (core::ExperimentResult& r : results) {
+          out->push_back(std::move(r.obs));
+        }
+      }
       double elapsed = 0.0;
       std::uint64_t reassigned = 0;
       std::uint64_t refetched = 0;
@@ -224,6 +241,7 @@ int main(int argc, char** argv) {
     std::printf("\n--- 6. Reduce phase (future-work extension) ---\n%s",
                 table.to_string().c_str());
   }
+  sink.finish(report);
   bench::write_report(report, options.json_path);
   return 0;
 }

@@ -7,6 +7,7 @@
 //
 //   ./bench_fig3_elapsed [--runs R] [--seed S] [--full]
 //                        [--threads T] [--json PATH]
+//                        [--trace PATH] [--metrics]
 #include <cstdio>
 #include <memory>
 
@@ -27,7 +28,8 @@ struct Sweep {
 };
 
 void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
-               const Sweep& sweep, int runs, std::uint64_t seed) {
+               bench::ObsSink& sink, const Sweep& sweep, int runs,
+               std::uint64_t seed) {
   const workload::Workload w = workload::emulation_workload();
   const std::vector<bench::Series> series = bench::fig3_series();
 
@@ -40,13 +42,15 @@ void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
     config.blocks = w.blocks_for(cl->size());
     config.job.gamma = w.gamma();
     config.seed = seed + i;
+    config.obs = sink.options.obs;
     for (const bench::Series& s : series) {
       config.policy = s.policy;
       config.replication = s.replication;
       cells.push_back({cl, config, runs});
     }
   }
-  const std::vector<core::RepeatedResult> results = exec.run_sweep(cells);
+  const std::vector<core::RepeatedResult> results =
+      exec.run_sweep(cells, sink.collector());
 
   common::Table table({sweep.column, "random r1 (s)", "adapt r1 (s)",
                        "random r2 (s)", "adapt r2 (s)", "adapt r1 gain"});
@@ -94,6 +98,7 @@ int main(int argc, char** argv) {
 
   runner::ExperimentRunner exec(options.threads);
   runner::Report report("fig3_elapsed", seed, runs);
+  bench::ObsSink sink(options);
 
   const workload::EmulationDefaults defaults =
       workload::emulation_defaults();
@@ -109,7 +114,7 @@ int main(int argc, char** argv) {
     ratio_sweep.labels.push_back(common::format_double(ratio, 2));
     ratio_sweep.configs.push_back(config);
   }
-  run_sweep(exec, report, ratio_sweep, runs, seed);
+  run_sweep(exec, report, sink, ratio_sweep, runs, seed);
 
   Sweep bw_sweep;
   bw_sweep.title = "Figure 3(b): network bandwidth";
@@ -122,7 +127,7 @@ int main(int argc, char** argv) {
     bw_sweep.labels.push_back(common::format_bandwidth(bps));
     bw_sweep.configs.push_back(config);
   }
-  run_sweep(exec, report, bw_sweep, runs, seed + 100);
+  run_sweep(exec, report, sink, bw_sweep, runs, seed + 100);
 
   Sweep node_sweep;
   node_sweep.title = "Figure 3(c): number of nodes";
@@ -135,8 +140,9 @@ int main(int argc, char** argv) {
     node_sweep.labels.push_back(std::to_string(n));
     node_sweep.configs.push_back(config);
   }
-  run_sweep(exec, report, node_sweep, runs, seed + 200);
+  run_sweep(exec, report, sink, node_sweep, runs, seed + 200);
 
+  sink.finish(report);
   bench::write_report(report, options.json_path);
   return 0;
 }

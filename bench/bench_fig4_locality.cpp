@@ -4,6 +4,7 @@
 //
 //   ./bench_fig4_locality [--runs R] [--seed S] [--full]
 //                         [--threads T] [--json PATH]
+//                         [--trace PATH] [--metrics]
 #include <cstdio>
 #include <memory>
 
@@ -17,7 +18,8 @@ namespace {
 using namespace adapt;
 
 void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
-               const std::string& title, const std::string& column,
+               bench::ObsSink& sink, const std::string& title,
+               const std::string& column,
                const std::vector<std::string>& labels,
                const std::vector<cluster::EmulationConfig>& configs,
                int runs, std::uint64_t seed) {
@@ -33,13 +35,15 @@ void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
     config.blocks = w.blocks_for(cl->size());
     config.job.gamma = w.gamma();
     config.seed = seed + i;
+    config.obs = sink.options.obs;
     for (const bench::Series& s : series) {
       config.policy = s.policy;
       config.replication = s.replication;
       cells.push_back({cl, config, runs});
     }
   }
-  const std::vector<core::RepeatedResult> results = exec.run_sweep(cells);
+  const std::vector<core::RepeatedResult> results =
+      exec.run_sweep(cells, sink.collector());
 
   common::Table table({column, "random r1", "adapt r1", "random r2",
                        "adapt r2"});
@@ -76,6 +80,7 @@ int main(int argc, char** argv) {
 
   runner::ExperimentRunner exec(options.threads);
   runner::Report report("fig4_locality", seed, runs);
+  bench::ObsSink sink(options);
 
   const workload::EmulationDefaults defaults =
       workload::emulation_defaults();
@@ -90,7 +95,7 @@ int main(int argc, char** argv) {
       labels.push_back(common::format_double(ratio, 2));
       configs.push_back(config);
     }
-    run_sweep(exec, report, "Figure 4(a): ratio of interrupted nodes",
+    run_sweep(exec, report, sink, "Figure 4(a): ratio of interrupted nodes",
               "interrupted", labels, configs, runs, seed);
   }
   {
@@ -103,8 +108,8 @@ int main(int argc, char** argv) {
       labels.push_back(common::format_bandwidth(bps));
       configs.push_back(config);
     }
-    run_sweep(exec, report, "Figure 4(b): network bandwidth", "bandwidth",
-              labels, configs, runs, seed + 100);
+    run_sweep(exec, report, sink, "Figure 4(b): network bandwidth",
+              "bandwidth", labels, configs, runs, seed + 100);
   }
   {
     std::vector<std::string> labels;
@@ -115,9 +120,10 @@ int main(int argc, char** argv) {
       labels.push_back(std::to_string(n));
       configs.push_back(config);
     }
-    run_sweep(exec, report, "Figure 4(c): number of nodes", "nodes",
+    run_sweep(exec, report, sink, "Figure 4(c): number of nodes", "nodes",
               labels, configs, runs, seed + 200);
   }
+  sink.finish(report);
   bench::write_report(report, options.json_path);
   return 0;
 }

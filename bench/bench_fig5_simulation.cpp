@@ -13,6 +13,7 @@
 //   ./bench_fig5_simulation [--nodes N] [--runs R] [--seed S]
 //                           [--reissue-delay SEC] [--full]
 //                           [--threads T] [--json PATH]
+//                           [--trace PATH] [--metrics]
 #include <cstdio>
 #include <memory>
 
@@ -49,8 +50,8 @@ struct Point {
 };
 
 void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
-               const std::string& title, const std::string& column,
-               const std::vector<Point>& points,
+               bench::ObsSink& sink, const std::string& title,
+               const std::string& column, const std::vector<Point>& points,
                const std::vector<bench::Series>& series, int runs,
                std::uint64_t seed, double reissue_delay) {
   // Build the whole (point x series) grid first; every individual
@@ -74,6 +75,7 @@ void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
     config.job.origin_fetch_delay = reissue_delay;
     config.steady_state_start = true;
     config.seed = seed;
+    config.obs = sink.options.obs;
 
     for (const bench::Series& s : series) {
       config.policy = s.policy;
@@ -81,7 +83,8 @@ void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
       cells.push_back({cl, config, runs});
     }
   }
-  const std::vector<core::RepeatedResult> results = exec.run_sweep(cells);
+  const std::vector<core::RepeatedResult> results =
+      exec.run_sweep(cells, sink.collector());
 
   common::Table table({column, "series", "elapsed (s)", "total ovh",
                        "rework", "recovery", "migration", "misc",
@@ -131,6 +134,7 @@ int main(int argc, char** argv) {
   runner::Report report("fig5_simulation", seed, runs);
   report.set_config("nodes", static_cast<double>(nodes));
   report.set_config("reissue_delay", reissue);
+  bench::ObsSink sink(options);
 
   const auto series = bench::fig5_series(full);
   const workload::SimulationDefaults defaults =
@@ -142,8 +146,8 @@ int main(int argc, char** argv) {
       points.push_back({common::format_bandwidth(bps), nodes, bps,
                         defaults.block_size_bytes});
     }
-    run_sweep(exec, report, "Figure 5(a): network bandwidth", "bandwidth",
-              points, series, runs, seed, reissue);
+    run_sweep(exec, report, sink, "Figure 5(a): network bandwidth",
+              "bandwidth", points, series, runs, seed, reissue);
   }
   {
     std::vector<Point> points;
@@ -151,7 +155,7 @@ int main(int argc, char** argv) {
       points.push_back({common::format_bytes(bytes), nodes,
                         defaults.bandwidth_bps, bytes});
     }
-    run_sweep(exec, report, "Figure 5(b): block size", "block size",
+    run_sweep(exec, report, sink, "Figure 5(b): block size", "block size",
               points, series, runs, seed + 1, reissue);
   }
   {
@@ -162,9 +166,10 @@ int main(int argc, char** argv) {
                         defaults.bandwidth_bps,
                         defaults.block_size_bytes});
     }
-    run_sweep(exec, report, "Figure 5(c): number of nodes", "nodes",
+    run_sweep(exec, report, sink, "Figure 5(c): number of nodes", "nodes",
               points, series, runs, seed + 2, reissue);
   }
+  sink.finish(report);
   bench::write_report(report, options.json_path);
   return 0;
 }

@@ -11,36 +11,91 @@
 #include "common/config.h"
 #include "common/table.h"
 #include "core/adapt.h"
+#include "obs/trace.h"
 #include "runner/report.h"
 #include "runner/runner.h"
 
 namespace adapt::bench {
 
 // Shared runner flags: every figure bench accepts
-//   --threads N   worker threads (0 = one per hardware thread)
-//   --json PATH   machine-readable results (byte-identical across
-//                 thread counts for the same seed)
+//   --threads N    worker threads (0 = one per hardware thread)
+//   --json PATH    machine-readable results (byte-identical across
+//                  thread counts for the same seed)
+//   --trace PATH   structured event trace, JSONL, one line per event
+//                  (byte-identical across thread counts)
+//   --metrics      collect metrics and embed them in the --json report
 struct RunnerOptions {
   std::size_t threads = 0;
   std::string json_path;
+  std::string trace_path;
+  bool metrics = false;
+  obs::Options obs;  // derived from trace_path/metrics
 };
+
+inline void probe_writable(const std::string& path, const char* flag) {
+  // Fail fast on an unwritable path rather than after the whole run.
+  std::FILE* probe = std::fopen(path.c_str(), "wb");
+  if (probe == nullptr) {
+    std::fprintf(stderr, "cannot open %s path %s for writing\n", flag,
+                 path.c_str());
+    std::exit(2);
+  }
+  std::fclose(probe);
+}
 
 inline RunnerOptions runner_options(const common::Flags& flags) {
   RunnerOptions options;
   options.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   options.json_path = flags.get_string("json", "");
   if (!options.json_path.empty()) {
-    // Fail fast on an unwritable path rather than after the whole run.
-    std::FILE* probe = std::fopen(options.json_path.c_str(), "wb");
-    if (probe == nullptr) {
-      std::fprintf(stderr, "cannot open --json path %s for writing\n",
-                   options.json_path.c_str());
-      std::exit(2);
-    }
-    std::fclose(probe);
+    probe_writable(options.json_path, "--json");
   }
+  options.trace_path = flags.get_string("trace", "");
+  if (!options.trace_path.empty()) {
+    probe_writable(options.trace_path, "--trace");
+  }
+  options.metrics = flags.get_bool("metrics", false);
+  options.obs.trace = !options.trace_path.empty();
+  options.obs.metrics = options.metrics;
   return options;
 }
+
+// Per-run observation sink for a bench: hand `collector()` to
+// run_sweep/run_replications (or null when observability is off), then
+// `finish(report)` to write the trace file and embed metrics/timelines.
+struct ObsSink {
+  const RunnerOptions& options;
+  std::vector<obs::RunObservations> runs;
+
+  explicit ObsSink(const RunnerOptions& opts) : options(opts) {}
+
+  std::vector<obs::RunObservations>* collector() {
+    return options.obs.enabled() ? &runs : nullptr;
+  }
+
+  void finish(runner::Report& report) {
+    if (!options.obs.enabled()) return;
+    report.set_observability(runs);
+    if (!options.trace_path.empty()) {
+      try {
+        obs::write_jsonl(options.trace_path, runs);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(1);
+      }
+      std::uint64_t records = 0;
+      std::uint64_t dropped = 0;
+      for (const obs::RunObservations& run : runs) {
+        records += run.records.size();
+        dropped += run.dropped;
+      }
+      std::printf("\nwrote %llu trace record(s) (%llu dropped) to %s\n",
+                  static_cast<unsigned long long>(records),
+                  static_cast<unsigned long long>(dropped),
+                  options.trace_path.c_str());
+    }
+  }
+};
 
 inline void write_report(const runner::Report& report,
                          const std::string& path) {

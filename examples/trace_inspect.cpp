@@ -1,0 +1,142 @@
+// Trace inspector: replay a JSONL event trace written by any bench's
+// --trace flag and print summary tables — per-run event counts, the
+// busiest per-node timelines, and the trace-derived recovery overhead
+// (downtime weighted by slots while a node still held undone home
+// tasks), which can be audited against the JobResult accounting in the
+// matching --json report.
+//
+//   ./trace_inspect <trace.jsonl> [--nodes N] [--runs R]
+//     --nodes N   show the N busiest node timelines per run (default 8)
+//     --runs R    inspect only the first R runs (default: all)
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "obs/replay.h"
+
+namespace {
+
+using namespace adapt;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void print_run(std::uint64_t run_index, const obs::RunObservations& run,
+               std::size_t show_nodes) {
+  const obs::ReplaySummary summary = obs::replay(run.records);
+
+  std::printf("\n=== run %llu: %zu record(s)",
+              static_cast<unsigned long long>(run_index),
+              run.records.size());
+  if (run.dropped > 0) {
+    std::printf(" (%llu dropped — ring too small; raw totals below "
+                "undercount)",
+                static_cast<unsigned long long>(run.dropped));
+  }
+  std::printf(" ===\n");
+  std::printf("nodes %zu, tasks %llu, elapsed %s\n", summary.node_count,
+              static_cast<unsigned long long>(summary.task_count),
+              common::format_seconds(summary.elapsed).c_str());
+
+  common::Table events({"event", "count"});
+  for (std::size_t i = 0; i < obs::kEventTypeCount; ++i) {
+    const auto type = static_cast<obs::EventType>(i);
+    if (summary.count(type) == 0) continue;
+    events.add_row({obs::to_string(type),
+                    std::to_string(summary.count(type))});
+  }
+  std::printf("%s", events.to_string().c_str());
+
+  std::printf("\ntotal downtime %s, total busy %s\n",
+              common::format_seconds(summary.total_downtime).c_str(),
+              common::format_seconds(summary.total_busy).c_str());
+  std::printf("recovery (downtime x slots with undone home tasks): "
+              "%.17g node-seconds\n",
+              summary.recovery_node_seconds);
+
+  // Busiest nodes first; ties broken by index for a stable listing.
+  std::vector<std::size_t> order(summary.nodes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&summary](std::size_t a, std::size_t b) {
+              const obs::NodeTotals& na = summary.nodes[a];
+              const obs::NodeTotals& nb = summary.nodes[b];
+              if (na.busy != nb.busy) return na.busy > nb.busy;
+              return a < b;
+            });
+  common::Table timeline(
+      {"node", "attempts", "transitions", "busy (s)", "down (s)",
+       "utilization"});
+  const std::size_t shown = std::min(show_nodes, order.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const std::size_t node = order[i];
+    const obs::NodeTotals& totals = summary.nodes[node];
+    const double util =
+        summary.elapsed > 0 ? totals.busy / summary.elapsed : 0.0;
+    timeline.add_row({std::to_string(node),
+                      std::to_string(totals.attempts),
+                      std::to_string(totals.transitions),
+                      common::format_double(totals.busy, 1),
+                      common::format_double(totals.downtime, 1),
+                      common::format_percent(util)});
+  }
+  std::printf("\nbusiest %zu of %zu node(s):\n%s", shown,
+              summary.nodes.size(), timeline.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adapt;
+  const common::Flags flags(argc, argv);
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: trace_inspect <trace.jsonl> [--nodes N] "
+                 "[--runs R]\n");
+    return 2;
+  }
+  const std::string path = flags.positional()[0];
+  const auto show_nodes =
+      static_cast<std::size_t>(flags.get_int("nodes", 8));
+  const std::int64_t max_runs = flags.get_int("runs", -1);
+
+  std::vector<obs::RunObservations> runs;
+  try {
+    runs = obs::parse_jsonl(read_file(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  std::uint64_t records = 0;
+  std::uint64_t dropped = 0;
+  for (const obs::RunObservations& run : runs) {
+    records += run.records.size();
+    dropped += run.dropped;
+  }
+  std::printf("%s: %zu run(s), %llu record(s), %llu dropped\n",
+              path.c_str(), runs.size(),
+              static_cast<unsigned long long>(records),
+              static_cast<unsigned long long>(dropped));
+
+  const std::size_t limit =
+      max_runs < 0 ? runs.size()
+                   : std::min(runs.size(), static_cast<std::size_t>(max_runs));
+  for (std::size_t i = 0; i < limit; ++i) {
+    print_run(i, runs[i], show_nodes);
+  }
+  return 0;
+}

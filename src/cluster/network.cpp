@@ -39,6 +39,17 @@ Network::Uplink& Network::uplink(std::uint32_t src) {
   return uplinks_.at(src);
 }
 
+// Drop spans whose admission share is already fully consumed; the
+// surviving spans stay oldest-first.
+void Network::prune(Uplink& link, common::Seconds now) {
+  std::size_t keep = 0;
+  while (keep < link.spans.size() && link.spans[keep].end <= now) ++keep;
+  if (keep > 0) {
+    link.spans.erase(link.spans.begin(),
+                     link.spans.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+}
+
 TransferGrant Network::request(std::uint32_t src, std::uint32_t dst,
                                std::uint64_t bytes, common::Seconds now) {
   if (src == dst) throw std::invalid_argument("network: src == dst");
@@ -52,39 +63,65 @@ TransferGrant Network::request(std::uint32_t src, std::uint32_t dst,
   grant.start = fifo_admission_ ? std::max(now, link.admit_at) : now;
   grant.end = grant.start + common::transfer_time(bytes, rate);
   grant.ticket = next_ticket_++;
+  ++stats_.requests;
+  stats_.admission_wait += grant.start - now;
   if (fifo_admission_) {
-    // The transfer's fair share of the uplink gates the next admission.
-    link.newest_prev_admit = link.admit_at;
-    link.admit_at = grant.start + common::transfer_time(bytes, up);
-    link.newest_ticket = grant.ticket;
+    // The transfer's fair share of the uplink gates the next admission;
+    // remember the span so an abort can return the unused part.
+    prune(link, now);
+    const common::Seconds next =
+        grant.start + common::transfer_time(bytes, up);
+    link.spans.push_back({grant.ticket, grant.start, next});
+    link.admit_at = next;
   }
   return grant;
 }
 
-void Network::abort(const TransferGrant& grant, common::Seconds now) {
+common::Seconds Network::abort(const TransferGrant& grant,
+                               common::Seconds now) {
+  ++stats_.aborts;
+  if (!fifo_admission_) return 0.0;
   Uplink& link = uplink(grant.src);
-  if (link.newest_ticket == grant.ticket) {
-    // Newest reservation: hand back its unused admission share.
-    link.admit_at = std::min(link.admit_at,
-                             std::max(now, link.newest_prev_admit));
-    link.newest_ticket = 0;
+  for (std::size_t i = 0; i < link.spans.size(); ++i) {
+    if (link.spans[i].ticket != grant.ticket) continue;
+    const Span span = link.spans[i];
+    const common::Seconds reclaimed =
+        std::max(0.0, span.end - std::max(now, span.begin));
+    link.spans.erase(link.spans.begin() + static_cast<std::ptrdiff_t>(i));
+    if (reclaimed > 0.0) {
+      // Everything admitted after the aborted transfer moves up by its
+      // unused share. Later spans are contiguous whenever reclaimed > 0
+      // (a gap would need a reservation made in the future), so the
+      // uniform shift is exact, and no span's begin drops below `now`.
+      for (std::size_t j = i; j < link.spans.size(); ++j) {
+        link.spans[j].begin -= reclaimed;
+        link.spans[j].end -= reclaimed;
+      }
+      link.admit_at -= reclaimed;
+      stats_.reclaimed += reclaimed;
+    }
+    return reclaimed;
   }
+  return 0.0;  // already consumed and pruned, or voided by reset_uplink
 }
 
 void Network::shift_uplink(std::uint32_t node, common::Seconds delta,
                            common::Seconds now) {
   Uplink& link = uplink(node);
-  if (link.admit_at > now - delta) {
-    link.admit_at += delta;
-    link.newest_prev_admit += delta;
+  const common::Seconds down_at = now - delta;
+  for (Span& span : link.spans) {
+    // Shares not fully consumed when the node went down resume shifted
+    // by the outage; a straddling span keeps its consumed prefix.
+    if (span.end > down_at) span.end += delta;
+    if (span.begin > down_at) span.begin += delta;
   }
+  if (link.admit_at > down_at) link.admit_at += delta;
 }
 
 void Network::reset_uplink(std::uint32_t node, common::Seconds now) {
   Uplink& link = uplink(node);
   link.admit_at = now;
-  link.newest_ticket = 0;
-  link.newest_prev_admit = now;
+  link.spans.clear();
 }
 
 common::Seconds Network::uplink_available_at(std::uint32_t node) const {

@@ -16,9 +16,9 @@
 //
 // Approximations (documented in DESIGN.md): destination downlink is not
 // queued (a TaskTracker with one map slot fetches at most one block at a
-// time, which is the evaluated configuration), and an aborted transfer
-// releases its uplink share only when it is the newest reservation — the
-// rare mid-queue abort leaves a pessimistic hole.
+// time, which is the evaluated configuration). Every uplink tracks the
+// admission span of each outstanding reservation, so an aborted transfer
+// returns its unused share no matter where it sits in the queue.
 //
 // A distinguished "origin" endpoint models the data source the input was
 // loaded from (the paper's copyFromLocal source; for volunteer computing,
@@ -70,9 +70,10 @@ class Network {
   TransferGrant request(std::uint32_t src, std::uint32_t dst,
                         std::uint64_t bytes, common::Seconds now);
 
-  // Abort a transfer at `now`; frees the remaining reservation when it is
-  // the newest one on that uplink.
-  void abort(const TransferGrant& grant, common::Seconds now);
+  // Abort a transfer at `now`; returns the unused admission share handed
+  // back to the uplink (0 when the share was already consumed). Works for
+  // any outstanding reservation, not just the newest.
+  common::Seconds abort(const TransferGrant& grant, common::Seconds now);
 
   // Forget all reservations on a node's uplink (the node went down or
   // came back; everything queued there is void).
@@ -94,14 +95,32 @@ class Network {
     bytes_transferred_ += bytes;
   }
 
+  // Lifetime totals, for the observability layer.
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t aborts = 0;
+    common::Seconds admission_wait = 0.0;  // sum of (start - now) at request
+    common::Seconds reclaimed = 0.0;       // sum of shares returned by abort
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
+  // One outstanding reservation's share of the uplink: it occupies
+  // [begin, end) of admission time. Spans are kept oldest-first; consumed
+  // spans (end <= now) are pruned lazily.
+  struct Span {
+    std::uint64_t ticket = 0;
+    common::Seconds begin = 0.0;
+    common::Seconds end = 0.0;
+  };
+
   struct Uplink {
     common::Seconds admit_at = 0.0;  // when the next transfer may start
-    std::uint64_t newest_ticket = 0;
-    common::Seconds newest_prev_admit = 0.0;  // rollback state for abort
+    std::vector<Span> spans;         // outstanding admission spans
   };
 
   Uplink& uplink(std::uint32_t src);
+  static void prune(Uplink& link, common::Seconds now);
 
   std::vector<double> uplink_bps_;
   std::vector<double> downlink_bps_;
@@ -111,6 +130,7 @@ class Network {
   Uplink origin_;
   std::uint64_t next_ticket_ = 1;
   std::uint64_t bytes_transferred_ = 0;
+  Stats stats_;
 };
 
 }  // namespace adapt::cluster

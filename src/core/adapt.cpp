@@ -1,6 +1,7 @@
 #include "core/adapt.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "placement/adapt_policy.h"
@@ -109,6 +110,18 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
   ExperimentResult result;
   result.policy_name = policy->name();
 
+  // One tracer/registry per run, owned here; single-threaded by design,
+  // so runs parallelized by the ExperimentRunner never share state.
+  std::unique_ptr<obs::EventTracer> tracer;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  if (config.obs.trace) {
+    tracer = std::make_unique<obs::EventTracer>(config.obs.ring_capacity);
+    client.set_tracer(tracer.get());
+  }
+  if (config.obs.metrics) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+  }
+
   // For trace-replay clusters, fix the per-node replay offsets up front
   // so the load can be placed on the nodes actually up at job start
   // (copyFromLocal only writes to live DataNodes).
@@ -173,8 +186,18 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
       mean_blocks > 0 ? static_cast<double>(max_blocks) / mean_blocks : 0.0;
 
   if (config.run_reduce) job_config.record_completion_times = true;
+  job_config.tracer = tracer.get();
+  job_config.metrics = metrics.get();
   sim::MapReduceSimulation simulation(cluster, namenode, file, job_config);
   result.job = simulation.run();
+
+  if (tracer) {
+    result.obs.dropped = tracer->dropped();
+    result.obs.records = tracer->take_records();
+  }
+  if (metrics) {
+    result.obs.metrics = metrics->snapshot();
+  }
 
   if (config.run_reduce) {
     sim::ReduceConfig reduce = config.reduce;

@@ -23,6 +23,7 @@
 #include "cluster/topology.h"
 #include "common/stats.h"
 #include "hdfs/client.h"
+#include "obs/trace.h"
 #include "placement/hash_table.h"
 #include "placement/policy.h"
 #include "sim/mapreduce_sim.h"
@@ -74,6 +75,11 @@ struct ExperimentConfig {
   bool reduce_availability_aware = false;
 
   std::uint64_t seed = 1;
+
+  // Observability: when obs.enabled(), run_experiment owns a tracer and
+  // metrics registry for the run and returns what they collected in
+  // ExperimentResult::obs.
+  obs::Options obs;
 };
 
 struct ExperimentResult {
@@ -84,6 +90,8 @@ struct ExperimentResult {
   std::string policy_name;
   // Filled when ExperimentConfig::run_reduce is set.
   sim::ReduceResult reduce;
+  // Filled when ExperimentConfig::obs is enabled.
+  obs::RunObservations obs;
 };
 
 ExperimentResult run_experiment(const cluster::Cluster& cluster,

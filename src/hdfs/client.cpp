@@ -47,9 +47,21 @@ FileId Client::copy_from_local(const std::string& name,
                                const NameNode::NodeFilter& filter) {
   const FileId id = namenode_.create_file(
       name, num_blocks, replication, policy_for(adapt_enabled), rng, filter);
-  for (const BlockId block : namenode_.file(id).blocks) {
-    for (const cluster::NodeIndex replica : namenode_.block(block).replicas) {
-      charge_transfer(cluster::kOriginEndpoint, replica, now, summary);
+  const std::vector<BlockId>& blocks = namenode_.file(id).blocks;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const std::vector<cluster::NodeIndex>& replicas =
+        namenode_.block(blocks[b]).replicas;
+    for (std::size_t ri = 0; ri < replicas.size(); ++ri) {
+      charge_transfer(cluster::kOriginEndpoint, replicas[ri], now, summary);
+      if (tracer_ != nullptr) {
+        obs::TraceRecord r;
+        r.t = now;
+        r.type = obs::EventType::kPlacement;
+        r.task = static_cast<std::uint32_t>(b);
+        r.aux = static_cast<std::uint32_t>(ri);
+        r.node = replicas[ri];
+        tracer_->record(r);
+      }
     }
   }
   return id;

@@ -19,6 +19,7 @@
 #include "cluster/network.h"
 #include "common/rng.h"
 #include "hdfs/namenode.h"
+#include "obs/trace.h"
 
 namespace adapt::hdfs {
 
@@ -58,6 +59,10 @@ class Client {
                                   common::Seconds now = 0.0,
                                   const NameNode::NodeFilter& filter = nullptr);
 
+  // Emit a placement record per (block, replica) created by
+  // copy_from_local (null = off).
+  void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
+
  private:
   placement::PolicyPtr policy_for(bool adapt_enabled) const;
   void charge_transfer(std::uint32_t src, std::uint32_t dst,
@@ -68,6 +73,7 @@ class Client {
   placement::PolicyPtr adapt_policy_;
   cluster::Network* network_;
   std::uint64_t block_size_;
+  obs::EventTracer* tracer_ = nullptr;
 };
 
 }  // namespace adapt::hdfs

@@ -1,0 +1,349 @@
+#include "obs/replay.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace adapt::obs {
+
+namespace {
+
+constexpr std::uint32_t kOrigin = std::numeric_limits<std::uint32_t>::max();
+
+template <typename T>
+void grow_to(std::vector<T>& v, std::size_t index) {
+  if (v.size() <= index) v.resize(index + 1);
+}
+
+struct NodeState {
+  bool down = false;
+  common::Seconds down_since = 0.0;
+  common::Seconds recovery_open = -1.0;
+  std::uint32_t slots = 1;
+  std::uint32_t undone_home = 0;
+  std::uint32_t running = 0;        // attempts currently holding a slot
+  common::Seconds busy_from = 0.0;
+};
+
+}  // namespace
+
+ReplaySummary replay(const std::vector<TraceRecord>& records) {
+  ReplaySummary out;
+  out.event_counts.assign(kEventTypeCount, 0);
+
+  std::vector<NodeState> nodes;
+  std::vector<std::vector<std::uint32_t>> task_homes;
+  std::vector<bool> task_done;
+
+  const auto close_recovery = [&](NodeState& ns, common::Seconds now) {
+    if (ns.recovery_open >= 0.0) {
+      out.recovery_node_seconds +=
+          std::max(0.0, now - ns.recovery_open) * ns.slots;
+      ns.recovery_open = -1.0;
+    }
+  };
+
+  for (const TraceRecord& r : records) {
+    ++out.event_counts[static_cast<std::size_t>(r.type)];
+    switch (r.type) {
+      case EventType::kPlacement: {
+        grow_to(nodes, r.node);
+        grow_to(task_homes, r.task);
+        grow_to(task_done, r.task);
+        task_homes[r.task].push_back(r.node);
+        ++nodes[r.node].undone_home;
+        break;
+      }
+      case EventType::kJobStart:
+        grow_to(nodes, r.node > 0 ? r.node - 1 : 0);
+        out.task_count = std::max<std::uint64_t>(out.task_count, r.task);
+        break;
+      case EventType::kNodeDown: {
+        grow_to(nodes, r.node);
+        NodeState& ns = nodes[r.node];
+        ns.down = true;
+        ns.down_since = r.t;
+        ns.slots = r.aux > 0 ? r.aux : 1;
+        if (ns.undone_home > 0) ns.recovery_open = r.t;
+        grow_to(out.nodes, r.node);
+        ++out.nodes[r.node].transitions;
+        break;
+      }
+      case EventType::kNodeUp: {
+        grow_to(nodes, r.node);
+        NodeState& ns = nodes[r.node];
+        close_recovery(ns, r.t);
+        if (ns.down) {
+          grow_to(out.nodes, r.node);
+          out.nodes[r.node].downtime += r.t - ns.down_since;
+          ns.down = false;
+        }
+        grow_to(out.nodes, r.node);
+        ++out.nodes[r.node].transitions;
+        break;
+      }
+      case EventType::kAttemptStart: {
+        grow_to(nodes, r.node);
+        NodeState& ns = nodes[r.node];
+        if (ns.running++ == 0) ns.busy_from = r.t;
+        grow_to(out.nodes, r.node);
+        ++out.nodes[r.node].attempts;
+        break;
+      }
+      case EventType::kAttemptFinish: {
+        grow_to(nodes, r.node);
+        NodeState& ns = nodes[r.node];
+        if (ns.running > 0 && --ns.running == 0) {
+          grow_to(out.nodes, r.node);
+          out.nodes[r.node].busy += r.t - ns.busy_from;
+        }
+        grow_to(task_done, r.task);
+        grow_to(task_homes, r.task);
+        if (!task_done[r.task]) {
+          task_done[r.task] = true;
+          for (const std::uint32_t home : task_homes[r.task]) {
+            NodeState& hs = nodes[home];
+            if (--hs.undone_home == 0) close_recovery(hs, r.t);
+          }
+        }
+        break;
+      }
+      case EventType::kAttemptKill: {
+        grow_to(nodes, r.node);
+        NodeState& ns = nodes[r.node];
+        if (ns.running > 0 && --ns.running == 0) {
+          grow_to(out.nodes, r.node);
+          out.nodes[r.node].busy += r.t - ns.busy_from;
+        }
+        break;
+      }
+      case EventType::kJobEnd: {
+        out.elapsed = r.t;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+          NodeState& ns = nodes[i];
+          close_recovery(ns, r.t);
+          grow_to(out.nodes, i);
+          if (ns.down) {
+            out.nodes[i].downtime += r.t - ns.down_since;
+            ns.down = false;
+          }
+          if (ns.running > 0) {
+            out.nodes[i].busy += r.t - ns.busy_from;
+            ns.running = 0;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  out.node_count = std::max(nodes.size(), out.nodes.size());
+  out.nodes.resize(out.node_count);
+  if (out.task_count == 0) out.task_count = task_homes.size();
+  for (const NodeTotals& n : out.nodes) {
+    out.total_downtime += n.downtime;
+    out.total_busy += n.busy;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// JSONL parsing (the subset to_jsonl emits: one flat object per line,
+// string values without escapes, integer and %.17g number values).
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct LineFields {
+  // Parallel key/value lists in line order.
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  const std::string* find(const char* key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+LineFields parse_line(const std::string& line, std::size_t line_no) {
+  LineFields out;
+  std::size_t i = 0;
+  const auto fail = [line_no](const std::string& what) -> void {
+    throw std::runtime_error("trace parse error on line " +
+                             std::to_string(line_no) + ": " + what);
+  };
+  const auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') fail("expected '{'");
+  ++i;
+  while (true) {
+    skip_ws();
+    if (i < line.size() && line[i] == '}') break;
+    if (i >= line.size() || line[i] != '"') fail("expected key");
+    const std::size_t key_end = line.find('"', i + 1);
+    if (key_end == std::string::npos) fail("unterminated key");
+    std::string key = line.substr(i + 1, key_end - i - 1);
+    i = key_end + 1;
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') fail("expected ':'");
+    ++i;
+    skip_ws();
+    std::string value;
+    if (i < line.size() && line[i] == '"') {
+      const std::size_t val_end = line.find('"', i + 1);
+      if (val_end == std::string::npos) fail("unterminated value");
+      value = line.substr(i + 1, val_end - i - 1);
+      i = val_end + 1;
+    } else {
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+      value = line.substr(start, i - start);
+      while (!value.empty() && value.back() == ' ') value.pop_back();
+      if (value.empty()) fail("empty value");
+    }
+    out.fields.emplace_back(std::move(key), std::move(value));
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == '}') break;
+    fail("expected ',' or '}'");
+  }
+  return out;
+}
+
+double as_double(const std::string& s) { return std::strtod(s.c_str(), nullptr); }
+
+std::uint64_t as_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+// src fields serialize the origin endpoint as -1.
+std::uint32_t as_endpoint(const std::string& s) {
+  if (!s.empty() && s[0] == '-') return kOrigin;
+  return static_cast<std::uint32_t>(as_u64(s));
+}
+
+EventType event_from_name(const std::string& name, std::size_t line_no) {
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    const auto type = static_cast<EventType>(i);
+    if (name == to_string(type)) return type;
+  }
+  throw std::runtime_error("trace parse error on line " +
+                           std::to_string(line_no) +
+                           ": unknown event '" + name + "'");
+}
+
+TraceReason reason_from_name(const std::string& name) {
+  for (const auto reason :
+       {TraceReason::kNone, TraceReason::kNodeDown,
+        TraceReason::kSourceTimeout, TraceReason::kRedundant}) {
+    if (name == to_string(reason)) return reason;
+  }
+  return TraceReason::kNone;
+}
+
+}  // namespace
+
+std::vector<RunObservations> parse_jsonl(const std::string& text) {
+  std::vector<RunObservations> runs;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    const LineFields fields = parse_line(line, line_no);
+    const std::string* run_str = fields.find("run");
+    const std::string* ev = fields.find("ev");
+    if (run_str == nullptr || ev == nullptr) {
+      throw std::runtime_error("trace parse error on line " +
+                               std::to_string(line_no) +
+                               ": missing run/ev");
+    }
+    const auto run = static_cast<std::size_t>(as_u64(*run_str));
+    if (runs.size() <= run) runs.resize(run + 1);
+    if (*ev == "dropped") {
+      if (const std::string* count = fields.find("count")) {
+        runs[run].dropped = as_u64(*count);
+      }
+      continue;
+    }
+
+    TraceRecord r;
+    r.type = event_from_name(*ev, line_no);
+    const auto get = [&fields](const char* key) -> const std::string* {
+      return fields.find(key);
+    };
+    if (const auto* v = get("t")) r.t = as_double(*v);
+    if (const auto* v = get("node")) r.node = static_cast<std::uint32_t>(as_u64(*v));
+    if (const auto* v = get("dst")) r.node = static_cast<std::uint32_t>(as_u64(*v));
+    if (const auto* v = get("src")) r.peer = as_endpoint(*v);
+    if (const auto* v = get("task")) r.task = static_cast<std::uint32_t>(as_u64(*v));
+    if (const auto* v = get("block")) r.task = static_cast<std::uint32_t>(as_u64(*v));
+    if (const auto* v = get("ticket")) r.ticket = as_u64(*v);
+    if (const auto* v = get("reason")) r.reason = reason_from_name(*v);
+    switch (r.type) {
+      case EventType::kPlacement:
+        if (const auto* v = get("replica")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        break;
+      case EventType::kJobStart:
+        if (const auto* v = get("nodes")) {
+          r.node = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        if (const auto* v = get("tasks")) {
+          r.task = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        break;
+      case EventType::kNodeDown:
+        if (const auto* v = get("slots")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        break;
+      case EventType::kAttemptStart:
+        if (const auto* v = get("spec")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        break;
+      case EventType::kAttemptFinish:
+        if (const auto* v = get("kind")) {
+          r.aux = *v == "local" ? 0u : *v == "remote" ? 1u : 2u;
+        }
+        break;
+      case EventType::kTransferRequest:
+        if (const auto* v = get("start")) r.v0 = as_double(*v);
+        if (const auto* v = get("end")) r.v1 = as_double(*v);
+        break;
+      case EventType::kTransferResume:
+        if (const auto* v = get("end")) r.v0 = as_double(*v);
+        break;
+      case EventType::kTransferAbort:
+        if (const auto* v = get("reclaimed")) r.v0 = as_double(*v);
+        break;
+      case EventType::kJobEnd:
+        if (const auto* v = get("tasks")) {
+          r.task = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        break;
+      default:
+        break;
+    }
+    runs[run].records.push_back(r);
+  }
+  return runs;
+}
+
+}  // namespace adapt::obs

@@ -1,0 +1,56 @@
+// Trace replay: reconstruct per-node timelines and job-level accounting
+// from a recorded event stream, independently of the simulator.
+//
+// The replayer re-derives the paper's "recovery" overhead (node downtime
+// while the node still holds undone home tasks, weighted by slots) from
+// nothing but placement decisions, node up/down transitions and attempt
+// completions — so a trace can be audited against JobResult without
+// trusting the simulator's own bookkeeping. Used by the trace_inspect
+// example and the observability tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace adapt::obs {
+
+// Per-node totals over one replayed run.
+struct NodeTotals {
+  std::uint64_t transitions = 0;      // down + up events
+  std::uint64_t attempts = 0;         // attempts started here
+  common::Seconds downtime = 0.0;     // clipped to [0, elapsed]
+  common::Seconds busy = 0.0;         // >= 1 attempt held a slot here
+};
+
+struct ReplaySummary {
+  std::size_t node_count = 0;
+  std::uint64_t task_count = 0;
+  common::Seconds elapsed = 0.0;
+
+  std::vector<std::uint64_t> event_counts;  // indexed by EventType
+  std::vector<NodeTotals> nodes;
+
+  common::Seconds total_downtime = 0.0;
+  common::Seconds total_busy = 0.0;
+  // Downtime while the node still had undone home tasks, in
+  // slot-seconds — the trace-derived equivalent of
+  // JobResult::overhead.recovery.
+  double recovery_node_seconds = 0.0;
+
+  std::uint64_t count(EventType type) const {
+    return event_counts[static_cast<std::size_t>(type)];
+  }
+};
+
+// Replay one run's records (in recorded order).
+ReplaySummary replay(const std::vector<TraceRecord>& records);
+
+// Parse JSONL produced by to_jsonl back into per-run record lists,
+// indexed by run. {"ev": "dropped"} marker lines set the run's dropped
+// count. Throws std::runtime_error on malformed input.
+std::vector<RunObservations> parse_jsonl(const std::string& text);
+
+}  // namespace adapt::obs

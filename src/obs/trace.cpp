@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "common/jsonfmt.h"
+
+namespace adapt::obs {
+
+namespace {
+
+using common::json_number;
+
+// Matches cluster::kOriginEndpoint without pulling in the cluster
+// library; the origin is serialized as src = -1.
+constexpr std::uint32_t kOrigin = std::numeric_limits<std::uint32_t>::max();
+
+void append_src(std::string& out, std::uint32_t peer) {
+  out += "\"src\": ";
+  out += peer == kOrigin ? "-1" : std::to_string(peer);
+}
+
+}  // namespace
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kPlacement:
+      return "placement";
+    case EventType::kJobStart:
+      return "job_start";
+    case EventType::kNodeDown:
+      return "node_down";
+    case EventType::kNodeUp:
+      return "node_up";
+    case EventType::kAttemptStart:
+      return "attempt_start";
+    case EventType::kAttemptFinish:
+      return "attempt_finish";
+    case EventType::kAttemptKill:
+      return "attempt_kill";
+    case EventType::kTransferRequest:
+      return "transfer_request";
+    case EventType::kTransferStall:
+      return "transfer_stall";
+    case EventType::kTransferResume:
+      return "transfer_resume";
+    case EventType::kTransferAbort:
+      return "transfer_abort";
+    case EventType::kTaskPark:
+      return "task_park";
+    case EventType::kTaskRevive:
+      return "task_revive";
+    case EventType::kJobEnd:
+      return "job_end";
+  }
+  return "?";
+}
+
+const char* to_string(TraceReason reason) {
+  switch (reason) {
+    case TraceReason::kNone:
+      return "none";
+    case TraceReason::kNodeDown:
+      return "node_down";
+    case TraceReason::kSourceTimeout:
+      return "source_timeout";
+    case TraceReason::kRedundant:
+      return "redundant";
+  }
+  return "?";
+}
+
+EventTracer::EventTracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void EventTracer::record(const TraceRecord& r) {
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(r);
+    return;
+  }
+  ring_[head_] = r;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceRecord> EventTracer::take_records() {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest record once the ring wrapped; 0 otherwise.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  ring_.clear();
+  head_ = 0;
+  return out;
+}
+
+void append_jsonl(std::string& out, std::uint64_t run_index,
+                  const TraceRecord& r) {
+  out += "{\"run\": " + std::to_string(run_index) +
+         ", \"t\": " + json_number(r.t) + ", \"ev\": \"" +
+         to_string(r.type) + "\"";
+  switch (r.type) {
+    case EventType::kPlacement:
+      out += ", \"block\": " + std::to_string(r.task) +
+             ", \"replica\": " + std::to_string(r.aux) +
+             ", \"node\": " + std::to_string(r.node);
+      break;
+    case EventType::kJobStart:
+      out += ", \"nodes\": " + std::to_string(r.node) +
+             ", \"tasks\": " + std::to_string(r.task);
+      break;
+    case EventType::kNodeDown:
+      out += ", \"node\": " + std::to_string(r.node) +
+             ", \"slots\": " + std::to_string(r.aux);
+      break;
+    case EventType::kNodeUp:
+      out += ", \"node\": " + std::to_string(r.node);
+      break;
+    case EventType::kAttemptStart:
+      out += ", \"task\": " + std::to_string(r.task) +
+             ", \"node\": " + std::to_string(r.node) + ", ";
+      append_src(out, r.peer);
+      out += ", \"spec\": " + std::to_string(r.aux) +
+             ", \"ticket\": " + std::to_string(r.ticket);
+      break;
+    case EventType::kAttemptFinish:
+      out += ", \"task\": " + std::to_string(r.task) +
+             ", \"node\": " + std::to_string(r.node) + ", \"kind\": \"" +
+             (r.aux == 0 ? "local" : r.aux == 1 ? "remote" : "origin") +
+             "\"";
+      break;
+    case EventType::kAttemptKill:
+      out += ", \"task\": " + std::to_string(r.task) +
+             ", \"node\": " + std::to_string(r.node) + ", \"reason\": \"" +
+             to_string(r.reason) + "\"";
+      break;
+    case EventType::kTransferRequest:
+      out += ", \"task\": " + std::to_string(r.task) + ", ";
+      append_src(out, r.peer);
+      out += ", \"dst\": " + std::to_string(r.node) +
+             ", \"ticket\": " + std::to_string(r.ticket) +
+             ", \"start\": " + json_number(r.v0) +
+             ", \"end\": " + json_number(r.v1);
+      break;
+    case EventType::kTransferStall:
+      out += ", \"task\": " + std::to_string(r.task) + ", ";
+      append_src(out, r.peer);
+      out += ", \"ticket\": " + std::to_string(r.ticket);
+      break;
+    case EventType::kTransferResume:
+      out += ", \"task\": " + std::to_string(r.task) + ", ";
+      append_src(out, r.peer);
+      out += ", \"ticket\": " + std::to_string(r.ticket) +
+             ", \"end\": " + json_number(r.v0);
+      break;
+    case EventType::kTransferAbort:
+      out += ", \"task\": " + std::to_string(r.task) + ", ";
+      append_src(out, r.peer);
+      out += ", \"ticket\": " + std::to_string(r.ticket) +
+             ", \"reason\": \"" + to_string(r.reason) +
+             "\", \"reclaimed\": " + json_number(r.v0);
+      break;
+    case EventType::kTaskPark:
+      out += ", \"task\": " + std::to_string(r.task);
+      break;
+    case EventType::kTaskRevive:
+      out += ", \"task\": " + std::to_string(r.task) +
+             ", \"node\": " + std::to_string(r.node);
+      break;
+    case EventType::kJobEnd:
+      out += ", \"tasks\": " + std::to_string(r.task);
+      break;
+  }
+  out += "}";
+}
+
+std::string to_jsonl(const std::vector<RunObservations>& runs) {
+  std::string out;
+  for (std::size_t run = 0; run < runs.size(); ++run) {
+    if (runs[run].dropped > 0) {
+      out += "{\"run\": " + std::to_string(run) +
+             ", \"ev\": \"dropped\", \"count\": " +
+             std::to_string(runs[run].dropped) + "}\n";
+    }
+    for (const TraceRecord& r : runs[run].records) {
+      append_jsonl(out, run, r);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+void write_jsonl(const std::string& path,
+                 const std::vector<RunObservations>& runs) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("trace: cannot open " + path);
+  }
+  const std::string text = to_jsonl(runs);
+  const std::size_t written =
+      std::fwrite(text.data(), 1, text.size(), file);
+  const int close_rc = std::fclose(file);
+  if (written != text.size() || close_rc != 0) {
+    throw std::runtime_error("trace: short write to " + path);
+  }
+}
+
+}  // namespace adapt::obs

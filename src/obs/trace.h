@@ -1,0 +1,128 @@
+// Structured event tracer for the simulator: a ring buffer of typed
+// records covering the full task/node/transfer lifecycle, with a JSONL
+// export that is byte-identical across `--threads` values.
+//
+// Determinism contract (same as runner::Report): each simulation run is
+// single-threaded and records events in event-queue order; each run owns
+// its own tracer; the caller concatenates runs in job-index order; the
+// serializer uses fixed per-type key order and "%.17g" doubles. Two
+// invocations with the same seed therefore produce byte-identical trace
+// files no matter how runs were scheduled across worker threads.
+//
+// The disabled path is near-zero cost: instrumented code holds a tracer
+// pointer that is null when tracing is off, so every site is a single
+// predictable branch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/metrics.h"
+
+namespace adapt::obs {
+
+enum class EventType : std::uint8_t {
+  kPlacement,        // replica placement decision during a load
+  kJobStart,         // map phase begins (node/task counts)
+  kNodeDown,         // interruption begins (aux = slots)
+  kNodeUp,           // interruption ends
+  kAttemptStart,     // a slot starts executing or fetching
+  kAttemptFinish,    // winning attempt completed (aux = kind)
+  kAttemptKill,      // attempt killed (reason set)
+  kTransferRequest,  // block fetch reserved on the network
+  kTransferStall,    // source outage paused an in-flight fetch
+  kTransferResume,   // source returned; fetch end shifted (v0 = new end)
+  kTransferAbort,    // fetch aborted (reason set, v0 = reclaimed share)
+  kTaskPark,         // all replicas offline; task parked as stalled
+  kTaskRevive,       // a replica holder returned; task fetchable again
+  kJobEnd,           // map phase done (t = elapsed)
+};
+inline constexpr std::size_t kEventTypeCount = 14;
+
+// Why an attempt/transfer was killed; mirrors the simulator's kill paths.
+enum class TraceReason : std::uint8_t {
+  kNone,
+  kNodeDown,        // hosting node went down
+  kSourceTimeout,   // source outage outlived the stall timeout
+  kRedundant,       // another attempt won the task
+};
+
+const char* to_string(EventType type);
+const char* to_string(TraceReason reason);
+
+// One fixed-size record; field meaning depends on `type` (see the JSONL
+// schema in DESIGN.md). Unused fields stay zero.
+struct TraceRecord {
+  common::Seconds t = 0.0;
+  EventType type = EventType::kJobStart;
+  TraceReason reason = TraceReason::kNone;
+  std::uint32_t node = 0;    // acting node: destination / transitioning
+  std::uint32_t peer = 0;    // transfer source (kOriginEndpoint = origin)
+  std::uint32_t task = 0;    // task == block index within the job's file
+  std::uint32_t aux = 0;     // slots / replica index / spec flag / kind
+  std::uint64_t ticket = 0;  // network reservation ticket
+  double v0 = 0.0;           // grant start / new end / reclaimed share
+  double v1 = 0.0;           // grant end
+};
+
+// Bounded ring: overwrites the oldest record when full and counts the
+// overwritten records, so a too-small buffer is detectable rather than
+// silently misleading.
+class EventTracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
+  explicit EventTracer(std::size_t capacity = kDefaultCapacity);
+
+  void record(const TraceRecord& r);
+
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const {
+    return recorded_ - static_cast<std::uint64_t>(ring_.size());
+  }
+
+  // The retained records in chronological (insertion) order.
+  std::vector<TraceRecord> take_records();
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next overwrite position once wrapped
+  std::uint64_t recorded_ = 0;
+};
+
+// What one instrumented run hands back to its caller.
+struct RunObservations {
+  std::vector<TraceRecord> records;
+  std::uint64_t dropped = 0;
+  MetricsSnapshot metrics;
+
+  bool empty() const { return records.empty() && metrics.empty(); }
+};
+
+// Observability knobs carried by experiment configs. Everything is off
+// by default; enabling costs one owned tracer/registry per run.
+struct Options {
+  bool trace = false;    // collect trace records
+  bool metrics = false;  // collect metrics
+  std::size_t ring_capacity = EventTracer::kDefaultCapacity;
+
+  bool enabled() const { return trace || metrics; }
+};
+
+// One record as a JSONL line (no trailing newline), prefixed with the
+// run index: {"run": 3, "t": ..., "ev": "...", ...}.
+void append_jsonl(std::string& out, std::uint64_t run_index,
+                  const TraceRecord& r);
+
+// Serialize runs in index order; emits a {"ev": "dropped"} marker line
+// for any run whose ring overflowed.
+std::string to_jsonl(const std::vector<RunObservations>& runs);
+
+// Write to_jsonl(runs) to `path`; throws std::runtime_error on failure.
+void write_jsonl(const std::string& path,
+                 const std::vector<RunObservations>& runs);
+
+}  // namespace adapt::obs

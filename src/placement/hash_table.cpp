@@ -63,8 +63,11 @@ BlockHashTable::BlockHashTable(const std::vector<double>& weights,
     segments.push_back({static_cast<std::uint32_t>(i), begin,
                         std::min(cursor, m), shares_[i]});
   }
-  // Guard the accumulated rounding drift at the top end.
-  segments.back().end = m;
+  // Guard the accumulated rounding drift at the top end: only stretch
+  // the last segment when downward drift left a gap below m. When the
+  // cursor overshot, the segment is already clamped to m and the
+  // assignment must not widen an interval that ended early.
+  if (cursor < m) segments.back().end = m;
 
   // A resolution weight must survive the float narrowing: a subnormal
   // double share would otherwise round to 0.0f and vanish in the chain

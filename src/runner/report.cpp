@@ -1,51 +1,16 @@
 #include "runner/report.h"
 
-#include <cmath>
 #include <cstdio>
 #include <stdexcept>
+
+#include "common/jsonfmt.h"
 
 namespace adapt::runner {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_number(double v) {
-  // JSON has no Infinity/NaN; emit null so consumers fail loudly rather
-  // than parse garbage.
-  if (!std::isfinite(v)) return "null";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+using common::json_escape;
+using common::json_number;
 
 void append_metrics(
     std::string& out,
@@ -91,6 +56,23 @@ void Report::set_config(const std::string& key, double value) {
   config_.emplace_back(key, value);
 }
 
+void Report::set_observability(
+    const std::vector<obs::RunObservations>& runs) {
+  have_obs_ = true;
+  obs_metrics_ = obs::MetricsSnapshot{};
+  obs_records_.clear();
+  obs_dropped_.clear();
+  obs_replays_.clear();
+  for (const obs::RunObservations& run : runs) {
+    obs_metrics_.merge(run.metrics);
+    obs_records_.push_back(run.records.size());
+    obs_dropped_.push_back(run.dropped);
+    if (!run.records.empty()) {
+      obs_replays_.push_back(obs::replay(run.records));
+    }
+  }
+}
+
 std::string Report::to_json() const {
   std::string out;
   out += "{\n";
@@ -99,6 +81,42 @@ std::string Report::to_json() const {
   out += "  \"runs\": " + std::to_string(runs_) + ",\n";
   out += "  \"config\": ";
   append_metrics(out, config_);
+  if (have_obs_) {
+    out += ",\n  \"observability\": {\n    \"metrics\": ";
+    obs_metrics_.append_json(out, "    ");
+    out += ",\n    \"trace_records\": [";
+    for (std::size_t i = 0; i < obs_records_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(obs_records_[i]);
+    }
+    out += "],\n    \"trace_dropped\": [";
+    for (std::size_t i = 0; i < obs_dropped_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(obs_dropped_[i]);
+    }
+    out += "],\n    \"timelines\": [";
+    for (std::size_t i = 0; i < obs_replays_.size(); ++i) {
+      const obs::ReplaySummary& rs = obs_replays_[i];
+      out += i > 0 ? ",\n" : "\n";
+      out += "      {\"run\": " + std::to_string(i) +
+             ", \"elapsed\": " + json_number(rs.elapsed) +
+             ", \"downtime\": " + json_number(rs.total_downtime) +
+             ", \"busy\": " + json_number(rs.total_busy) +
+             ", \"recovery\": " + json_number(rs.recovery_node_seconds) +
+             ", \"nodes\": [";
+      for (std::size_t n = 0; n < rs.nodes.size(); ++n) {
+        const obs::NodeTotals& nt = rs.nodes[n];
+        if (n > 0) out += ", ";
+        out += "{\"node\": " + std::to_string(n) +
+               ", \"transitions\": " + std::to_string(nt.transitions) +
+               ", \"attempts\": " + std::to_string(nt.attempts) +
+               ", \"downtime\": " + json_number(nt.downtime) +
+               ", \"busy\": " + json_number(nt.busy) + "}";
+      }
+      out += "]}";
+    }
+    out += obs_replays_.empty() ? "]\n  }" : "\n    ]\n  }";
+  }
   out += ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     const Row& row = rows_[i];

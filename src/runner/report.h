@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/adapt.h"
+#include "obs/replay.h"
 
 namespace adapt::runner {
 
@@ -29,6 +30,12 @@ class Report {
   // Extra scalar attached to a row-less context (e.g. a config knob
   // worth recording); emitted in the "config" object.
   void set_config(const std::string& key, double value);
+
+  // Attach per-run observations (from ExperimentRunner). Emits an
+  // "observability" object: merged metrics plus per-run record counts
+  // and trace overhead summary. Deterministic like the rest: runs are
+  // already in job order, metrics snapshots are name-sorted.
+  void set_observability(const std::vector<obs::RunObservations>& runs);
 
   std::size_t rows() const { return rows_.size(); }
 
@@ -50,6 +57,13 @@ class Report {
   int runs_;
   std::vector<std::pair<std::string, double>> config_;
   std::vector<Row> rows_;
+
+  bool have_obs_ = false;
+  obs::MetricsSnapshot obs_metrics_;          // merged across runs
+  std::vector<std::uint64_t> obs_records_;    // per run
+  std::vector<std::uint64_t> obs_dropped_;    // per run
+  // Replayed per-node timelines, one summary per traced run.
+  std::vector<obs::ReplaySummary> obs_replays_;
 };
 
 }  // namespace adapt::runner

@@ -67,9 +67,24 @@ std::vector<core::ExperimentResult> ExperimentRunner::run_all(
   return results;
 }
 
+namespace {
+
+// Move each run's observations out of the results (in run order) so the
+// caller can serialize them deterministically.
+void drain_observations(std::vector<core::ExperimentResult>& results,
+                        std::vector<obs::RunObservations>* obs) {
+  if (obs == nullptr) return;
+  obs->reserve(obs->size() + results.size());
+  for (core::ExperimentResult& result : results) {
+    obs->push_back(std::move(result.obs));
+  }
+}
+
+}  // namespace
+
 core::RepeatedResult ExperimentRunner::run_replications(
     const cluster::Cluster& cluster, core::ExperimentConfig config,
-    int runs) {
+    int runs, std::vector<obs::RunObservations>* obs) {
   if (runs < 1) {
     throw std::invalid_argument("run_replications: runs must be >= 1");
   }
@@ -84,11 +99,14 @@ core::RepeatedResult ExperimentRunner::run_replications(
     job.config.job.seed = job.config.seed;
     jobs.push_back(std::move(job));
   }
-  return merge_results(run_all(jobs));
+  std::vector<core::ExperimentResult> results = run_all(jobs);
+  drain_observations(results, obs);
+  return merge_results(results);
 }
 
 std::vector<core::RepeatedResult> ExperimentRunner::run_sweep(
-    const std::vector<SweepCell>& cells) {
+    const std::vector<SweepCell>& cells,
+    std::vector<obs::RunObservations>* obs) {
   std::vector<Job> jobs;
   std::vector<std::size_t> cell_begin;  // job index of each cell's run 0
   cell_begin.reserve(cells.size());
@@ -110,7 +128,10 @@ std::vector<core::RepeatedResult> ExperimentRunner::run_sweep(
       jobs.push_back(std::move(job));
     }
   }
-  const std::vector<core::ExperimentResult> results = run_all(jobs);
+  std::vector<core::ExperimentResult> results = run_all(jobs);
+  // Drain before merging: the per-cell merge copies its result slice,
+  // and traces can be large.
+  drain_observations(results, obs);
   std::vector<core::RepeatedResult> merged;
   merged.reserve(cells.size());
   for (std::size_t c = 0; c < cells.size(); ++c) {

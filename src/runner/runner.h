@@ -50,9 +50,12 @@ class ExperimentRunner {
 
   // `runs` replications of one experiment point. Per-run seeds derive
   // from config.seed; the aggregate is identical for any thread count.
-  core::RepeatedResult run_replications(const cluster::Cluster& cluster,
-                                        core::ExperimentConfig config,
-                                        int runs);
+  // When `obs` is non-null and config.obs is enabled, each run's
+  // observations are appended to it in run order (the same order for any
+  // thread count, so trace exports stay byte-identical).
+  core::RepeatedResult run_replications(
+      const cluster::Cluster& cluster, core::ExperimentConfig config,
+      int runs, std::vector<obs::RunObservations>* obs = nullptr);
 
   // One cell of a sweep grid: an experiment point (cluster x config)
   // replicated `runs` times.
@@ -65,9 +68,12 @@ class ExperimentRunner {
   // Run a whole sweep grid with *every* individual replication as an
   // independent pool job (so a sweep of P points x S series x R runs
   // keeps all workers busy even when single cells are small). Returns
-  // one aggregate per cell, in cell order.
+  // one aggregate per cell, in cell order. When `obs` is non-null, the
+  // per-run observations are appended in job (cell-major, run-minor)
+  // order.
   std::vector<core::RepeatedResult> run_sweep(
-      const std::vector<SweepCell>& cells);
+      const std::vector<SweepCell>& cells,
+      std::vector<obs::RunObservations>* obs = nullptr);
 
  private:
   ThreadPool pool_;

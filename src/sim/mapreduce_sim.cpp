@@ -69,6 +69,18 @@ MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
   }
   task_attempt_count_.assign(board_.task_count(), 0);
   task_attempts_.assign(board_.task_count(), {kNoAttempt, kNoAttempt});
+  board_.set_tracer(config_.tracer);
+  if (config_.metrics != nullptr) {
+    hist_transfer_ = config_.metrics->histogram(
+        "sim.transfer_duration_s",
+        obs::MetricsRegistry::exponential_bounds(1.0, 2.0, 14));
+    hist_outage_ = config_.metrics->histogram(
+        "sim.outage_duration_s",
+        obs::MetricsRegistry::exponential_bounds(1.0, 2.0, 18));
+    hist_wait_ = config_.metrics->histogram(
+        "net.admission_wait_s",
+        obs::MetricsRegistry::exponential_bounds(0.5, 2.0, 14));
+  }
 
   if (config_.origin_fetch_delay >= 0) {
     origin_delay_ = config_.origin_fetch_delay;
@@ -89,6 +101,14 @@ JobResult MapReduceSimulation::run() {
   if (config_.record_completion_times) {
     result_.completion_times.assign(board_.task_count(), -1.0);
     result_.winner_nodes.assign(board_.task_count(), 0);
+  }
+
+  {
+    obs::TraceRecord r;
+    r.type = obs::EventType::kJobStart;
+    r.node = static_cast<std::uint32_t>(node_state_.size());
+    r.task = static_cast<std::uint32_t>(board_.task_count());
+    trace(r);
   }
 
   injector_.start();
@@ -125,8 +145,15 @@ JobResult MapReduceSimulation::run() {
     for (const AttemptId id : ns.attempts) {
       const Attempt& a = attempts_[id];
       if (a.alive && a.fetching) {
-        result_.overhead.migration +=
-            std::max(0.0, result_.elapsed - a.fetch.start);
+        // A still-stalled transfer stopped moving bytes when its source
+        // went down; that span is the source's downtime, not migration
+        // (mirrors the shift projected_fetch_end applies on resume).
+        common::Seconds until = result_.elapsed;
+        if (a.transfer_stalled) {
+          const common::Seconds down_at = node_state_[a.fetch_src].down_at;
+          if (down_at >= 0.0) until = std::min(until, down_at);
+        }
+        result_.overhead.migration += std::max(0.0, until - a.fetch.start);
       }
     }
   }
@@ -142,6 +169,44 @@ JobResult MapReduceSimulation::run() {
   }
   result_.overhead.node_count = total_slots;
   result_.overhead.finalize();
+
+  if (config_.tracer != nullptr) {
+    obs::TraceRecord r;
+    r.t = result_.elapsed;
+    r.type = obs::EventType::kJobEnd;
+    r.task = static_cast<std::uint32_t>(result_.tasks);
+    config_.tracer->record(r);
+  }
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    const auto add = [&m](const char* name, double v) {
+      m.add(m.counter(name), v);
+    };
+    add("sim.tasks", static_cast<double>(result_.tasks));
+    add("sim.attempts_started",
+        static_cast<double>(result_.attempts_started));
+    add("sim.attempts_failed", static_cast<double>(result_.attempts_failed));
+    add("sim.attempts_killed", static_cast<double>(result_.attempts_killed));
+    add("sim.local_wins", static_cast<double>(result_.local_wins));
+    add("sim.remote_wins", static_cast<double>(result_.remote_wins));
+    add("sim.origin_wins", static_cast<double>(result_.origin_wins));
+    add("sim.transfers_started",
+        static_cast<double>(result_.transfers_started));
+    add("sim.transfers_aborted",
+        static_cast<double>(result_.transfers_aborted));
+    add("sim.node_transitions",
+        static_cast<double>(result_.node_transitions));
+    add("sim.events_processed",
+        static_cast<double>(result_.events_processed));
+    const cluster::Network::Stats& net = network_.stats();
+    add("net.requests", static_cast<double>(net.requests));
+    add("net.aborts", static_cast<double>(net.aborts));
+    add("net.admission_wait_s_total", net.admission_wait);
+    add("net.reclaimed_s_total", net.reclaimed);
+    add("net.bytes_transferred",
+        static_cast<double>(network_.bytes_transferred()));
+    m.set(m.gauge("sim.elapsed_s_max"), result_.elapsed);
+  }
   return result_;
 }
 
@@ -372,6 +437,15 @@ void MapReduceSimulation::start_attempt(TaskId task, cluster::NodeIndex node,
     a.nominal_end = now + config_.gamma;
     a.event = queue_.schedule(now + config_.gamma,
                               [this, id] { on_attempt_complete(id); });
+    {
+      obs::TraceRecord r;
+      r.type = obs::EventType::kAttemptStart;
+      r.task = task;
+      r.node = node;
+      r.peer = node;
+      r.aux = speculative ? 1 : 0;
+      trace(r);
+    }
     return;
   }
 
@@ -381,6 +455,28 @@ void MapReduceSimulation::start_attempt(TaskId task, cluster::NodeIndex node,
   a.fetch = network_.request(src, node, cluster_.block_size_bytes, now);
   a.nominal_end = a.fetch.end + config_.gamma;
   ++result_.transfers_started;
+  if (config_.tracer != nullptr) {
+    obs::TraceRecord r;
+    r.type = obs::EventType::kAttemptStart;
+    r.task = task;
+    r.node = node;
+    r.peer = src;
+    r.aux = speculative ? 1 : 0;
+    r.ticket = a.fetch.ticket;
+    trace(r);
+    r = obs::TraceRecord{};
+    r.type = obs::EventType::kTransferRequest;
+    r.task = task;
+    r.node = node;
+    r.peer = src;
+    r.ticket = a.fetch.ticket;
+    r.v0 = a.fetch.start;
+    r.v1 = a.fetch.end;
+    trace(r);
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->observe(hist_wait_, a.fetch.start - now);
+  }
   if (!a.from_origin) {
     NodeState& src_state = node_state_[src];
     a.outgoing_index = static_cast<std::uint32_t>(
@@ -397,6 +493,9 @@ void MapReduceSimulation::on_fetch_done(AttemptId id) {
   }
   result_.overhead.migration += a.fetch.duration();
   network_.on_transfer_complete(cluster_.block_size_bytes);
+  if (config_.metrics != nullptr) {
+    config_.metrics->observe(hist_transfer_, a.fetch.duration());
+  }
   if (!a.from_origin) {
     // Unregister from the source's outgoing list.
     NodeState& src_state = node_state_[a.fetch_src];
@@ -441,6 +540,14 @@ void MapReduceSimulation::on_attempt_complete(AttemptId id) {
     ++result_.origin_wins;
   } else {
     ++result_.remote_wins;
+  }
+  {
+    obs::TraceRecord r;
+    r.type = obs::EventType::kAttemptFinish;
+    r.task = task;
+    r.node = node;
+    r.aux = a.local ? 0 : a.from_origin ? 2 : 1;
+    trace(r);
   }
 
   detach_attempt(id);
@@ -494,6 +601,12 @@ void MapReduceSimulation::kill_attempt(AttemptId id, KillReason reason) {
   const TaskId task = a.task;
   const common::Seconds now = queue_.now();
 
+  const obs::TraceReason trace_reason =
+      reason == KillReason::kNodeDown      ? obs::TraceReason::kNodeDown
+      : reason == KillReason::kSourceTimeout
+          ? obs::TraceReason::kSourceTimeout
+          : obs::TraceReason::kRedundant;
+
   if (a.fetching) {
     result_.overhead.migration += std::max(0.0, now - a.fetch.start);
     ++result_.transfers_aborted;
@@ -508,7 +621,17 @@ void MapReduceSimulation::kill_attempt(AttemptId id, KillReason reason) {
         ++result_.aborts_redundant;
         break;
     }
-    network_.abort(a.fetch, now);
+    const common::Seconds reclaimed = network_.abort(a.fetch, now);
+    {
+      obs::TraceRecord r;
+      r.type = obs::EventType::kTransferAbort;
+      r.reason = trace_reason;
+      r.task = task;
+      r.peer = a.fetch_src;
+      r.ticket = a.fetch.ticket;
+      r.v0 = reclaimed;
+      trace(r);
+    }
     if (!a.from_origin) {
       NodeState& src_state = node_state_[a.fetch_src];
       auto& list = src_state.outgoing_fetches;
@@ -525,6 +648,14 @@ void MapReduceSimulation::kill_attempt(AttemptId id, KillReason reason) {
     ++result_.attempts_failed;
   } else {
     ++result_.attempts_killed;
+  }
+  {
+    obs::TraceRecord r;
+    r.type = obs::EventType::kAttemptKill;
+    r.reason = trace_reason;
+    r.task = task;
+    r.node = a.node;
+    trace(r);
   }
 
   detach_attempt(id);
@@ -546,6 +677,13 @@ void MapReduceSimulation::on_node_down(cluster::NodeIndex node) {
   ns.down_at = queue_.now();
   if (ns.undone_home > 0) ns.recovery_open = queue_.now();
   ns.free_slots = 0;
+  {
+    obs::TraceRecord r;
+    r.type = obs::EventType::kNodeDown;
+    r.node = node;
+    r.aux = static_cast<std::uint32_t>(cluster_.nodes[node].slots);
+    trace(r);
+  }
 
   // Attempts running here fail.
   const std::vector<AttemptId> local = ns.attempts;
@@ -561,6 +699,12 @@ void MapReduceSimulation::on_node_down(cluster::NodeIndex node) {
       if (!a.alive || !a.fetching) continue;
       a.transfer_stalled = true;
       a.event.cancel();
+      obs::TraceRecord r;
+      r.type = obs::EventType::kTransferStall;
+      r.task = a.task;
+      r.peer = node;
+      r.ticket = a.fetch.ticket;
+      trace(r);
     }
     if (!ns.outgoing_fetches.empty()) {
       ns.stall_timeout_event = queue_.schedule(
@@ -637,6 +781,15 @@ void MapReduceSimulation::on_node_up(cluster::NodeIndex node) {
       ns.down_at >= 0.0 ? queue_.now() - ns.down_at : 0.0;
   ns.down_at = -1.0;
   ns.free_slots = cluster_.nodes[node].slots;
+  {
+    obs::TraceRecord r;
+    r.type = obs::EventType::kNodeUp;
+    r.node = node;
+    trace(r);
+  }
+  if (config_.metrics != nullptr && outage > 0.0) {
+    config_.metrics->observe(hist_outage_, outage);
+  }
 
   if (config_.transfer_stall_timeout > 0.0 && outage > 0.0) {
     // Resume stalled transfers, shifted by the outage; the uplink's
@@ -650,12 +803,20 @@ void MapReduceSimulation::on_node_up(cluster::NodeIndex node) {
       a.fetch.end += outage;
       a.event =
           queue_.schedule(a.fetch.end, [this, id] { on_fetch_done(id); });
+      obs::TraceRecord r;
+      r.type = obs::EventType::kTransferResume;
+      r.task = a.task;
+      r.peer = node;
+      r.ticket = a.fetch.ticket;
+      r.v0 = a.fetch.end;
+      trace(r);
     }
   } else {
     network_.reset_uplink(node, queue_.now());
   }
 
-  const std::size_t revived = board_.revive_stalled_for(node);
+  const std::size_t revived =
+      board_.revive_stalled_for(node, queue_.now());
   dispatch(node);
   for (std::size_t i = 0; i < revived; ++i) wake_one_idle();
 }

@@ -26,6 +26,8 @@
 #include "cluster/topology.h"
 #include "common/rng.h"
 #include "hdfs/namenode.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/injector.h"
 #include "sim/overhead.h"
@@ -75,6 +77,10 @@ struct SimJobConfig {
   common::Seconds max_source_queue_wait = -1.0;
   // Record per-task completion times into JobResult (diagnostics).
   bool record_completion_times = false;
+  // Optional observability sinks, owned by the caller; null = off. Each
+  // instrumented site is a single null check on the disabled path.
+  obs::EventTracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct JobResult {
@@ -219,6 +225,20 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
   common::Seconds last_done_at_ = 0.0;
   common::Seconds origin_delay_ = 0.0;
   common::Seconds ripe_wake_at_ = -1.0;  // armed wake-up time, < 0 = none
+
+  // Stamps the record with the current sim time and hands it to the
+  // tracer; a no-op (one branch) when tracing is off.
+  void trace(obs::TraceRecord r) {
+    if (config_.tracer != nullptr) {
+      r.t = queue_.now();
+      config_.tracer->record(r);
+    }
+  }
+
+  // Pre-registered histogram ids, valid only when config_.metrics is set.
+  obs::MetricsRegistry::Id hist_transfer_ = 0;
+  obs::MetricsRegistry::Id hist_outage_ = 0;
+  obs::MetricsRegistry::Id hist_wait_ = 0;
 };
 
 // Convenience: board construction input from HDFS metadata.

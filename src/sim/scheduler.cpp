@@ -121,7 +121,8 @@ std::optional<common::Seconds> TaskBoard::next_stalled_park() {
   return std::nullopt;
 }
 
-std::size_t TaskBoard::revive_stalled_for(cluster::NodeIndex node) {
+std::size_t TaskBoard::revive_stalled_for(cluster::NodeIndex node,
+                                          common::Seconds now) {
   std::size_t revived = 0;
   for (const TaskId task : node_tasks_.at(node)) {
     if (status_[task] == TaskStatus::kPending && flags_[task].in_stalled) {
@@ -130,6 +131,14 @@ std::size_t TaskBoard::revive_stalled_for(cluster::NodeIndex node) {
       flags_[task].in_stalled = false;
       push_global(task);
       ++revived;
+      if (tracer_ != nullptr) {
+        obs::TraceRecord r;
+        r.t = now;
+        r.type = obs::EventType::kTaskRevive;
+        r.task = task;
+        r.node = node;
+        tracer_->record(r);
+      }
     }
   }
   return revived;

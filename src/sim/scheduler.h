@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/node.h"
+#include "obs/trace.h"
 
 namespace adapt::sim {
 
@@ -67,8 +68,13 @@ class TaskBoard {
   std::optional<common::Seconds> next_stalled_park();
 
   // A node recovered: its pending home tasks parked as stalled become
-  // fetchable again. Returns how many were revived.
-  std::size_t revive_stalled_for(cluster::NodeIndex node);
+  // fetchable again. Returns how many were revived; `now` only stamps
+  // the trace records.
+  std::size_t revive_stalled_for(cluster::NodeIndex node,
+                                 common::Seconds now = 0.0);
+
+  // Emit park/revive records to `tracer` (null = off).
+  void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
 
  private:
   struct Flags {
@@ -99,6 +105,7 @@ class TaskBoard {
   std::deque<StalledEntry> stalled_;
   std::size_t done_ = 0;
   std::size_t pending_ = 0;
+  obs::EventTracer* tracer_ = nullptr;
 };
 
 template <typename Pred>
@@ -114,6 +121,13 @@ std::optional<TaskId> TaskBoard::take_remote(common::Seconds now,
       flags_[task].in_stalled = true;
       stalled_since_[task] = now;
       stalled_.push_back({task, now});
+      if (tracer_ != nullptr) {
+        obs::TraceRecord r;
+        r.t = now;
+        r.type = obs::EventType::kTaskPark;
+        r.task = task;
+        tracer_->record(r);
+      }
     }
   }
   return std::nullopt;

@@ -144,6 +144,34 @@ TEST(HashTable, PositiveWeightAlwaysSelectable) {
   }
 }
 
+TEST(HashTable, CursorDriftKeepsTopEndProportional) {
+  // The cumulative boundary cursor accumulates one rounding error per
+  // node; with hundreds of irrational widths it drifts either way at
+  // the top end. The guard must close a downward gap below m without
+  // ever widening a segment past its fair share when the cursor
+  // overshoots, so the tail nodes keep proportional probabilities.
+  std::vector<double> weights;
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    weights.push_back(1.0 / 3.0 + rng.uniform() * 1e-3);
+  }
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  for (const std::uint64_t cells : {401ull, 997ull, 4096ull}) {
+    const BlockHashTable table(weights, cells, ChainWeighting::kOverlap);
+    const auto probs = table.selection_probabilities();
+    double sum = 0.0;
+    for (const double p : probs) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "cells " << cells;
+    // The last node sits on the drift-prone boundary; its probability
+    // must stay close to its share, not absorb or lose the drift.
+    const std::size_t last = weights.size() - 1;
+    EXPECT_NEAR(probs[last], weights[last] / total,
+                2.0 / static_cast<double>(cells))
+        << "cells " << cells;
+  }
+}
+
 TEST(HashTable, Validation) {
   EXPECT_THROW(BlockHashTable({}, 10, ChainWeighting::kPaper),
                std::invalid_argument);

@@ -30,7 +30,10 @@ const Results& emulation_results() {
     config.blocks = w.blocks_for(cl.size());
     config.job.gamma = w.gamma();
     config.seed = 1234;
-    constexpr int kRuns = 4;
+    // Elapsed time at this reduced scale is dominated by the last few
+    // tasks, so per-run variance is large; 16 replications keep the
+    // headline orderings stable instead of hinging on a lucky draw.
+    constexpr int kRuns = 16;
     Results out;
     config.replication = 1;
     config.policy = PolicyKind::kRandom;

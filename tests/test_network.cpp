@@ -88,13 +88,77 @@ TEST(Network, AbortNewestReleasesShare) {
   EXPECT_DOUBLE_EQ(c.start, b.start);
 }
 
-TEST(Network, AbortOlderLeavesHole) {
+TEST(Network, AbortOldestReclaimsUnusedShare) {
+  // Regression: aborting a grant that is NOT the newest used to leave
+  // its whole remaining share reserved (a permanent hole in the uplink).
+  Network net(symmetric(3, mbps(8)));
+  const double share = common::transfer_time(kBlock, mbps(8));
+  const TransferGrant a = net.request(0, 1, kBlock, 0.0);
+  const TransferGrant b = net.request(0, 2, kBlock, 0.0);
+  // a is partially consumed at t=1: only the unused [1, share) returns.
+  const common::Seconds reclaimed = net.abort(a, 1.0);
+  EXPECT_DOUBLE_EQ(reclaimed, share - 1.0);
+  EXPECT_DOUBLE_EQ(net.uplink_available_at(0), b.end - reclaimed);
+  const TransferGrant c = net.request(0, 1, kBlock, 1.0);
+  EXPECT_DOUBLE_EQ(c.start, share + 1.0);  // right behind b's share
+}
+
+TEST(Network, AbortMidQueueReclaimsShare) {
+  // Regression for the uplink-admission leak: aborting the middle of
+  // three queued grants must hand back its full (unstarted) share, so a
+  // re-request is admitted where the aborted grant would have run.
+  Network net(symmetric(4, mbps(8)));
+  (void)net.request(0, 1, kBlock, 0.0);
+  const TransferGrant b = net.request(0, 2, kBlock, 0.0);
+  const TransferGrant c = net.request(0, 3, kBlock, 0.0);
+  const common::Seconds reclaimed = net.abort(b, 1.0);
+  EXPECT_DOUBLE_EQ(reclaimed, b.end - b.start);  // nothing consumed yet
+  const TransferGrant d = net.request(0, 2, kBlock, 1.0);
+  EXPECT_DOUBLE_EQ(d.start, c.start);  // not c.end: no hole left behind
+}
+
+TEST(Network, AbortConsumedShareReclaimsNothing) {
+  Network net(symmetric(3, mbps(8)));
+  const double share = common::transfer_time(kBlock, mbps(8));
+  const TransferGrant a = net.request(0, 1, kBlock, 0.0);
+  const TransferGrant b = net.request(0, 2, kBlock, 0.0);
+  // a's admission share [0, share) is fully consumed by t = share + 1.
+  EXPECT_DOUBLE_EQ(net.abort(a, share + 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(net.uplink_available_at(0), b.end);
+}
+
+TEST(Network, ShiftThenAbortCompose) {
+  // An outage shift followed by a mid-queue abort must stay exact: the
+  // shifted spans keep their consumed prefixes, and the abort returns
+  // only what is still unused at abort time.
+  Network net(symmetric(3, mbps(8)));
+  const double share = common::transfer_time(kBlock, mbps(8));
+  const TransferGrant a = net.request(0, 1, kBlock, 0.0);
+  (void)net.request(0, 2, kBlock, 0.0);
+  // Source down at t=10, back at t=40: every unfinished share shifts by
+  // the 30 s outage (a's span becomes [0, share + 30)).
+  net.shift_uplink(0, 30.0, 40.0);
+  EXPECT_DOUBLE_EQ(net.uplink_available_at(0), 2.0 * share + 30.0);
+  // Abort a at t=40: it consumed [0, 10) before the outage plus nothing
+  // since (it resumes at 40), so share - 10 comes back.
+  const common::Seconds reclaimed = net.abort(a, 40.0);
+  EXPECT_DOUBLE_EQ(reclaimed, share - 10.0);
+  EXPECT_DOUBLE_EQ(net.uplink_available_at(0), share + 40.0);
+  const TransferGrant c = net.request(0, 1, kBlock, 40.0);
+  EXPECT_DOUBLE_EQ(c.start, share + 40.0);
+}
+
+TEST(Network, StatsCountRequestsAndReclaims) {
   Network net(symmetric(3, mbps(8)));
   const TransferGrant a = net.request(0, 1, kBlock, 0.0);
   const TransferGrant b = net.request(0, 2, kBlock, 0.0);
-  net.abort(a, 1.0);  // not the newest: pessimistic hole remains
-  const TransferGrant c = net.request(0, 1, kBlock, 1.0);
-  EXPECT_DOUBLE_EQ(c.start, b.end);
+  net.abort(b, 0.0);
+  const cluster::Network::Stats& stats = net.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.aborts, 1u);
+  EXPECT_DOUBLE_EQ(stats.admission_wait, b.start - 0.0);
+  EXPECT_DOUBLE_EQ(stats.reclaimed, b.end - b.start);
+  (void)a;
 }
 
 TEST(Network, ResetClearsQueue) {
