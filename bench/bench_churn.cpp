@@ -1,0 +1,182 @@
+// Churn & recovery bench: permanent departures on top of the transient
+// M/G/1 interruption substrate. Sweeps the per-node departure hazard and
+// the correlated-burst size against (policy, replication, pipeline)
+// series, reporting job failures, data loss and the re-replication
+// pipeline's work. Origin re-fetch is disabled so every loss is real:
+// a block whose replicas all die is gone unless the pipeline saved it.
+//
+//   ./bench_churn [--nodes N] [--runs R] [--seed S]
+//                 [--dead-timeout SEC] [--threads T] [--json PATH]
+//                 [--trace PATH] [--metrics]
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "cluster/topology.h"
+#include "trace/generator.h"
+#include "workload/sweeps.h"
+#include "workload/terasort.h"
+
+namespace {
+
+using namespace adapt;
+
+std::vector<avail::InterruptionParams> draw_population(std::size_t nodes,
+                                                       std::uint64_t seed) {
+  trace::GeneratorConfig config;
+  config.node_count = nodes;
+  config.horizon = 14.0 * 24 * 3600;
+  config.seed = seed;
+  const trace::GeneratedTrace gen = trace::generate_seti_like_trace(config);
+  std::vector<avail::InterruptionParams> params;
+  params.reserve(gen.truth.size());
+  for (const trace::HostTruth& host : gen.truth) {
+    params.push_back(host.params());
+  }
+  return params;
+}
+
+struct ChurnSeries {
+  core::PolicyKind policy;
+  int replication;
+  bool pipeline;
+  std::string label() const {
+    return core::to_string(policy) + " r" + std::to_string(replication) +
+           (pipeline ? " +rr" : " -rr");
+  }
+};
+
+struct Point {
+  std::string label;
+  double departure_rate;
+  double burst_at;
+  double burst_fraction;
+};
+
+void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
+               bench::ObsSink& sink, const std::string& title,
+               const std::string& column, const std::vector<Point>& points,
+               const std::vector<ChurnSeries>& series, std::size_t nodes,
+               int runs, std::uint64_t seed, double dead_timeout,
+               int rr_concurrency) {
+  const auto params = draw_population(nodes, seed);
+  cluster::TraceClusterConfig tc;
+  const auto cl = std::make_shared<const cluster::Cluster>(
+      cluster::model_cluster(params, tc));
+  workload::Workload w = workload::simulation_workload();
+
+  std::vector<runner::ExperimentRunner::SweepCell> cells;
+  cells.reserve(points.size() * series.size());
+  for (const Point& point : points) {
+    core::ExperimentConfig config;
+    config.blocks = w.blocks_for(nodes);
+    config.job.gamma = w.gamma();
+    config.job.allow_origin_fetch = false;
+    config.seed = seed;
+    config.obs = sink.options.obs;
+    config.job.churn.enabled = true;
+    config.job.churn.departure_rate = point.departure_rate;
+    config.job.churn.burst_at = point.burst_at;
+    config.job.churn.burst_fraction = point.burst_fraction;
+    config.job.churn.dead_timeout = dead_timeout;
+    config.job.churn.rereplication.max_concurrent = rr_concurrency;
+    for (const ChurnSeries& s : series) {
+      config.policy = s.policy;
+      config.replication = s.replication;
+      config.job.churn.rereplication.enabled = s.pipeline;
+      cells.push_back({cl, config, runs});
+    }
+  }
+  const std::vector<core::RepeatedResult> results =
+      exec.run_sweep(cells, sink.collector());
+
+  common::Table table({column, "series", "elapsed (s)", "failed",
+                       "departed", "dead", "tasks lost", "re-repl",
+                       "give-ups", "moved"});
+  std::size_t cell = 0;
+  for (const Point& point : points) {
+    for (const ChurnSeries& s : series) {
+      const core::RepeatedResult& r = results[cell++];
+      table.add_row(
+          {point.label, s.label(),
+           common::format_double(r.elapsed.mean, 0),
+           std::to_string(r.failed_runs) + "/" + std::to_string(runs),
+           std::to_string(r.nodes_departed),
+           std::to_string(r.nodes_dead),
+           std::to_string(r.tasks_lost),
+           std::to_string(r.rereplications),
+           std::to_string(r.rereplication_giveups),
+           common::format_bytes(r.rereplication_bytes)});
+      report.add_result(title, point.label, s.label(), r);
+    }
+  }
+  std::printf("\n--- %s ---\n%s", title.c_str(), table.to_string().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adapt;
+  const common::Flags flags(argc, argv);
+  const std::size_t nodes =
+      static_cast<std::size_t>(flags.get_int("nodes", 128));
+  const int runs = static_cast<int>(flags.get_int("runs", 2));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  const double dead_timeout = flags.get_double("dead-timeout", 120.0);
+  const int rr_concurrency =
+      static_cast<int>(flags.get_int("rr-concurrency", 8));
+  const bench::RunnerOptions options = bench::runner_options(flags);
+  bench::abort_on_unused_flags(flags);
+
+  bench::print_header(
+      "Churn & recovery — departures, dead declaration, re-replication",
+      "origin re-fetch disabled: a block is lost unless the pipeline "
+      "restored it.\nDefaults: " + std::to_string(nodes) + " nodes, " +
+          std::to_string(runs) + " run(s) per point, dead timeout " +
+          common::format_double(dead_timeout, 0) + " s.");
+
+  runner::ExperimentRunner exec(options.threads);
+  runner::Report report("churn", seed, runs);
+  report.set_config("nodes", static_cast<double>(nodes));
+  report.set_config("dead_timeout", dead_timeout);
+  report.set_config("rr_concurrency", static_cast<double>(rr_concurrency));
+  bench::ObsSink sink(options);
+
+  const std::vector<ChurnSeries> series = {
+      {core::PolicyKind::kRandom, 2, true},
+      {core::PolicyKind::kAdapt, 2, true},
+      {core::PolicyKind::kAdapt, 2, false},
+      {core::PolicyKind::kAdapt, 3, true},
+  };
+
+  {
+    // Hazard sweep: mean node lifetime from "nobody leaves" down to
+    // ~15 min; the job itself runs for minutes at this scale.
+    std::vector<Point> points = {
+        {"no churn", 0.0, -1.0, 0.0},
+        {"1/2h", 1.0 / 7200.0, -1.0, 0.0},
+        {"1/1h", 1.0 / 3600.0, -1.0, 0.0},
+        {"1/30m", 1.0 / 1800.0, -1.0, 0.0},
+        {"1/15m", 1.0 / 900.0, -1.0, 0.0},
+    };
+    run_sweep(exec, report, sink, "Churn (a): departure hazard",
+              "hazard", points, series, nodes, runs, seed, dead_timeout,
+              rr_concurrency);
+  }
+  {
+    // Correlated burst at t = 300 s: a fraction of the pool leaves at
+    // one instant (campus power cut).
+    std::vector<Point> points = {
+        {"10%", 0.0, 300.0, 0.10},
+        {"25%", 0.0, 300.0, 0.25},
+        {"50%", 0.0, 300.0, 0.50},
+    };
+    run_sweep(exec, report, sink, "Churn (b): correlated burst at 300 s",
+              "burst", points, series, nodes, runs, seed + 1, dead_timeout,
+              rr_concurrency);
+  }
+  sink.finish(report);
+  bench::write_report(report, options.json_path);
+  return 0;
+}

@@ -67,6 +67,23 @@ void print_run(std::uint64_t run_index, const obs::RunObservations& run,
               "%.17g node-seconds\n",
               summary.recovery_node_seconds);
 
+  // Churn & recovery: only shown when the trace has any churn activity.
+  if (summary.nodes_dead > 0 || summary.replicas_lost > 0 ||
+      summary.rereplications > 0 || summary.rereplication_retries > 0 ||
+      summary.rereplication_giveups > 0) {
+    common::Table recovery({"dead nodes", "replicas lost", "re-repl",
+                            "retries", "give-ups", "moved"});
+    recovery.add_row(
+        {std::to_string(summary.nodes_dead),
+         std::to_string(summary.replicas_lost),
+         std::to_string(summary.rereplications),
+         std::to_string(summary.rereplication_retries),
+         std::to_string(summary.rereplication_giveups),
+         common::format_bytes(
+             static_cast<std::uint64_t>(summary.rereplication_bytes))});
+    std::printf("\nchurn & recovery:\n%s", recovery.to_string().c_str());
+  }
+
   // Busiest nodes first; ties broken by index for a stable listing.
   std::vector<std::size_t> order(summary.nodes.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;

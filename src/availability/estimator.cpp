@@ -1,5 +1,6 @@
 #include "availability/estimator.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace adapt::avail {
@@ -49,11 +50,20 @@ InterruptionParams AvailabilityEstimator::estimate(common::Seconds now) const {
     // host stuck down is not scored by its historic short repairs alone.
     double downtime = total_downtime_;
     std::size_t n = recoveries_;
+    common::Seconds elapsed = 0.0;
     if (currently_down()) {
-      downtime += now - down_since_;
+      elapsed = now - down_since_;
+      downtime += elapsed;
       ++n;
     }
     p.mu = downtime / static_cast<double>(n);
+    // The ongoing outage is a *censored* observation: its true length is
+    // at least `elapsed`, so the mean repair time cannot honestly be
+    // reported below that floor. Without it a host with a history of
+    // short repairs that has now been down for hours keeps advertising
+    // its old small mu, and the predictor keeps over-weighting a node
+    // that is effectively gone.
+    p.mu = std::max(p.mu, elapsed);
   } else if (currently_down()) {
     p.mu = now - down_since_;
   }

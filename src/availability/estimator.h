@@ -28,7 +28,10 @@ class AvailabilityEstimator {
   // Current estimate. lambda = interruptions / observed *uptime* (the
   // exposure during which a new interruption can arrive; wall-clock time
   // would bias lambda low by (1-rho) on flaky hosts);
-  // mu = mean of completed downtime intervals. Before the first
+  // mu = mean downtime, counting an ongoing outage as a censored
+  // observation: its elapsed length both joins the average and floors
+  // the estimate (mu >= elapsed), so a host that has been down for hours
+  // stops advertising its historic short repairs. Before the first
   // interruption completes, falls back to `prior` (a host with no
   // observed interruptions is treated as reliable: lambda estimate 0).
   InterruptionParams estimate(common::Seconds now) const;

@@ -32,6 +32,7 @@ void HeartbeatCollector::refresh(std::size_t node, common::Seconds now) const {
   }
   if (now >= down_at) {
     state.believed_up = false;
+    state.down_since = down_at;
     state.estimator.record_down(down_at);
     state.pending_down_at = -1.0;
   }
@@ -47,6 +48,8 @@ void HeartbeatCollector::observe_heartbeat(std::size_t node,
     state.estimator.record_up(now);
   }
   state.pending_down_at = -1.0;
+  state.down_since = -1.0;
+  state.dead = false;  // heard from again: resurrection
   state.last_beat = now;
 }
 
@@ -72,6 +75,8 @@ void HeartbeatCollector::notify_up(std::size_t node, common::Seconds now) {
   state.believed_up = true;
   state.estimator.record_up(now);
   state.pending_down_at = -1.0;
+  state.down_since = -1.0;
+  state.dead = false;  // heard from again: resurrection
   state.last_beat = now;
 }
 
@@ -79,6 +84,19 @@ bool HeartbeatCollector::believed_up(std::size_t node,
                                      common::Seconds now) const {
   refresh(node, now);
   return nodes_.at(node).believed_up;
+}
+
+bool HeartbeatCollector::believed_dead(std::size_t node,
+                                       common::Seconds now) const {
+  if (config_.dead_timeout <= 0.0) return false;
+  refresh(node, now);
+  PerNode& state = nodes_.at(node);
+  if (state.dead) return true;
+  if (!state.believed_up && state.down_since >= 0.0 &&
+      now >= state.down_since + config_.dead_timeout) {
+    state.dead = true;
+  }
+  return state.dead;
 }
 
 avail::InterruptionParams HeartbeatCollector::estimate(

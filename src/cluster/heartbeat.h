@@ -27,6 +27,10 @@ class HeartbeatCollector {
   struct Config {
     common::Seconds interval = 3.0;  // Hadoop default heartbeat cadence
     int miss_threshold = 2;          // beats missed before declaring down
+    // How long a node must stay believed-down before it is declared
+    // *dead* (left the pool, replicas lost) rather than transiently
+    // down. 0 disables dead declaration entirely.
+    common::Seconds dead_timeout = 0.0;
   };
 
   HeartbeatCollector(std::size_t node_count, Config config,
@@ -47,6 +51,13 @@ class HeartbeatCollector {
   // Current belief about a node, evaluating pending heartbeat misses.
   bool believed_up(std::size_t node, common::Seconds now) const;
 
+  // Whether the node has been believed-down for at least dead_timeout.
+  // Sticky until the node is heard from again (a beat or notify_up
+  // resurrects it). Always false when dead_timeout is 0.
+  bool believed_dead(std::size_t node, common::Seconds now) const;
+
+  common::Seconds dead_timeout() const { return config_.dead_timeout; }
+
   // Current (lambda, mu) estimate for a node.
   avail::InterruptionParams estimate(std::size_t node,
                                      common::Seconds now) const;
@@ -57,7 +68,9 @@ class HeartbeatCollector {
     avail::AvailabilityEstimator estimator;
     common::Seconds last_beat = 0.0;
     common::Seconds pending_down_at = -1.0;  // transition mode; < 0 = none
+    common::Seconds down_since = -1.0;       // believed-down start; < 0 = up
     bool believed_up = true;
+    bool dead = false;
     bool message_mode = false;  // set once observe_heartbeat is used
     explicit PerNode(common::Seconds start)
         : estimator(start), last_beat(start) {}

@@ -167,6 +167,33 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
       return !prev || prev(node);
     };
   }
+  if (job_config.churn.enabled) {
+    // A late joiner is absent at load time: copyFromLocal cannot write
+    // to it.
+    if (!job_config.churn.join_at.empty()) {
+      auto joins = std::make_shared<std::vector<common::Seconds>>(
+          job_config.churn.join_at);
+      auto prev = filter;
+      filter = [joins, prev](cluster::NodeIndex node) {
+        if (node < joins->size() && (*joins)[node] > 0.0) return false;
+        return !prev || prev(node);
+      };
+    }
+    // Default re-replication destination policy: rebuild the configured
+    // placement kind from the heartbeat collector's live estimates, so
+    // recovery placement stays availability-aware as beliefs evolve.
+    if (!job_config.churn.policy_factory) {
+      const PolicyKind kind = config.policy;
+      const double gamma = config.job.gamma;
+      const std::uint64_t blocks = config.blocks;
+      const placement::ChainWeighting weighting = config.weighting;
+      job_config.churn.policy_factory =
+          [kind, gamma, blocks, weighting](
+              const std::vector<avail::InterruptionParams>& estimates) {
+            return make_policy(kind, estimates, gamma, blocks, weighting);
+          };
+    }
+  }
 
   common::Rng placement_rng = common::Rng(config.seed).fork(0x91ac);
   const hdfs::FileId file = client.copy_from_local(
@@ -233,6 +260,14 @@ RepeatedResult run_repeated(const cluster::Cluster& cluster,
     out.misc_ratio += result.job.overhead.misc_ratio();
     out.total_ratio += result.job.overhead.total_ratio();
     out.policy_name = result.policy_name;
+    out.failed_runs += result.job.failed ? 1 : 0;
+    out.nodes_departed += result.job.nodes_departed;
+    out.nodes_dead += result.job.nodes_dead;
+    out.blocks_lost += result.job.blocks_lost;
+    out.tasks_lost += result.job.tasks_lost;
+    out.rereplications += result.job.rereplications;
+    out.rereplication_giveups += result.job.rereplication_giveups;
+    out.rereplication_bytes += result.job.rereplication_bytes;
   }
   const double n = runs;
   out.rework_ratio /= n;

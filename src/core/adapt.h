@@ -116,6 +116,15 @@ struct RepeatedResult {
   double misc_ratio = 0.0;
   double total_ratio = 0.0;
   std::string policy_name;
+  // Churn & recovery totals across runs (all zero on churn-free sweeps).
+  std::uint64_t failed_runs = 0;
+  std::uint64_t nodes_departed = 0;
+  std::uint64_t nodes_dead = 0;
+  std::uint64_t blocks_lost = 0;
+  std::uint64_t tasks_lost = 0;
+  std::uint64_t rereplications = 0;
+  std::uint64_t rereplication_giveups = 0;
+  std::uint64_t rereplication_bytes = 0;
 };
 
 RepeatedResult run_repeated(const cluster::Cluster& cluster,

@@ -9,17 +9,19 @@ NameNode::NameNode(std::size_t node_count)
     : NameNode(node_count, Options{}) {}
 
 NameNode::NameNode(std::size_t node_count, Options options)
-    : options_(options), nodes_(node_count) {}
+    : options_(options), nodes_(node_count), dead_(node_count, false) {}
 
 NameNode::NameNode(std::vector<std::uint64_t> capacity_blocks, Options options)
-    : options_(options), nodes_(std::move(capacity_blocks)) {}
+    : options_(options),
+      nodes_(std::move(capacity_blocks)),
+      dead_(nodes_.node_count(), false) {}
 
 std::vector<bool> NameNode::eligibility(const BlockInfo& info,
                                         const NodeFilter& filter) const {
   std::vector<bool> eligible(node_count(), true);
   for (std::size_t i = 0; i < eligible.size(); ++i) {
     const auto node = static_cast<cluster::NodeIndex>(i);
-    if (!nodes_.has_space(node) || info.hosted_on(node) ||
+    if (!nodes_.has_space(node) || info.hosted_on(node) || dead_[i] ||
         (filter && !filter(node))) {
       eligible[i] = false;
     }
@@ -75,6 +77,22 @@ FileId NameNode::create_file(const std::string& name,
   file_info.replication = replication;
   file_info.blocks.reserve(num_blocks);
 
+  // Everything placed so far must be unwound if a later replica cannot
+  // be placed: a failed create must leave no trace in the block map or
+  // the per-node usage counters.
+  const std::size_t first_block = blocks_.size();
+  auto rollback = [&](const BlockInfo& partial) {
+    for (const cluster::NodeIndex n : partial.replicas) {
+      nodes_.remove_replica(n);
+    }
+    for (std::size_t b = first_block; b < blocks_.size(); ++b) {
+      for (const cluster::NodeIndex n : blocks_[b].replicas) {
+        nodes_.remove_replica(n);
+      }
+    }
+    blocks_.resize(first_block);
+  };
+
   for (std::uint32_t b = 0; b < num_blocks; ++b) {
     const BlockId block_id = blocks_.size();
     BlockInfo info;
@@ -84,6 +102,7 @@ FileId NameNode::create_file(const std::string& name,
       const auto node =
           place_replica(info, *policy, cap.get(), rng, filter);
       if (!node) {
+        rollback(info);
         throw std::runtime_error(
             "create_file: no eligible node for a replica of block " +
             std::to_string(block_id));
@@ -131,7 +150,7 @@ std::vector<ReplicaMove> NameNode::rebalance_file(
         if (node == old_node) {
           eligible[i] = true;  // staying put is always allowed
         } else if (nodes_.has_space(node) && !block_info.hosted_on(node) &&
-                   (!filter || filter(node))) {
+                   !dead_[i] && (!filter || filter(node))) {
           eligible[i] = true;
         }
       }
@@ -193,6 +212,29 @@ void NameNode::remove_replica(BlockId block, cluster::NodeIndex node) {
   }
   info.replicas.erase(it);
   nodes_.remove_replica(node);
+}
+
+std::vector<BlockId> NameNode::mark_node_dead(cluster::NodeIndex node) {
+  if (node >= node_count()) {
+    throw std::out_of_range("mark_node_dead: bad node");
+  }
+  std::vector<BlockId> affected;
+  if (dead_[node]) return affected;
+  dead_[node] = true;
+  for (BlockId b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].hosted_on(node)) {
+      remove_replica(b, node);
+      affected.push_back(b);
+    }
+  }
+  return affected;
+}
+
+void NameNode::revive_node(cluster::NodeIndex node) {
+  if (node >= node_count()) {
+    throw std::out_of_range("revive_node: bad node");
+  }
+  dead_[node] = false;
 }
 
 }  // namespace adapt::hdfs

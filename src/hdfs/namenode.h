@@ -84,6 +84,19 @@ class NameNode {
   void add_replica(BlockId block, cluster::NodeIndex node);
   void remove_replica(BlockId block, cluster::NodeIndex node);
 
+  // -- Dead-node registry -------------------------------------------
+  // Declare a node dead: every replica it held is written off (the
+  // directory forgets them) and the affected blocks are returned, each
+  // once, for re-replication. The node is ineligible for placement
+  // until revived. Idempotent: a second call returns nothing.
+  std::vector<BlockId> mark_node_dead(cluster::NodeIndex node);
+
+  // A dead node came back. It rejoins with no replicas (its data was
+  // already written off) but becomes eligible for placement again.
+  void revive_node(cluster::NodeIndex node);
+
+  bool is_dead(cluster::NodeIndex node) const { return dead_.at(node); }
+
  private:
   // One replica draw honoring distinctness/space/filter; updates the cap
   // counter on success.
@@ -100,6 +113,7 @@ class NameNode {
   std::vector<FileInfo> files_;
   std::unordered_map<std::string, FileId> files_by_name_;
   std::vector<BlockInfo> blocks_;
+  std::vector<bool> dead_;
 };
 
 }  // namespace adapt::hdfs

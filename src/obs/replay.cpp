@@ -135,6 +135,22 @@ ReplaySummary replay(const std::vector<TraceRecord>& records) {
         }
         break;
       }
+      case EventType::kNodeDead:
+        ++out.nodes_dead;
+        break;
+      case EventType::kReplicaLost:
+        ++out.replicas_lost;
+        break;
+      case EventType::kRereplicationDone:
+        ++out.rereplications;
+        out.rereplication_bytes += r.v0;
+        break;
+      case EventType::kRereplicationRetry:
+        ++out.rereplication_retries;
+        break;
+      case EventType::kRereplicationGiveup:
+        ++out.rereplication_giveups;
+        break;
       default:
         break;
     }
@@ -336,6 +352,37 @@ std::vector<RunObservations> parse_jsonl(const std::string& text) {
       case EventType::kJobEnd:
         if (const auto* v = get("tasks")) {
           r.task = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        break;
+      case EventType::kNodeDead:
+        if (const auto* v = get("replicas")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        break;
+      case EventType::kReplicaLost:
+        if (const auto* v = get("recoverable")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        break;
+      case EventType::kRereplicationStart:
+        if (const auto* v = get("attempt")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        if (const auto* v = get("start")) r.v0 = as_double(*v);
+        if (const auto* v = get("end")) r.v1 = as_double(*v);
+        break;
+      case EventType::kRereplicationDone:
+        if (const auto* v = get("bytes")) r.v0 = as_double(*v);
+        break;
+      case EventType::kRereplicationRetry:
+        if (const auto* v = get("attempt")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        if (const auto* v = get("next")) r.v0 = as_double(*v);
+        break;
+      case EventType::kRereplicationGiveup:
+        if (const auto* v = get("attempts")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
         }
         break;
       default:

@@ -40,6 +40,14 @@ struct ReplaySummary {
   // JobResult::overhead.recovery.
   double recovery_node_seconds = 0.0;
 
+  // Churn & recovery accounting (zero on churn-free traces).
+  std::uint64_t nodes_dead = 0;             // dead declarations
+  std::uint64_t replicas_lost = 0;          // blocks that hit 0 live replicas
+  std::uint64_t rereplications = 0;         // completed re-replications
+  std::uint64_t rereplication_retries = 0;
+  std::uint64_t rereplication_giveups = 0;
+  double rereplication_bytes = 0.0;         // bytes moved by recovery
+
   std::uint64_t count(EventType type) const {
     return event_counts[static_cast<std::size_t>(type)];
   }

@@ -53,6 +53,18 @@ const char* to_string(EventType type) {
       return "task_revive";
     case EventType::kJobEnd:
       return "job_end";
+    case EventType::kNodeDead:
+      return "node_dead";
+    case EventType::kReplicaLost:
+      return "replica_lost";
+    case EventType::kRereplicationStart:
+      return "rereplication_start";
+    case EventType::kRereplicationDone:
+      return "rereplication_done";
+    case EventType::kRereplicationRetry:
+      return "rereplication_retry";
+    case EventType::kRereplicationGiveup:
+      return "rereplication_giveup";
   }
   return "?";
 }
@@ -173,6 +185,40 @@ void append_jsonl(std::string& out, std::uint64_t run_index,
       break;
     case EventType::kJobEnd:
       out += ", \"tasks\": " + std::to_string(r.task);
+      break;
+    case EventType::kNodeDead:
+      out += ", \"node\": " + std::to_string(r.node) +
+             ", \"replicas\": " + std::to_string(r.aux);
+      break;
+    case EventType::kReplicaLost:
+      out += ", \"block\": " + std::to_string(r.task) +
+             ", \"recoverable\": " + std::to_string(r.aux);
+      break;
+    case EventType::kRereplicationStart:
+      out += ", \"block\": " + std::to_string(r.task) + ", ";
+      append_src(out, r.peer);
+      out += ", \"dst\": " + std::to_string(r.node) +
+             ", \"ticket\": " + std::to_string(r.ticket) +
+             ", \"attempt\": " + std::to_string(r.aux) +
+             ", \"start\": " + json_number(r.v0) +
+             ", \"end\": " + json_number(r.v1);
+      break;
+    case EventType::kRereplicationDone:
+      out += ", \"block\": " + std::to_string(r.task) + ", ";
+      append_src(out, r.peer);
+      out += ", \"dst\": " + std::to_string(r.node) +
+             ", \"ticket\": " + std::to_string(r.ticket) +
+             ", \"bytes\": " + json_number(r.v0);
+      break;
+    case EventType::kRereplicationRetry:
+      out += ", \"block\": " + std::to_string(r.task) + ", \"reason\": \"" +
+             to_string(r.reason) +
+             "\", \"attempt\": " + std::to_string(r.aux) +
+             ", \"next\": " + json_number(r.v0);
+      break;
+    case EventType::kRereplicationGiveup:
+      out += ", \"block\": " + std::to_string(r.task) +
+             ", \"attempts\": " + std::to_string(r.aux);
       break;
   }
   out += "}";

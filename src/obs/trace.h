@@ -38,8 +38,15 @@ enum class EventType : std::uint8_t {
   kTaskPark,         // all replicas offline; task parked as stalled
   kTaskRevive,       // a replica holder returned; task fetchable again
   kJobEnd,           // map phase done (t = elapsed)
+  // -- churn & recovery --
+  kNodeDead,            // declared dead after dead-timeout (aux = replicas lost)
+  kReplicaLost,         // a block dropped to zero live replicas (aux = recoverable)
+  kRereplicationStart,  // re-replication transfer reserved (aux = attempt#)
+  kRereplicationDone,   // re-replication transfer landed (v0 = bytes)
+  kRereplicationRetry,  // transfer failed; backing off (v0 = next try)
+  kRereplicationGiveup, // retry budget exhausted (aux = attempts)
 };
-inline constexpr std::size_t kEventTypeCount = 14;
+inline constexpr std::size_t kEventTypeCount = 20;
 
 // Why an attempt/transfer was killed; mirrors the simulator's kill paths.
 enum class TraceReason : std::uint8_t {

@@ -48,6 +48,16 @@ void Report::add_result(const std::string& sweep, const std::string& point,
       {"misc_ratio", result.misc_ratio},
       {"total_ratio", result.total_ratio},
       {"samples", static_cast<double>(result.elapsed.count)},
+      {"failed_runs", static_cast<double>(result.failed_runs)},
+      {"nodes_departed", static_cast<double>(result.nodes_departed)},
+      {"nodes_dead", static_cast<double>(result.nodes_dead)},
+      {"blocks_lost", static_cast<double>(result.blocks_lost)},
+      {"tasks_lost", static_cast<double>(result.tasks_lost)},
+      {"rereplications", static_cast<double>(result.rereplications)},
+      {"rereplication_giveups",
+       static_cast<double>(result.rereplication_giveups)},
+      {"rereplication_bytes",
+       static_cast<double>(result.rereplication_bytes)},
   };
   rows_.push_back(std::move(row));
 }

@@ -35,6 +35,14 @@ core::RepeatedResult merge_results(
     out.misc_ratio += result.job.overhead.misc_ratio();
     out.total_ratio += result.job.overhead.total_ratio();
     out.policy_name = result.policy_name;
+    out.failed_runs += result.job.failed ? 1 : 0;
+    out.nodes_departed += result.job.nodes_departed;
+    out.nodes_dead += result.job.nodes_dead;
+    out.blocks_lost += result.job.blocks_lost;
+    out.tasks_lost += result.job.tasks_lost;
+    out.rereplications += result.job.rereplications;
+    out.rereplication_giveups += result.job.rereplication_giveups;
+    out.rereplication_bytes += result.job.rereplication_bytes;
   }
   const double n = static_cast<double>(results.size());
   out.rework_ratio /= n;

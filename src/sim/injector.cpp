@@ -19,6 +19,7 @@ InterruptionInjector::InterruptionInjector(
       rng_(rng),
       config_(config),
       up_(nodes.size(), true),
+      departed_(nodes.size(), false),
       model_(nodes.size()),
       replay_(nodes.size()) {
   if (nodes_.empty()) throw std::invalid_argument("injector: no nodes");
@@ -33,6 +34,9 @@ InterruptionInjector::InterruptionInjector(
 }
 
 void InterruptionInjector::set_up(cluster::NodeIndex node, bool up) {
+  // A departed node never comes back; stale up-events (e.g. an
+  // uncancellable uptime-clock recovery) are dropped here.
+  if (up && departed_.at(node)) return;
   if (up_.at(node) == up) return;
   up_[node] = up;
   ++transitions_;
@@ -49,6 +53,45 @@ void InterruptionInjector::start() {
   }
   for (cluster::NodeIndex i = 0; i < nodes_.size(); ++i) {
     const cluster::NodeSpec& spec = nodes_[i];
+    // Replay cursors are positioned up front whether the node is present
+    // now or joins later; arming is what is deferred for late joiners.
+    if (spec.mode == cluster::AvailabilityMode::kReplay &&
+        !spec.down_intervals.empty()) {
+      ReplayState& rs = replay_[i];
+      if (!config_.replay_offsets.empty()) {
+        rs.offset = config_.replay_offsets.at(i);
+      } else {
+        rs.offset = config_.randomize_replay_offset
+                        ? rng_.uniform(0.0, horizon_)
+                        : 0.0;
+      }
+      // Skip intervals that ended before the offset.
+      while (rs.next_interval < spec.down_intervals.size() &&
+             spec.down_intervals[rs.next_interval].up <= rs.offset) {
+        ++rs.next_interval;
+      }
+      if (rs.next_interval == spec.down_intervals.size()) {
+        rs.next_interval = 0;
+        rs.shift = horizon_;
+      }
+    }
+
+    const bool joins_late =
+        i < config_.join_at.size() && config_.join_at[i] > 0.0;
+    if (joins_late) {
+      // Absent until its join time: down (not departed) from t = 0, then
+      // joins up and starts its availability process from there.
+      queue_.schedule(0.0, [this, i] { set_up(i, false); });
+      const common::Seconds join = config_.join_at[i];
+      queue_.schedule(join, [this, i] {
+        if (departed_[i]) return;  // left before ever joining
+        set_up(i, true);
+        arm_node(i);
+      });
+      schedule_departure(i);
+      continue;
+    }
+
     switch (spec.mode) {
       case cluster::AvailabilityMode::kAlwaysUp:
         break;
@@ -81,37 +124,74 @@ void InterruptionInjector::start() {
       }
       case cluster::AvailabilityMode::kReplay: {
         if (spec.down_intervals.empty()) break;
-        ReplayState& rs = replay_[i];
-        if (!config_.replay_offsets.empty()) {
-          rs.offset = config_.replay_offsets.at(i);
-        } else {
-          rs.offset = config_.randomize_replay_offset
-                          ? rng_.uniform(0.0, horizon_)
-                          : 0.0;
-        }
-        // Skip intervals that ended before the offset.
-        while (rs.next_interval < spec.down_intervals.size() &&
-               spec.down_intervals[rs.next_interval].up <= rs.offset) {
-          ++rs.next_interval;
-        }
-        if (rs.next_interval == spec.down_intervals.size()) {
-          rs.next_interval = 0;
-          rs.shift = horizon_;
-        }
         schedule_replay_next(i);
         break;
       }
     }
+    schedule_departure(i);
+  }
+
+  if (config_.burst_at >= 0.0 && config_.burst_fraction > 0.0) {
+    // Correlated burst: each survivor departs independently with
+    // probability burst_fraction at one instant.
+    queue_.schedule(config_.burst_at, [this] {
+      for (cluster::NodeIndex i = 0; i < nodes_.size(); ++i) {
+        if (departed_[i]) continue;
+        if (rng_.uniform() < config_.burst_fraction) depart(i);
+      }
+    });
+  }
+}
+
+double InterruptionInjector::departure_rate_for(
+    cluster::NodeIndex node) const {
+  if (!config_.departure_rates.empty()) {
+    return config_.departure_rates.at(node);
+  }
+  return config_.departure_rate;
+}
+
+void InterruptionInjector::schedule_departure(cluster::NodeIndex node) {
+  const double rate = departure_rate_for(node);
+  if (rate <= 0.0) return;  // no draw: unconfigured runs stay untouched
+  const common::Seconds at = rng_.exponential(rate);
+  queue_.schedule(at, [this, node] { depart(node); });
+}
+
+void InterruptionInjector::depart(cluster::NodeIndex node) {
+  if (departed_.at(node)) return;
+  departed_[node] = true;  // before the down event, so listeners that
+                           // query is_departed() during on_node_down see
+                           // the final state
+  ++departures_;
+  model_[node].up_event.cancel();
+  set_up(node, false);  // no-op if already down (or never joined)
+  listener_.on_node_departed(node);
+}
+
+void InterruptionInjector::arm_node(cluster::NodeIndex node) {
+  const cluster::NodeSpec& spec = nodes_[node];
+  switch (spec.mode) {
+    case cluster::AvailabilityMode::kAlwaysUp:
+      break;
+    case cluster::AvailabilityMode::kModel:
+      if (spec.params.lambda > 0) arm_model_arrival(node);
+      break;
+    case cluster::AvailabilityMode::kReplay:
+      if (!spec.down_intervals.empty()) schedule_replay_next(node);
+      break;
   }
 }
 
 void InterruptionInjector::arm_model_arrival(cluster::NodeIndex node) {
+  if (departed_.at(node)) return;
   const double lambda = nodes_[node].params.lambda;
   const common::Seconds at = queue_.now() + rng_.exponential(lambda);
   queue_.schedule(at, [this, node] { on_model_arrival(node); });
 }
 
 void InterruptionInjector::on_model_arrival(cluster::NodeIndex node) {
+  if (departed_.at(node)) return;
   const cluster::NodeSpec& spec = nodes_[node];
   const double service = spec.service_time
                              ? spec.service_time->sample(rng_)
@@ -161,6 +241,7 @@ void InterruptionInjector::replay_advance(cluster::NodeIndex node) {
 }
 
 void InterruptionInjector::schedule_replay_next(cluster::NodeIndex node) {
+  if (departed_.at(node)) return;
   const common::Seconds now = queue_.now();
   // Find the next interval still (partially) ahead of now; intervals
   // swallowed by a long repair that ran past them are skipped.
@@ -173,6 +254,7 @@ void InterruptionInjector::schedule_replay_next(cluster::NodeIndex node) {
     const common::Seconds down_at = std::max(iv.down, now);
     queue_.schedule(down_at, [this, node] { set_up(node, false); });
     queue_.schedule(iv.up, [this, node] {
+      if (departed_[node]) return;  // chain ends with the node
       set_up(node, true);
       replay_advance(node);
       schedule_replay_next(node);

@@ -6,6 +6,14 @@
 // Replay starts each node at a random cyclic offset into its recorded
 // intervals, so repeated runs sample different alignments of the same
 // trace; a node mid-outage at the offset starts the run down.
+//
+// On top of the transient process the injector models volunteer *churn*:
+// per-node permanent departures (exponential hazard), an optional
+// correlated departure burst (a random fraction of the surviving pool
+// leaves at one instant — a campus power cut, a project ending), and
+// late arrivals (a node absent until its join time). A departed node
+// emits a final on_node_down (if it was up) followed by
+// on_node_departed, and never transitions again.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +32,10 @@ class InterruptionInjector {
     virtual ~Listener() = default;
     virtual void on_node_down(cluster::NodeIndex node) = 0;
     virtual void on_node_up(cluster::NodeIndex node) = 0;
+    // The node left the pool permanently; on_node_down was already
+    // emitted if it was up. Default: churn-oblivious listeners just see
+    // a node that never comes back.
+    virtual void on_node_departed(cluster::NodeIndex node) { (void)node; }
   };
 
   struct Config {
@@ -39,6 +51,21 @@ class InterruptionInjector {
     // down and returns at that time (a residual outage drawn from the
     // steady state). Empty = every model node starts up.
     std::vector<common::Seconds> initial_down_until;
+
+    // -- churn ------------------------------------------------------
+    // Permanent-departure hazard (per second); each node's departure
+    // time is drawn Exp(rate) at start(). 0 = nobody leaves.
+    double departure_rate = 0.0;
+    // Per-node override of departure_rate (empty = uniform rate).
+    std::vector<double> departure_rates;
+    // Correlated burst: at burst_at (>= 0), every not-yet-departed node
+    // departs independently with probability burst_fraction.
+    common::Seconds burst_at = -1.0;
+    double burst_fraction = 0.0;
+    // Node arrivals: join_at[i] > 0 means node i is absent (down, not
+    // departed) until that time, then joins and starts its availability
+    // process. Empty = everyone present from t = 0.
+    std::vector<common::Seconds> join_at;
   };
 
   InterruptionInjector(EventQueue& queue,
@@ -53,7 +80,11 @@ class InterruptionInjector {
   void start();
 
   bool is_up(cluster::NodeIndex node) const { return up_.at(node); }
+  bool is_departed(cluster::NodeIndex node) const {
+    return departed_.at(node);
+  }
   std::size_t transitions() const { return transitions_; }
+  std::size_t departures() const { return departures_; }
 
   common::Seconds horizon() const { return horizon_; }
 
@@ -72,6 +103,12 @@ class InterruptionInjector {
   void on_model_arrival(cluster::NodeIndex node);
   void schedule_replay_next(cluster::NodeIndex node);
   void set_up(cluster::NodeIndex node, bool up);
+  void depart(cluster::NodeIndex node);
+  void schedule_departure(cluster::NodeIndex node);
+  // Arm the node's availability process (model arrivals or replay
+  // schedule) starting at the current queue time.
+  void arm_node(cluster::NodeIndex node);
+  double departure_rate_for(cluster::NodeIndex node) const;
 
   // Next recorded interval for a replay node, rotated by its offset and
   // wrapped over the horizon.
@@ -86,9 +123,11 @@ class InterruptionInjector {
   common::Seconds horizon_ = 0.0;
 
   std::vector<bool> up_;
+  std::vector<bool> departed_;
   std::vector<ModelState> model_;
   std::vector<ReplayState> replay_;
   std::size_t transitions_ = 0;
+  std::size_t departures_ = 0;
 };
 
 // Draw one cyclic replay offset per node (uniform over the horizon; 0

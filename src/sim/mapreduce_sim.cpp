@@ -2,10 +2,29 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "placement/random_policy.h"
 
 namespace adapt::sim {
 
 namespace {
+
+InterruptionInjector::Config injector_config(const SimJobConfig& config) {
+  InterruptionInjector::Config c;
+  c.replay_horizon = config.replay_horizon;
+  c.randomize_replay_offset = config.randomize_replay_offset;
+  c.replay_offsets = config.replay_offsets;
+  c.initial_down_until = config.initial_down_until;
+  if (config.churn.enabled) {
+    c.departure_rate = config.churn.departure_rate;
+    c.departure_rates = config.churn.departure_rates;
+    c.burst_at = config.churn.burst_at;
+    c.burst_fraction = config.churn.burst_fraction;
+    c.join_at = config.churn.join_at;
+  }
+  return c;
+}
 
 cluster::Network::Config network_config(const cluster::Cluster& cluster) {
   cluster::Network::Config config;
@@ -37,6 +56,21 @@ MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
                                          const hdfs::NameNode& namenode,
                                          hdfs::FileId file,
                                          SimJobConfig config)
+    : MapReduceSimulation(cluster, namenode, nullptr, file,
+                          std::move(config)) {}
+
+MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
+                                         hdfs::NameNode& namenode,
+                                         hdfs::FileId file,
+                                         SimJobConfig config)
+    : MapReduceSimulation(cluster, namenode, &namenode, file,
+                          std::move(config)) {}
+
+MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
+                                         const hdfs::NameNode& namenode,
+                                         hdfs::NameNode* mutable_namenode,
+                                         hdfs::FileId file,
+                                         SimJobConfig config)
     : cluster_(cluster),
       namenode_(namenode),
       file_(file),
@@ -46,10 +80,8 @@ MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
       board_(replica_map(namenode, file), cluster.size()),
       injector_(queue_, cluster.nodes, *this,
                 common::Rng(config.seed).fork(0x1417),
-                InterruptionInjector::Config{config.replay_horizon,
-                                             config.randomize_replay_offset,
-                                             config.replay_offsets,
-                                             config.initial_down_until}) {
+                injector_config(config)),
+      mutable_namenode_(mutable_namenode) {
   if (config_.gamma <= 0) {
     throw std::invalid_argument("simulation: gamma must be positive");
   }
@@ -93,6 +125,184 @@ MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
         cluster.block_size_bytes,
         std::min(network_.origin_uplink_bps(), max_down));
   }
+
+  if (config_.churn.enabled) {
+    if (mutable_namenode_ == nullptr) {
+      throw std::invalid_argument(
+          "simulation: churn requires the mutable-NameNode constructor");
+    }
+    if (config_.churn.dead_timeout <= 0.0) {
+      throw std::invalid_argument(
+          "simulation: churn requires dead_timeout > 0 (departed nodes "
+          "must eventually be declared dead)");
+    }
+    init_churn();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Churn & recovery
+// ---------------------------------------------------------------------
+
+void MapReduceSimulation::init_churn() {
+  const SimJobConfig::ChurnConfig& churn = config_.churn;
+  collector_.emplace(node_state_.size(),
+                     cluster::HeartbeatCollector::Config{
+                         churn.heartbeat_interval,
+                         churn.heartbeat_miss_threshold, churn.dead_timeout});
+  declared_dead_.assign(node_state_.size(), false);
+  dead_check_.resize(node_state_.size());
+  task_lost_.assign(board_.task_count(), false);
+
+  // task t <-> block first_block_ + t; create_file allocates contiguous
+  // block ids, which the loss bookkeeping relies on.
+  const hdfs::FileInfo& info = namenode_.file(file_);
+  first_block_ = info.blocks.empty() ? 0 : info.blocks.front();
+  for (std::size_t i = 0; i < info.blocks.size(); ++i) {
+    if (info.blocks[i] != first_block_ + i) {
+      throw std::logic_error("churn: file blocks are not contiguous");
+    }
+  }
+
+  rereplicator_.emplace(
+      queue_, *mutable_namenode_, network_, cluster_.block_size_bytes,
+      churn.rereplication, common::Rng(config_.seed).fork(0xDEAD),
+      [this](cluster::NodeIndex n) { return node_state_[n].up; });
+  rereplicator_->set_tracer(config_.tracer);
+  rereplicator_->set_metrics(config_.metrics);
+  rereplicator_->set_on_replicated(
+      [this](hdfs::BlockId block, cluster::NodeIndex dst) {
+        on_block_replicated(block, dst);
+      });
+  refresh_policy();
+}
+
+void MapReduceSimulation::refresh_policy() {
+  if (!rereplicator_) return;
+  placement::PolicyPtr policy;
+  if (config_.churn.policy_factory) {
+    policy = config_.churn.policy_factory(collector_->estimates(queue_.now()));
+  } else {
+    policy = placement::make_random_policy(node_state_.size());
+  }
+  rereplicator_->set_policy(std::move(policy));
+}
+
+std::optional<TaskId> MapReduceSimulation::task_of(
+    hdfs::BlockId block) const {
+  if (block < first_block_) return std::nullopt;
+  const hdfs::BlockId offset = block - first_block_;
+  if (offset >= board_.task_count()) return std::nullopt;
+  return static_cast<TaskId>(offset);
+}
+
+void MapReduceSimulation::maybe_declare_dead(cluster::NodeIndex node) {
+  if (!collector_) return;
+  if (node_state_[node].up || declared_dead_[node]) return;
+  if (!collector_->believed_dead(node, queue_.now())) return;
+  declare_dead(node);
+}
+
+void MapReduceSimulation::declare_dead(cluster::NodeIndex node) {
+  NodeState& ns = node_state_[node];
+  declared_dead_[node] = true;
+  ++result_.nodes_dead;
+  const common::Seconds now = queue_.now();
+
+  // The DFS client gives up the moment the NameNode declares the source
+  // dead: abort transfers still stalled on it (they would otherwise wait
+  // out the full client timeout for a node that is not coming back).
+  const std::vector<AttemptId> outgoing = ns.outgoing_fetches;
+  for (const AttemptId id : outgoing) {
+    const Attempt& a = attempts_[id];
+    if (!a.alive) continue;
+    const cluster::NodeIndex dst = a.node;
+    kill_attempt(id, KillReason::kSourceTimeout);
+    dispatch(dst);
+  }
+  ns.stall_timeout_event.cancel();
+  network_.reset_uplink(node, now);
+
+  // Its downtime can no longer delay the job once the replicas are
+  // written off and the tasks re-homed; stop charging recovery.
+  if (ns.recovery_open >= 0.0) {
+    result_.overhead.recovery +=
+        (now - ns.recovery_open) * cluster_.nodes[node].slots;
+    ns.recovery_open = -1.0;
+  }
+  ns.undone_home = 0;
+
+  const std::vector<hdfs::BlockId> affected =
+      mutable_namenode_->mark_node_dead(node);
+  result_.replicas_dropped += affected.size();
+  {
+    obs::TraceRecord r;
+    r.type = obs::EventType::kNodeDead;
+    r.node = node;
+    r.aux = static_cast<std::uint32_t>(affected.size());
+    trace(r);
+  }
+
+  for (const hdfs::BlockId block : affected) {
+    const std::optional<TaskId> task = task_of(block);
+    // A re-replica placed after the task finished was never registered
+    // with the board (on_block_replicated skips Done tasks).
+    if (task && board_.is_local_to(*task, node)) {
+      board_.remove_home(*task, node);
+    }
+    if (mutable_namenode_->block(block).replicas.empty()) {
+      ++result_.blocks_lost;
+      const bool recoverable = config_.allow_origin_fetch;
+      obs::TraceRecord r;
+      r.type = obs::EventType::kReplicaLost;
+      r.task = block;
+      r.aux = recoverable ? 1 : 0;
+      trace(r);
+      if (task) maybe_mark_lost(*task);
+    } else if (rereplicator_) {
+      rereplicator_->enqueue(block);
+    }
+  }
+  refresh_policy();
+}
+
+void MapReduceSimulation::maybe_mark_lost(TaskId task) {
+  if (!collector_ || config_.allow_origin_fetch) return;
+  if (task_lost_[task]) return;
+  if (board_.status(task) == TaskStatus::kDone) return;
+  // A live attempt that already holds the block's bytes can still win.
+  if (task_attempt_count_[task] > 0) return;
+  const hdfs::BlockId block = first_block_ + task;
+  if (!mutable_namenode_->block(block).replicas.empty()) return;
+  task_lost_[task] = true;
+  ++tasks_lost_;
+  result_.lost_blocks.push_back({block, task});
+}
+
+void MapReduceSimulation::on_block_replicated(hdfs::BlockId block,
+                                              cluster::NodeIndex dst) {
+  const std::optional<TaskId> task = task_of(block);
+  if (!task) return;
+  if (board_.status(*task) == TaskStatus::kDone) return;
+  board_.add_home(*task, dst);
+  ++node_state_[dst].undone_home;
+  {
+    obs::TraceRecord r;
+    r.type = obs::EventType::kPlacement;
+    r.task = block;
+    r.node = dst;
+    r.aux = static_cast<std::uint32_t>(
+        mutable_namenode_->block(block).replicas.size() - 1);
+    trace(r);
+  }
+  // The task may sit parked with every other replica offline; the new
+  // copy makes it schedulable again.
+  board_.revive_stalled_for(dst, queue_.now());
+  if (node_state_[dst].up && node_state_[dst].free_slots > 0) {
+    dispatch(dst);
+  } else {
+    wake_for_task(*task);
+  }
 }
 
 JobResult MapReduceSimulation::run() {
@@ -118,13 +328,34 @@ JobResult MapReduceSimulation::run() {
     }
   });
 
-  const bool done = queue_.run_until([this] { return board_.all_done(); });
+  const bool done = queue_.run_until([this] {
+    return board_.done_count() + tasks_lost_ >= board_.task_count();
+  });
   if (!done) {
-    throw std::logic_error(
-        "simulation stalled: event queue drained before job completion");
+    if (!collector_) {
+      throw std::logic_error(
+          "simulation stalled: event queue drained before job completion");
+    }
+    // Churn run ran out of events with tasks unfinished: no live node can
+    // make progress anymore (typically the whole pool departed). Report
+    // the leftovers as lost instead of spinning.
+    result_.failed = true;
+    result_.failure = "no_live_nodes";
+    for (TaskId t = 0; t < board_.task_count(); ++t) {
+      if (board_.status(t) == TaskStatus::kDone || task_lost_[t]) continue;
+      task_lost_[t] = true;
+      ++tasks_lost_;
+      result_.lost_blocks.push_back(
+          {static_cast<hdfs::BlockId>(first_block_ + t), t});
+    }
+  } else if (tasks_lost_ > 0) {
+    result_.failed = true;
+    result_.failure = "data_loss";
   }
+  result_.tasks_lost = tasks_lost_;
 
-  result_.elapsed = last_done_at_;
+  result_.elapsed =
+      result_.failed ? std::max(last_done_at_, queue_.now()) : last_done_at_;
   result_.locality =
       result_.tasks > 0
           ? static_cast<double>(result_.local_wins) /
@@ -133,6 +364,15 @@ JobResult MapReduceSimulation::run() {
   result_.node_transitions = injector_.transitions();
   result_.events_processed = queue_.processed();
   result_.network_bytes = network_.bytes_transferred();
+  if (collector_) {
+    result_.nodes_departed = injector_.departures();
+    const ReReplicator::Stats& rs = rereplicator_->stats();
+    result_.rereplications = rs.completed;
+    result_.rereplication_retries = rs.retries;
+    result_.rereplication_giveups = rs.giveups;
+    result_.rereplication_bytes = rs.bytes_moved;
+    result_.max_under_replicated = rs.max_under_replicated;
+  }
 
   // Close out costs still open at the instant the job finished.
   for (cluster::NodeIndex i = 0; i < node_state_.size(); ++i) {
@@ -158,8 +398,10 @@ JobResult MapReduceSimulation::run() {
     }
   }
 
+  // Lost tasks never delivered their payload: only completed tasks count
+  // as base work (== tasks * gamma whenever the job succeeds).
   result_.overhead.base =
-      static_cast<double>(result_.tasks) * config_.gamma;
+      static_cast<double>(board_.done_count()) * config_.gamma;
   result_.overhead.elapsed = result_.elapsed;
   // Capacity is slot-seconds: a node with s slots contributes s units of
   // wall-clock per second.
@@ -206,6 +448,19 @@ JobResult MapReduceSimulation::run() {
     add("net.bytes_transferred",
         static_cast<double>(network_.bytes_transferred()));
     m.set(m.gauge("sim.elapsed_s_max"), result_.elapsed);
+    // Churn counters appear only on churn runs so churn-free metric
+    // output stays byte-identical to before.
+    if (collector_) {
+      add("sim.jobs_failed", result_.failed ? 1.0 : 0.0);
+      add("sim.nodes_departed", static_cast<double>(result_.nodes_departed));
+      add("sim.nodes_dead", static_cast<double>(result_.nodes_dead));
+      add("sim.nodes_resurrected",
+          static_cast<double>(result_.nodes_resurrected));
+      add("sim.replicas_dropped",
+          static_cast<double>(result_.replicas_dropped));
+      add("sim.blocks_lost", static_cast<double>(result_.blocks_lost));
+      add("sim.tasks_lost", static_cast<double>(result_.tasks_lost));
+    }
   }
   return result_;
 }
@@ -663,6 +918,9 @@ void MapReduceSimulation::kill_attempt(AttemptId id, KillReason reason) {
   if (failed && task_attempt_count_[task] == 0 &&
       board_.status(task) == TaskStatus::kRunning) {
     board_.mark_pending(task);
+    // The attempt may have been the last carrier of a block with zero
+    // live replicas; with no origin fallback the task is now lost.
+    maybe_mark_lost(task);
     wake_for_task(task);
   }
 }
@@ -685,11 +943,29 @@ void MapReduceSimulation::on_node_down(cluster::NodeIndex node) {
     trace(r);
   }
 
+  if (collector_) {
+    collector_->notify_down(node, queue_.now());
+    if (!declared_dead_[node]) {
+      // Arm the dead-check alarm: fires once the heartbeat protocol has
+      // both detected the outage and waited out the dead timeout (the
+      // epsilon shields the >= comparison from float round-off).
+      dead_check_[node].cancel();
+      dead_check_[node] = queue_.schedule(
+          queue_.now() + collector_->detection_latency() +
+              config_.churn.dead_timeout + 1e-9,
+          [this, node] { maybe_declare_dead(node); });
+    }
+  }
+
   // Attempts running here fail.
   const std::vector<AttemptId> local = ns.attempts;
   for (const AttemptId id : local) {
     if (attempts_[id].alive) kill_attempt(id, KillReason::kNodeDown);
   }
+
+  // Recovery transfers touching the node abort and go through the
+  // pipeline's retry/backoff.
+  if (rereplicator_) rereplicator_->on_node_down(node);
 
   if (config_.transfer_stall_timeout > 0.0) {
     // Transfers sourced here stall; they resume (shifted) when the node
@@ -769,6 +1045,7 @@ void MapReduceSimulation::on_stall_timeout(cluster::NodeIndex node) {
 }
 
 void MapReduceSimulation::on_node_up(cluster::NodeIndex node) {
+  const bool resurrected = collector_ && declared_dead_[node];
   NodeState& ns = node_state_[node];
   if (ns.recovery_open >= 0.0) {
     result_.overhead.recovery +=
@@ -791,7 +1068,20 @@ void MapReduceSimulation::on_node_up(cluster::NodeIndex node) {
     config_.metrics->observe(hist_outage_, outage);
   }
 
-  if (config_.transfer_stall_timeout > 0.0 && outage > 0.0) {
+  if (collector_) {
+    collector_->notify_up(node, queue_.now());
+    dead_check_[node].cancel();
+    if (resurrected) {
+      // Declared dead, then heard from again: the node rejoins with no
+      // replicas (they were written off) but takes placements again.
+      declared_dead_[node] = false;
+      ++result_.nodes_resurrected;
+      mutable_namenode_->revive_node(node);
+      refresh_policy();
+    }
+  }
+
+  if (config_.transfer_stall_timeout > 0.0 && outage > 0.0 && !resurrected) {
     // Resume stalled transfers, shifted by the outage; the uplink's
     // admission clock shifts with them.
     network_.shift_uplink(node, outage, queue_.now());
@@ -814,6 +1104,9 @@ void MapReduceSimulation::on_node_up(cluster::NodeIndex node) {
   } else {
     network_.reset_uplink(node, queue_.now());
   }
+
+  // A returning node may unblock a recovery source or destination.
+  if (rereplicator_) rereplicator_->on_node_up(node);
 
   const std::size_t revived =
       board_.revive_stalled_for(node, queue_.now());

@@ -20,8 +20,12 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "cluster/heartbeat.h"
 #include "cluster/network.h"
 #include "cluster/topology.h"
 #include "common/rng.h"
@@ -31,6 +35,7 @@
 #include "sim/event_queue.h"
 #include "sim/injector.h"
 #include "sim/overhead.h"
+#include "sim/rereplication.h"
 #include "sim/scheduler.h"
 
 namespace adapt::sim {
@@ -77,6 +82,36 @@ struct SimJobConfig {
   common::Seconds max_source_queue_wait = -1.0;
   // Record per-task completion times into JobResult (diagnostics).
   bool record_completion_times = false;
+  // -- churn & recovery ---------------------------------------------
+  // Permanent departures, dead-node declaration and re-replication.
+  // Requires the mutable-NameNode constructor when enabled; everything
+  // below is inert (and the run byte-identical to before) otherwise.
+  struct ChurnConfig {
+    bool enabled = false;
+    // Injector: permanent-departure hazard / correlated burst / late
+    // joins (see InterruptionInjector::Config).
+    double departure_rate = 0.0;
+    std::vector<double> departure_rates;
+    common::Seconds burst_at = -1.0;
+    double burst_fraction = 0.0;
+    std::vector<common::Seconds> join_at;
+    // Dead declaration: heartbeat cadence and how long a node must stay
+    // believed-down past detection before its replicas are written off.
+    common::Seconds heartbeat_interval = 3.0;
+    int heartbeat_miss_threshold = 2;
+    common::Seconds dead_timeout = 60.0;
+    // Recovery pipeline knobs (rereplication.enabled switches the
+    // pipeline off while keeping dead declaration on).
+    ReReplicator::Config rereplication;
+    // Builds the re-replication destination policy from the heartbeat
+    // collector's current (lambda, mu) estimates; called at start and
+    // after every dead declaration / recovery. Null = uniform random
+    // over eligible nodes.
+    std::function<placement::PolicyPtr(
+        const std::vector<avail::InterruptionParams>&)>
+        policy_factory;
+  };
+  ChurnConfig churn;
   // Optional observability sinks, owned by the caller; null = off. Each
   // instrumented site is a single null check on the disabled path.
   obs::EventTracer* tracer = nullptr;
@@ -107,14 +142,43 @@ struct JobResult {
   // completion_times[t] and winning node per task.
   std::vector<common::Seconds> completion_times;
   std::vector<cluster::NodeIndex> winner_nodes;
+
+  // -- churn & recovery (all zero/false on churn-free runs) ----------
+  bool failed = false;
+  std::string failure;  // "data_loss" | "no_live_nodes" when failed
+  std::uint64_t nodes_departed = 0;
+  std::uint64_t nodes_dead = 0;         // dead declarations
+  std::uint64_t nodes_resurrected = 0;  // declared dead, then returned
+  std::uint64_t replicas_dropped = 0;   // replicas written off as dead
+  std::uint64_t blocks_lost = 0;        // blocks that hit 0 live replicas
+  std::uint64_t tasks_lost = 0;         // tasks failed by data loss
+  std::uint64_t rereplications = 0;     // replicas restored
+  std::uint64_t rereplication_retries = 0;
+  std::uint64_t rereplication_giveups = 0;
+  std::uint64_t rereplication_bytes = 0;
+  std::uint64_t max_under_replicated = 0;
+  // Structured data-loss report: one entry per lost block, with the map
+  // task it failed.
+  struct LostBlock {
+    hdfs::BlockId block = 0;
+    std::uint32_t task = 0;
+  };
+  std::vector<LostBlock> lost_blocks;
 };
 
 // Simulates the map phase of `file` (already placed in `namenode`) on
 // `cluster`. One instance runs one job; construct fresh per run.
 class MapReduceSimulation : public InterruptionInjector::Listener {
  public:
+  // Churn-free construction: metadata is read-only. Throws if
+  // config.churn.enabled (dead declaration mutates the NameNode).
   MapReduceSimulation(const cluster::Cluster& cluster,
                       const hdfs::NameNode& namenode, hdfs::FileId file,
+                      SimJobConfig config);
+  // Churn-capable construction: dead declarations write off replicas and
+  // the re-replication pipeline restores them in `namenode`.
+  MapReduceSimulation(const cluster::Cluster& cluster,
+                      hdfs::NameNode& namenode, hdfs::FileId file,
                       SimJobConfig config);
 
   JobResult run();
@@ -124,12 +188,36 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
   void on_node_up(cluster::NodeIndex node) override;
 
  private:
+  MapReduceSimulation(const cluster::Cluster& cluster,
+                      const hdfs::NameNode& namenode,
+                      hdfs::NameNode* mutable_namenode, hdfs::FileId file,
+                      SimJobConfig config);
+
   // A source node's outage outlived the DFS client timeout: abort the
   // transfers stalled on it.
   void on_stall_timeout(cluster::NodeIndex node);
   // Periodic while a source is down: offer idle nodes the chance to
   // speculate rescues of the transfers stalled on it.
   void on_stall_wake(cluster::NodeIndex node);
+
+  // -- churn & recovery ---------------------------------------------
+  void init_churn();
+  // Rebuilds the re-replication destination policy from the collector's
+  // current estimates (or uniform random without a factory).
+  void refresh_policy();
+  // Dead-check alarm: fires detection latency + dead_timeout after a
+  // down transition; declares the node dead if it is still silent.
+  void maybe_declare_dead(cluster::NodeIndex node);
+  // Write off the node's replicas, re-home its tasks, and feed the
+  // under-replicated blocks to the recovery pipeline.
+  void declare_dead(cluster::NodeIndex node);
+  // A task whose block has zero live replicas, no origin fallback and no
+  // attempt still running is unrecoverable: record the data loss.
+  void maybe_mark_lost(TaskId task);
+  // ReReplicator callback: a restored replica landed on `dst`.
+  void on_block_replicated(hdfs::BlockId block, cluster::NodeIndex dst);
+  // Map task of `block` (nullopt for blocks of other files).
+  std::optional<TaskId> task_of(hdfs::BlockId block) const;
 
  private:
   using AttemptId = std::uint32_t;
@@ -225,6 +313,16 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
   common::Seconds last_done_at_ = 0.0;
   common::Seconds origin_delay_ = 0.0;
   common::Seconds ripe_wake_at_ = -1.0;  // armed wake-up time, < 0 = none
+
+  // -- churn & recovery (engaged only via the mutable-NameNode ctor) --
+  hdfs::NameNode* mutable_namenode_ = nullptr;
+  std::optional<cluster::HeartbeatCollector> collector_;
+  std::optional<ReReplicator> rereplicator_;
+  std::vector<EventQueue::Handle> dead_check_;  // armed per down node
+  std::vector<bool> declared_dead_;
+  std::vector<bool> task_lost_;
+  std::size_t tasks_lost_ = 0;
+  hdfs::BlockId first_block_ = 0;  // task t <-> block first_block_ + t
 
   // Stamps the record with the current sim time and hands it to the
   // tracer; a no-op (one branch) when tracing is off.

@@ -1,5 +1,6 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace adapt::sim {
@@ -77,7 +78,11 @@ std::optional<TaskId> TaskBoard::take_local(cluster::NodeIndex node) {
   for (std::size_t& cursor = node_cursor_[node]; cursor < tasks.size();
        ++cursor) {
     const TaskId task = tasks[cursor];
-    if (status_[task] == TaskStatus::kPending) return task;
+    // remove_home leaves stale entries behind; skip tasks no longer
+    // homed here.
+    if (status_[task] == TaskStatus::kPending && is_local_to(task, node)) {
+      return task;
+    }
   }
   // Counter said pending > 0 but the scan found none: corruption.
   throw std::logic_error("take_local: pending counter out of sync");
@@ -125,7 +130,8 @@ std::size_t TaskBoard::revive_stalled_for(cluster::NodeIndex node,
                                           common::Seconds now) {
   std::size_t revived = 0;
   for (const TaskId task : node_tasks_.at(node)) {
-    if (status_[task] == TaskStatus::kPending && flags_[task].in_stalled) {
+    if (status_[task] == TaskStatus::kPending && flags_[task].in_stalled &&
+        is_local_to(task, node)) {
       // Move back to the global queue; the stalled entry is skipped
       // lazily when popped.
       flags_[task].in_stalled = false;
@@ -142,6 +148,27 @@ std::size_t TaskBoard::revive_stalled_for(cluster::NodeIndex node,
     }
   }
   return revived;
+}
+
+void TaskBoard::add_home(TaskId task, cluster::NodeIndex node) {
+  if (is_local_to(task, node)) {
+    throw std::logic_error("add_home: task already homed on node");
+  }
+  home_nodes_.at(task).push_back(node);
+  // Appended past any cursor position, so the local scan still reaches
+  // it without a rewind.
+  node_tasks_.at(node).push_back(task);
+  if (status_[task] == TaskStatus::kPending) ++node_pending_[node];
+}
+
+void TaskBoard::remove_home(TaskId task, cluster::NodeIndex node) {
+  auto& homes = home_nodes_.at(task);
+  const auto it = std::find(homes.begin(), homes.end(), node);
+  if (it == homes.end()) {
+    throw std::logic_error("remove_home: task not homed on node");
+  }
+  homes.erase(it);
+  if (status_[task] == TaskStatus::kPending) --node_pending_.at(node);
 }
 
 }  // namespace adapt::sim

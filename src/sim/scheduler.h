@@ -73,6 +73,13 @@ class TaskBoard {
   std::size_t revive_stalled_for(cluster::NodeIndex node,
                                  common::Seconds now = 0.0);
 
+  // -- replica-set churn --------------------------------------------
+  // A re-replicated copy landed on `node`: the task becomes local there.
+  void add_home(TaskId task, cluster::NodeIndex node);
+  // `node` lost its copy (declared dead): the task is no longer local
+  // there. The node's task list keeps a lazily-skipped stale entry.
+  void remove_home(TaskId task, cluster::NodeIndex node);
+
   // Emit park/revive records to `tracer` (null = off).
   void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
 

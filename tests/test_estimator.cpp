@@ -47,13 +47,28 @@ TEST(Estimator, MultipleCycles) {
 TEST(Estimator, InProgressOutageCountsPartially) {
   AvailabilityEstimator est(0.0);
   est.record_down(50.0);
-  est.record_up(60.0);  // 10 s
-  est.record_down(100.0);
-  // Still down at query time 160: the open outage (60 s so far) is
+  est.record_up(150.0);  // 100 s
+  est.record_down(200.0);
+  // Still down at query time 230: the open outage (30 s so far) is
   // averaged in so a stuck host is not scored by history alone.
-  const InterruptionParams p = est.estimate(160.0);
+  const InterruptionParams p = est.estimate(230.0);
   EXPECT_TRUE(est.currently_down());
-  EXPECT_DOUBLE_EQ(p.mu, (10.0 + 60.0) / 2.0);
+  EXPECT_DOUBLE_EQ(p.mu, (100.0 + 30.0) / 2.0);
+}
+
+TEST(Estimator, CensoredOutageFloorsMeanRepairTime) {
+  AvailabilityEstimator est(0.0);
+  est.record_down(50.0);
+  est.record_up(60.0);  // historic repair: 10 s
+  est.record_down(100.0);
+  // Down for 600 s and counting. The open outage is a *censored*
+  // observation — its true length is at least 600 s — so mu cannot
+  // honestly be reported below that. The plain blend (10 + 600) / 2
+  // would advertise a 305 s repair time for a host that is effectively
+  // gone, and the predictor would keep over-weighting it.
+  const InterruptionParams p = est.estimate(700.0);
+  EXPECT_TRUE(est.currently_down());
+  EXPECT_DOUBLE_EQ(p.mu, 600.0);
 }
 
 TEST(Estimator, FirstOutageStillOpen) {

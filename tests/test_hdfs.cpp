@@ -52,6 +52,80 @@ TEST(NameNode, CreateFilePlacesDistinctReplicas) {
   EXPECT_EQ(nn.datanodes().total_stored(), 150u);
 }
 
+TEST(NameNode, FailedCreateRollsBackAllPartialState) {
+  // Replication 2 on a 2-node cluster where the filter bans node 1: the
+  // second replica of block 0 has no eligible home, so the create must
+  // fail — and leave the namespace exactly as it found it.
+  NameNode nn(2);
+  Rng rng(7);
+  const auto only_node0 = [](cluster::NodeIndex n) { return n == 0; };
+  EXPECT_THROW(nn.create_file("f", 4, 2, placement::make_random_policy(2),
+                              rng, only_node0),
+               std::runtime_error);
+  EXPECT_FALSE(nn.has_file("f"));
+  EXPECT_EQ(nn.block_count(), 0u);
+  EXPECT_EQ(nn.datanodes().total_stored(), 0u);
+  // The name and the capacity are free for a clean retry.
+  const FileId id =
+      nn.create_file("f", 4, 2, placement::make_random_policy(2), rng);
+  EXPECT_EQ(nn.file(id).blocks.size(), 4u);
+  EXPECT_EQ(nn.datanodes().total_stored(), 8u);
+}
+
+TEST(NameNode, FailedCreateUnwindsEarlierBlocksButNotEarlierFiles) {
+  // Both nodes hold 3 blocks: file "a" (2 blocks x 2 replicas) fits;
+  // file "b" (2 blocks x 2 replicas) runs out of space on its second
+  // block after placing its first — the rollback must drop both of b's
+  // blocks and every usage-counter increment, while "a" stays intact.
+  NameNode nn(std::vector<std::uint64_t>{3, 3}, NameNode::Options{});
+  Rng rng(11);
+  const FileId a =
+      nn.create_file("a", 2, 2, placement::make_random_policy(2), rng);
+  EXPECT_THROW(
+      nn.create_file("b", 2, 2, placement::make_random_policy(2), rng),
+      std::runtime_error);
+  EXPECT_FALSE(nn.has_file("b"));
+  EXPECT_EQ(nn.block_count(), 2u);
+  EXPECT_EQ(nn.datanodes().total_stored(), 4u);
+  for (const BlockId b : nn.file(a).blocks) {
+    EXPECT_EQ(nn.block(b).replicas.size(), 2u);
+  }
+}
+
+TEST(NameNode, MarkNodeDeadWritesOffReplicasOnce) {
+  NameNode nn(3);
+  Rng rng(5);
+  const FileId id =
+      nn.create_file("f", 6, 2, placement::make_random_policy(3), rng);
+  const auto before = nn.file_distribution(id);
+  const auto affected = nn.mark_node_dead(0);
+  EXPECT_TRUE(nn.is_dead(0));
+  EXPECT_EQ(affected.size(), before[0]);
+  EXPECT_EQ(nn.file_distribution(id)[0], 0u);
+  EXPECT_EQ(nn.datanodes().total_stored(), 12u - before[0]);
+  // Each affected block lost exactly its node-0 replica.
+  for (const BlockId b : affected) {
+    for (const auto n : nn.block(b).replicas) EXPECT_NE(n, 0u);
+  }
+  // Idempotent: a second declaration returns nothing.
+  EXPECT_TRUE(nn.mark_node_dead(0).empty());
+}
+
+TEST(NameNode, DeadNodeIneligibleUntilRevived) {
+  NameNode nn(2);
+  Rng rng(9);
+  nn.mark_node_dead(0);
+  const FileId id =
+      nn.create_file("f", 8, 1, placement::make_random_policy(2), rng);
+  EXPECT_EQ(nn.file_distribution(id)[0], 0u);  // all on node 1
+  nn.revive_node(0);
+  EXPECT_FALSE(nn.is_dead(0));
+  const FileId id2 =
+      nn.create_file("g", 8, 2, placement::make_random_policy(2), rng);
+  // Replication 2 on 2 nodes needs both: node 0 is placeable again.
+  EXPECT_EQ(nn.file_distribution(id2)[0], 8u);
+}
+
 TEST(NameNode, FileDistributionSumsToReplicaCount) {
   NameNode nn(4);
   Rng rng(4);

@@ -68,6 +68,52 @@ TEST(Heartbeat, EstimatesAllNodes) {
   EXPECT_EQ(all[2].lambda, 0.0);
 }
 
+HeartbeatCollector::Config config_with_dead_timeout(double timeout) {
+  HeartbeatCollector::Config config = config_3s_2miss();
+  config.dead_timeout = timeout;
+  return config;
+}
+
+TEST(Heartbeat, BelievedDeadAfterTimeout) {
+  HeartbeatCollector hb(1, config_with_dead_timeout(10.0));
+  hb.notify_down(0, 20.0);
+  // Believed down from 26 (detection latency 6); dead 10 s later.
+  EXPECT_FALSE(hb.believed_dead(0, 30.0));
+  EXPECT_FALSE(hb.believed_dead(0, 35.9));
+  EXPECT_TRUE(hb.believed_dead(0, 36.0));
+  // Sticky: still dead at any later query...
+  EXPECT_TRUE(hb.believed_dead(0, 1e6));
+  // ...until the node is heard from again.
+  hb.notify_up(0, 50.0);
+  EXPECT_FALSE(hb.believed_dead(0, 1e6));
+  EXPECT_TRUE(hb.believed_up(0, 50.0));
+}
+
+TEST(Heartbeat, ZeroDeadTimeoutDisablesDeclaration) {
+  HeartbeatCollector hb(1, config_3s_2miss());  // dead_timeout = 0
+  hb.notify_down(0, 0.0);
+  EXPECT_FALSE(hb.believed_up(0, 100.0));
+  EXPECT_FALSE(hb.believed_dead(0, 1e9));
+}
+
+TEST(Heartbeat, ShortOutageNeverTurnsDead) {
+  HeartbeatCollector hb(1, config_with_dead_timeout(10.0));
+  hb.notify_down(0, 10.0);
+  hb.notify_up(0, 20.0);  // believed down 16..20, under the timeout
+  EXPECT_FALSE(hb.believed_dead(0, 1e6));
+}
+
+TEST(Heartbeat, MessageModeSilenceTurnsDead) {
+  HeartbeatCollector hb(1, config_with_dead_timeout(10.0));
+  hb.observe_heartbeat(0, 3.0);
+  // Last beat at 3, misses detected at 9, dead at 19.
+  EXPECT_FALSE(hb.believed_dead(0, 18.9));
+  EXPECT_TRUE(hb.believed_dead(0, 19.1));
+  hb.observe_heartbeat(0, 30.0);  // resurrects
+  EXPECT_FALSE(hb.believed_dead(0, 30.0));
+  EXPECT_TRUE(hb.believed_up(0, 30.0));
+}
+
 TEST(Heartbeat, Validation) {
   EXPECT_THROW(HeartbeatCollector(0, config_3s_2miss()),
                std::invalid_argument);

@@ -200,6 +200,129 @@ TEST(Injector, DrawInitialDownStatistics) {
   EXPECT_EQ(down[3001], 0.0);            // dedicated never starts down
 }
 
+TEST(Injector, DepartureHazardRemovesNodesForGood) {
+  // 200 dedicated nodes with a 1/100 s^-1 departure hazard: by t = 100,
+  // 1 - e^-1 ~ 63% have left, each with exactly one final down event.
+  std::vector<NodeSpec> nodes(200);
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector::Config config;
+  config.departure_rate = 1.0 / 100.0;
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(17),
+                                config);
+  injector.start();
+  queue.run_until([&] { return queue.now() >= 100.0; });
+  EXPECT_NEAR(static_cast<double>(injector.departures()), 200 * 0.632, 25.0);
+  std::vector<int> downs(nodes.size(), 0);
+  for (const auto& e : recorder.events) {
+    EXPECT_FALSE(e.up);  // a departure is final: no node ever returns
+    ++downs[e.node];
+  }
+  for (cluster::NodeIndex i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(downs[i], injector.is_departed(i) ? 1 : 0);
+    EXPECT_EQ(injector.is_up(i), !injector.is_departed(i));
+  }
+}
+
+TEST(Injector, BurstDepartsExpectedFraction) {
+  std::vector<NodeSpec> nodes(400);
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector::Config config;
+  config.burst_at = 50.0;
+  config.burst_fraction = 0.5;
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(23),
+                                config);
+  injector.start();
+  queue.run_until([&] { return queue.now() >= 60.0; });
+  EXPECT_NEAR(static_cast<double>(injector.departures()), 200.0, 40.0);
+  for (const auto& e : recorder.events) {
+    EXPECT_FALSE(e.up);
+    EXPECT_DOUBLE_EQ(e.when, 50.0);  // correlated: one instant
+  }
+}
+
+TEST(Injector, LateJoinerStartsAbsentThenJoins) {
+  std::vector<NodeSpec> nodes(2);
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector::Config config;
+  config.join_at = {0.0, 30.0};
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(1),
+                                config);
+  injector.start();
+  queue.run_until([&] { return queue.now() >= 100.0; });
+  // Node 1: down at 0 (absent), up at 30 (joins), then stays (kAlwaysUp).
+  ASSERT_EQ(recorder.events.size(), 2u);
+  EXPECT_EQ(recorder.events[0].node, 1u);
+  EXPECT_FALSE(recorder.events[0].up);
+  EXPECT_DOUBLE_EQ(recorder.events[0].when, 0.0);
+  EXPECT_EQ(recorder.events[1].node, 1u);
+  EXPECT_TRUE(recorder.events[1].up);
+  EXPECT_DOUBLE_EQ(recorder.events[1].when, 30.0);
+  EXPECT_TRUE(injector.is_up(1));
+}
+
+TEST(Injector, JoinerThatDepartsFirstNeverJoins) {
+  std::vector<NodeSpec> nodes(1);
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector::Config config;
+  config.join_at = {30.0};
+  config.departure_rates = {10.0};  // departs within ~0.1 s w.h.p.
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(3),
+                                config);
+  injector.start();
+  queue.run_until([&] { return queue.now() >= 100.0; });
+  EXPECT_TRUE(injector.is_departed(0));
+  EXPECT_FALSE(injector.is_up(0));
+  // One absent-at-start down event; the join at 30 was suppressed.
+  ASSERT_EQ(recorder.events.size(), 1u);
+  EXPECT_FALSE(recorder.events[0].up);
+}
+
+// Property: replay wrap-around past the horizon preserves the trace's
+// structure — per-node transitions strictly alternate down/up with
+// strictly increasing timestamps, and each wrapped cycle repeats the
+// recorded intervals shifted by exactly one horizon.
+TEST(Injector, ReplayWrapAroundKeepsIntervalsOrderedAndPeriodic) {
+  std::vector<NodeSpec> nodes = {replay_node({{10.0, 20.0}, {50.0, 55.0}}),
+                                 replay_node({{0.0, 25.0}})};
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector::Config config;
+  config.replay_horizon = 100.0;
+  config.randomize_replay_offset = false;
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(2),
+                                config);
+  injector.start();
+  queue.run_until([&] { return queue.now() >= 350.0; });
+
+  std::vector<std::vector<Recorder::Event>> per_node(nodes.size());
+  for (const auto& e : recorder.events) per_node[e.node].push_back(e);
+  for (cluster::NodeIndex n = 0; n < nodes.size(); ++n) {
+    const auto& events = per_node[n];
+    ASSERT_GE(events.size(), 6u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      // Strict down/up alternation starting with a down...
+      EXPECT_EQ(events[i].up, i % 2 == 1);
+      // ...at strictly increasing times.
+      if (i > 0) EXPECT_GT(events[i].when, events[i - 1].when);
+    }
+    // Periodicity: cycle c is the recorded trace shifted by c * horizon.
+    const std::size_t per_cycle = 2 * nodes[n].down_intervals.size();
+    for (std::size_t i = per_cycle; i < events.size(); ++i) {
+      EXPECT_DOUBLE_EQ(events[i].when, events[i - per_cycle].when + 100.0);
+      EXPECT_EQ(events[i].up, events[i - per_cycle].up);
+    }
+  }
+}
+
 TEST(Injector, ReplayUpAtHelper) {
   const NodeSpec node = replay_node({{10.0, 20.0}, {30.0, 40.0}});
   EXPECT_TRUE(replay_up_at(node, 5.0));
