@@ -28,9 +28,11 @@ using namespace adapt;
 int main(int argc, char** argv) {
   using namespace adapt;
   const common::Flags flags(argc, argv);
-  const int runs = static_cast<int>(flags.get_int("runs", 5));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 99));
-  const bench::RunnerOptions options = bench::runner_options(flags);
+  const bench::BenchOptions common_opts =
+      bench::bench_options(flags, {.runs = 5, .seed = 99});
+  const int runs = common_opts.runs;
+  const std::uint64_t seed = common_opts.seed;
+  const bench::RunnerOptions& options = common_opts.runner;
   bench::abort_on_unused_flags(flags);
 
   bench::print_header("Ablations (DESIGN.md §5)",

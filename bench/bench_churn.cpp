@@ -119,14 +119,15 @@ void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
 int main(int argc, char** argv) {
   using namespace adapt;
   const common::Flags flags(argc, argv);
-  const std::size_t nodes =
-      static_cast<std::size_t>(flags.get_int("nodes", 128));
-  const int runs = static_cast<int>(flags.get_int("runs", 2));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  const bench::BenchOptions common_opts =
+      bench::bench_options(flags, {.runs = 2, .seed = 5, .nodes = 128});
+  const std::size_t nodes = common_opts.nodes;
+  const int runs = common_opts.runs;
+  const std::uint64_t seed = common_opts.seed;
   const double dead_timeout = flags.get_double("dead-timeout", 120.0);
   const int rr_concurrency =
       static_cast<int>(flags.get_int("rr-concurrency", 8));
-  const bench::RunnerOptions options = bench::runner_options(flags);
+  const bench::RunnerOptions& options = common_opts.runner;
   bench::abort_on_unused_flags(flags);
 
   bench::print_header(

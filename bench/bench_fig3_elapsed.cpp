@@ -83,10 +83,12 @@ void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
 int main(int argc, char** argv) {
   using namespace adapt;
   const common::Flags flags(argc, argv);
-  const bool full = flags.get_bool("full", false);
-  const int runs = static_cast<int>(flags.get_int("runs", full ? 10 : 5));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2012));
-  const bench::RunnerOptions options = bench::runner_options(flags);
+  const bench::BenchOptions common_opts = bench::bench_options(
+      flags, {.runs = 5, .full_runs = 10, .seed = 2012});
+  const bool full = common_opts.full;
+  const int runs = common_opts.runs;
+  const std::uint64_t seed = common_opts.seed;
+  const bench::RunnerOptions& options = common_opts.runner;
   bench::abort_on_unused_flags(flags);
 
   bench::print_header(

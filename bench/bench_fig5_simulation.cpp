@@ -113,13 +113,15 @@ void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
 int main(int argc, char** argv) {
   using namespace adapt;
   const common::Flags flags(argc, argv);
-  const bool full = flags.get_bool("full", false);
-  const std::size_t nodes = static_cast<std::size_t>(
-      flags.get_int("nodes", full ? 8192 : 512));
-  const int runs = static_cast<int>(flags.get_int("runs", full ? 3 : 1));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  const bench::BenchOptions common_opts = bench::bench_options(
+      flags, {.runs = 1, .full_runs = 3, .seed = 5, .nodes = 512,
+              .full_nodes = 8192});
+  const bool full = common_opts.full;
+  const std::size_t nodes = common_opts.nodes;
+  const int runs = common_opts.runs;
+  const std::uint64_t seed = common_opts.seed;
   const double reissue = flags.get_double("reissue-delay", 600.0);
-  const bench::RunnerOptions options = bench::runner_options(flags);
+  const bench::RunnerOptions& options = common_opts.runner;
   bench::abort_on_unused_flags(flags);
 
   bench::print_header(

@@ -1,0 +1,250 @@
+// Hot-path perf baseline: the regression surface for the NodeMask
+// placement API, the memoized interruption model and the pooled
+// simulator internals. Four measurements:
+//   1. placement micro  — ns per ADAPT draw against a pre-built
+//      all-eligible NodeMask (pure Algorithm-1 lookup + rejection).
+//   2. create_file      — end-to-end ns per placement draw through the
+//      NameNode (mask maintenance + fidelity cap + policy feedback).
+//   3. simulation       — events/s of a full map-phase run on the
+//      emulated 256-node cluster (event queue + network hot loops).
+//   4. churn recovery   — wall time of a churn run with the
+//      re-replication pipeline on (policy rebuilds hit the shared
+//      Eq. 5 cache; repair placement goes through the mask path).
+//
+// The committed BENCH_hotpath.json at the repo root is the --quick
+// baseline CI compares against (warn-only; see tools/compare_bench.py
+// and DESIGN.md §7). Timings are machine-dependent — regenerate the
+// baseline with this binary when reference hardware changes.
+//
+//   ./bench_hotpath [--quick] [--runs R] [--seed S] [--json PATH]
+//                   [--threads T] [--trace PATH] [--metrics]
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/node_mask.h"
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "hdfs/namenode.h"
+#include "placement/adapt_policy.h"
+#include "trace/generator.h"
+#include "workload/terasort.h"
+
+namespace {
+
+using namespace adapt;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// One row of BENCH_hotpath.json. `better` tells the compare script
+// which direction is a regression ("lower", "higher") or to report
+// without comparing ("info").
+struct Metric {
+  std::string name;
+  double value;
+  std::string unit;
+  std::string better;
+};
+
+std::vector<double> synthetic_expected_times(std::size_t nodes) {
+  common::Rng rng(17);
+  std::vector<double> et(nodes);
+  for (double& v : et) v = 8.0 + rng.uniform() * 72.0;
+  return et;
+}
+
+// 1. Pure draw cost: Algorithm-1 hash-table lookup plus the rejection
+// loop, against a fully eligible mask (the common case in a healthy
+// cluster — every rejection-path draw hits on the first try).
+void bench_placement_micro(std::vector<Metric>& metrics, bool quick) {
+  // Even --quick keeps 1M draws: the loop costs milliseconds and
+  // anything shorter is dominated by timer/cache noise.
+  const std::uint64_t iterations = quick ? 1'000'000 : 2'000'000;
+  std::printf("\n--- placement micro (%llu draws per size) ---\n",
+              static_cast<unsigned long long>(iterations));
+  for (const std::size_t nodes : {std::size_t{128}, std::size_t{1024},
+                                  std::size_t{8192}}) {
+    const auto policy =
+        placement::make_adapt_policy(synthetic_expected_times(nodes),
+                                     nodes * 20);
+    const cluster::NodeMask eligible(nodes, true);
+    common::Rng rng(23);
+    std::uint64_t sink = 0;  // keep the draws observable
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+      sink += policy->choose(eligible, rng).value_or(0);
+    }
+    const double ns = seconds_since(t0) * 1e9 /
+                      static_cast<double>(iterations);
+    std::printf("nodes=%5zu  %7.1f ns/draw  (checksum %llu)\n", nodes, ns,
+                static_cast<unsigned long long>(sink));
+    metrics.push_back({"placement_micro/nodes=" + std::to_string(nodes),
+                       ns, "ns/draw", "lower"});
+  }
+}
+
+// 2. End-to-end placement through the NameNode: incremental mask
+// maintenance, per-call fidelity cap, capacity bookkeeping and the
+// policy feedback loop. 20480 blocks x 2 replicas per size.
+void bench_create_file(std::vector<Metric>& metrics) {
+  const std::uint32_t blocks = 20480;
+  const int replication = 2;
+  std::printf("\n--- create_file end-to-end (%u blocks, r%d) ---\n", blocks,
+              replication);
+  for (const std::size_t nodes : {std::size_t{128}, std::size_t{1024},
+                                  std::size_t{8192}}) {
+    const auto policy =
+        placement::make_adapt_policy(synthetic_expected_times(nodes),
+                                     blocks);
+    hdfs::NameNode::Options options;
+    options.fidelity_cap = true;
+    hdfs::NameNode namenode(nodes, options);
+    common::Rng rng(23);
+    const auto t0 = Clock::now();
+    namenode.create_file("f", blocks, replication, policy, rng);
+    const double ns = seconds_since(t0) * 1e9 /
+                      (static_cast<double>(blocks) * replication);
+    std::printf("nodes=%5zu  %7.1f ns/draw\n", nodes, ns);
+    metrics.push_back({"create_file/nodes=" + std::to_string(nodes), ns,
+                       "ns/draw", "lower"});
+  }
+}
+
+// 3. Simulator throughput: full map-phase runs on the emulated cluster;
+// the inner loops are the slab-pooled event queue and the span-arena
+// network model.
+void bench_simulation(std::vector<Metric>& metrics, int runs) {
+  cluster::EmulationConfig emu;
+  emu.node_count = 256;
+  const cluster::Cluster cl = cluster::emulated_cluster(emu);
+  core::ExperimentConfig config;
+  config.policy = core::PolicyKind::kAdapt;
+  config.replication = 2;
+  config.blocks = 5120;
+  config.job.gamma = 8.0;
+  config.seed = 7;
+  std::uint64_t events = 0;
+  double wall = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    const auto t0 = Clock::now();
+    const core::ExperimentResult r = core::run_experiment(cl, config);
+    wall += seconds_since(t0);
+    events += r.job.events_processed;
+  }
+  const double rate = static_cast<double>(events) / wall;
+  std::printf("\n--- simulation (256 nodes, adapt r2, %d run(s)) ---\n"
+              "%llu events in %.3f s -> %.0f events/s\n",
+              runs, static_cast<unsigned long long>(events), wall, rate);
+  metrics.push_back({"simulation/events_per_s", rate, "events/s",
+                     "higher"});
+}
+
+// 4. Churn recovery: permanent departures with the re-replication
+// pipeline on. Every dead declaration rebuilds the destination policy
+// (shared TaskTimeCache) and every repair draws through the mask path.
+void bench_churn_recovery(std::vector<Metric>& metrics, int runs,
+                          std::uint64_t seed) {
+  const std::size_t nodes = 128;
+  trace::GeneratorConfig gc;
+  gc.node_count = nodes;
+  gc.horizon = 14.0 * 24 * 3600;
+  gc.seed = seed;
+  const trace::GeneratedTrace gen = trace::generate_seti_like_trace(gc);
+  std::vector<avail::InterruptionParams> params;
+  params.reserve(gen.truth.size());
+  for (const trace::HostTruth& host : gen.truth) {
+    params.push_back(host.params());
+  }
+  const cluster::Cluster cl =
+      cluster::model_cluster(params, cluster::TraceClusterConfig{});
+  const workload::Workload w = workload::simulation_workload();
+
+  core::ExperimentConfig config;
+  config.policy = core::PolicyKind::kAdapt;
+  config.replication = 2;
+  config.blocks = w.blocks_for(nodes);
+  config.job.gamma = w.gamma();
+  config.job.allow_origin_fetch = false;
+  config.seed = seed;
+  config.job.churn.enabled = true;
+  config.job.churn.departure_rate = 1.0 / 7200.0;
+  config.job.churn.dead_timeout = 60.0;
+  config.job.churn.rereplication.enabled = true;
+
+  std::uint64_t rereplications = 0;
+  double wall = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    config.seed = seed + static_cast<std::uint64_t>(i);
+    const auto t0 = Clock::now();
+    const core::ExperimentResult r = core::run_experiment(cl, config);
+    wall += seconds_since(t0);
+    rereplications += r.job.rereplications;
+  }
+  std::printf("\n--- churn recovery (128 nodes, adapt r2 +rr, %d run(s)) "
+              "---\n%.3f s wall, %llu re-replication(s)\n",
+              runs, wall,
+              static_cast<unsigned long long>(rereplications));
+  metrics.push_back({"churn_recovery/wall_s", wall, "s", "lower"});
+  metrics.push_back({"churn_recovery/rereplications",
+                     static_cast<double>(rereplications), "count",
+                     "info"});
+}
+
+void write_json(const std::vector<Metric>& metrics, bool quick,
+                const std::string& path) {
+  if (path.empty()) return;
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n  \"bench\": \"hotpath\",\n  \"schema\": 1,\n"
+                    "  \"mode\": \"%s\",\n  \"metrics\": [\n",
+               quick ? "quick" : "full");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const Metric& m = metrics[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": "
+                 "\"%s\", \"better\": \"%s\"}%s\n",
+                 m.name.c_str(), m.value, m.unit.c_str(),
+                 m.better.c_str(), i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %zu metric(s) to %s\n", metrics.size(),
+              path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adapt;
+  const common::Flags flags(argc, argv);
+  const bool quick = flags.get_bool("quick", false);
+  const bench::BenchOptions common_opts =
+      bench::bench_options(flags, {.runs = 3, .seed = 7});
+  const int runs = quick ? 1 : common_opts.runs;
+  const std::uint64_t seed = common_opts.seed;
+  const bench::RunnerOptions& options = common_opts.runner;
+  bench::abort_on_unused_flags(flags);
+
+  bench::print_header(
+      "Hot-path perf baseline (DESIGN.md §7)",
+      std::string("placement draw / create_file / simulation / churn "
+                  "recovery; ") +
+          (quick ? "--quick (CI smoke scale)" : "full scale"));
+
+  std::vector<Metric> metrics;
+  bench_placement_micro(metrics, quick);
+  bench_create_file(metrics);
+  bench_simulation(metrics, runs);
+  bench_churn_recovery(metrics, runs, seed);
+  write_json(metrics, quick, options.json_path);
+  return 0;
+}

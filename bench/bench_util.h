@@ -60,6 +60,52 @@ inline RunnerOptions runner_options(const common::Flags& flags) {
   return options;
 }
 
+// The flag set shared by every figure/table bench, parsed in one
+// place instead of per-main:
+//   --full         paper-scale run (larger node counts, more runs)
+//   --runs R       repetitions per point
+//   --seed S       base RNG seed
+//   --nodes N      cluster size (only benches that pass a nodes default)
+// plus the RunnerOptions set (--threads/--json/--trace/--metrics).
+// Defaults differ per bench, so they travel as BenchDefaults; a
+// `full_*` value of 0/-1 means "same as the quick default".
+struct BenchDefaults {
+  int runs = 1;
+  int full_runs = -1;
+  std::uint64_t seed = 1;
+  std::size_t nodes = 0;  // 0 = this bench takes no --nodes flag
+  std::size_t full_nodes = 0;
+};
+
+struct BenchOptions {
+  bool full = false;
+  int runs = 0;
+  std::uint64_t seed = 0;
+  std::size_t nodes = 0;
+  RunnerOptions runner;
+};
+
+inline BenchOptions bench_options(const common::Flags& flags,
+                                  const BenchDefaults& defaults) {
+  BenchOptions options;
+  options.full = flags.get_bool("full", false);
+  const int default_runs = options.full && defaults.full_runs > 0
+                               ? defaults.full_runs
+                               : defaults.runs;
+  options.runs = static_cast<int>(flags.get_int("runs", default_runs));
+  options.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<std::int64_t>(defaults.seed)));
+  if (defaults.nodes != 0) {
+    const std::size_t default_nodes =
+        options.full && defaults.full_nodes != 0 ? defaults.full_nodes
+                                                 : defaults.nodes;
+    options.nodes = static_cast<std::size_t>(
+        flags.get_int("nodes", static_cast<std::int64_t>(default_nodes)));
+  }
+  options.runner = runner_options(flags);
+  return options;
+}
+
 // Per-run observation sink for a bench: hand `collector()` to
 // run_sweep/run_replications (or null when observability is off), then
 // `finish(report)` to write the trace file and embed metrics/timelines.

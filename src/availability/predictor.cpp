@@ -29,7 +29,14 @@ void PerformancePredictor::record_task_length(double gamma_observed) {
   if (gamma_observed <= 0) {
     throw std::invalid_argument("predictor: observed gamma must be > 0");
   }
+  const double before = gamma();
   gamma_samples_.add(gamma_observed);
+  // A moved gamma re-keys every lookup; the old entries are dead weight.
+  if (gamma() != before) active_cache()->invalidate();
+}
+
+void PerformancePredictor::set_shared_cache(TaskTimeCache* shared) {
+  shared_cache_ = shared;
 }
 
 double PerformancePredictor::gamma() const {
@@ -37,7 +44,7 @@ double PerformancePredictor::gamma() const {
 }
 
 double PerformancePredictor::expected_task_time(std::size_t node) const {
-  return avail::expected_task_time(params_.at(node), gamma());
+  return active_cache()->expected_task_time(params_.at(node), gamma());
 }
 
 std::vector<double> PerformancePredictor::expected_task_times() const {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "availability/interruption_model.h"
+#include "availability/task_time_cache.h"
 #include "common/stats.h"
 
 namespace adapt::avail {
@@ -34,16 +35,36 @@ class PerformancePredictor {
   void record_task_length(double gamma_observed);
   double gamma() const;
 
-  // E[T_i] for a task of the current gamma on node i (Eq. 5).
+  // E[T_i] for a task of the current gamma on node i (Eq. 5). Memoized
+  // through a TaskTimeCache; bit-exact vs the direct Eq. 5 evaluation.
   double expected_task_time(std::size_t node) const;
 
   // All nodes' E[T], in node order.
   std::vector<double> expected_task_times() const;
 
+  // Route E[T] evaluations through an external cache instead of the
+  // predictor's own — lets repeated policy rebuilds (churn recovery
+  // refreshing its destination policy per dead-node event) reuse one
+  // memo table. Pass nullptr to return to the internal cache. The
+  // caller keeps `shared` alive for the predictor's lifetime.
+  void set_shared_cache(TaskTimeCache* shared);
+
+  // The cache currently in effect (internal unless shared).
+  const TaskTimeCache& task_time_cache() const { return *active_cache(); }
+
  private:
+  TaskTimeCache* active_cache() const {
+    return shared_cache_ != nullptr ? shared_cache_ : &own_cache_;
+  }
+
   std::vector<InterruptionParams> params_;
   double gamma_prior_;
   common::RunningStats gamma_samples_;
+  // Memoizes (lambda, mu, gamma) -> E[T]. Keys are value bit patterns,
+  // so set_params never stales it; gamma refreshes flush it because
+  // every old key becomes unreachable.
+  mutable TaskTimeCache own_cache_;
+  TaskTimeCache* shared_cache_ = nullptr;
 };
 
 }  // namespace adapt::avail

@@ -1,0 +1,87 @@
+#include "availability/task_time_cache.h"
+
+namespace adapt::avail {
+
+namespace {
+
+constexpr std::size_t kInitialSlots = 64;  // power of two
+// Beyond this many live entries the key stream is clearly not a set of
+// node availability classes; flush rather than grow without bound.
+constexpr std::size_t kMaxEntries = 1u << 16;
+
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TaskTimeCache::TaskTimeCache() : slots_(kInitialSlots) {}
+
+std::uint64_t TaskTimeCache::mix(std::uint64_t a, std::uint64_t b,
+                                 std::uint64_t c) {
+  return splitmix(splitmix(splitmix(a) ^ b) ^ c);
+}
+
+TaskTimeCache::Entry* TaskTimeCache::find_slot(std::uint64_t lambda_bits,
+                                               std::uint64_t mu_bits,
+                                               std::uint64_t gamma_bits) {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = mix(lambda_bits, mu_bits, gamma_bits) & mask;
+  while (slots_[i].occupied &&
+         (slots_[i].lambda_bits != lambda_bits ||
+          slots_[i].mu_bits != mu_bits ||
+          slots_[i].gamma_bits != gamma_bits)) {
+    i = (i + 1) & mask;
+  }
+  return &slots_[i];
+}
+
+void TaskTimeCache::grow() {
+  std::vector<Entry> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Entry{});
+  for (const Entry& e : old) {
+    if (e.occupied) {
+      *find_slot(e.lambda_bits, e.mu_bits, e.gamma_bits) = e;
+    }
+  }
+}
+
+double TaskTimeCache::expected_task_time(const InterruptionParams& p,
+                                         double gamma) {
+  const auto lambda_bits = std::bit_cast<std::uint64_t>(p.lambda);
+  const auto mu_bits = std::bit_cast<std::uint64_t>(p.mu);
+  const auto gamma_bits = std::bit_cast<std::uint64_t>(gamma);
+  Entry* slot = find_slot(lambda_bits, mu_bits, gamma_bits);
+  if (slot->occupied) {
+    ++stats_.hits;
+    return slot->value;
+  }
+  ++stats_.misses;
+  // Compute before inserting: avail::expected_task_time throws on
+  // invalid parameters and the cache must not remember a key it never
+  // produced a value for.
+  const double value = avail::expected_task_time(p, gamma);
+  slot->occupied = true;
+  slot->lambda_bits = lambda_bits;
+  slot->mu_bits = mu_bits;
+  slot->gamma_bits = gamma_bits;
+  slot->value = value;
+  ++used_;
+  if (used_ >= kMaxEntries) {
+    invalidate();
+  } else if (used_ * 4 >= slots_.size() * 3) {  // load factor 0.75
+    grow();
+  }
+  return value;
+}
+
+void TaskTimeCache::invalidate() {
+  slots_.assign(kInitialSlots, Entry{});
+  used_ = 0;
+  ++stats_.invalidations;
+}
+
+}  // namespace adapt::avail

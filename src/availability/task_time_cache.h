@@ -1,0 +1,64 @@
+// Memoization of Eq. 5 evaluations on the placement hot path.
+//
+// E[T](lambda, mu, gamma) is a pure function, but costs an expm1 plus a
+// handful of divides per call, and the NameNode evaluates it for every
+// node on every predictor refresh — while real clusters have far fewer
+// *distinct* (lambda, mu) profiles than nodes (availability classes,
+// repeated heartbeat estimates). The cache keys on the exact bit
+// patterns of the three doubles, so a hit returns the identical double
+// the direct computation would produce and staleness is structurally
+// impossible: a changed parameter is a changed key, never a wrong value.
+//
+// invalidate() exists for hygiene, not correctness — the predictor
+// flushes when gamma moves (every prior entry's key just became
+// unreachable dead weight) and the cache self-flushes at a size bound
+// so an adversarial key stream cannot grow it without limit.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "availability/interruption_model.h"
+
+namespace adapt::avail {
+
+class TaskTimeCache {
+ public:
+  TaskTimeCache();
+
+  // Memoized expected_task_time(p, gamma); bit-exact vs the direct call.
+  double expected_task_time(const InterruptionParams& p, double gamma);
+
+  // Drop every entry (size/stats for hits and misses are kept).
+  void invalidate();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  std::size_t size() const { return used_; }
+
+ private:
+  struct Entry {
+    std::uint64_t lambda_bits = 0;
+    std::uint64_t mu_bits = 0;
+    std::uint64_t gamma_bits = 0;
+    double value = 0.0;
+    bool occupied = false;
+  };
+
+  static std::uint64_t mix(std::uint64_t a, std::uint64_t b,
+                           std::uint64_t c);
+  Entry* find_slot(std::uint64_t lambda_bits, std::uint64_t mu_bits,
+                   std::uint64_t gamma_bits);
+  void grow();
+
+  std::vector<Entry> slots_;  // power-of-two, linear probing
+  std::size_t used_ = 0;
+  Stats stats_;
+};
+
+}  // namespace adapt::avail

@@ -39,15 +39,55 @@ Network::Uplink& Network::uplink(std::uint32_t src) {
   return uplinks_.at(src);
 }
 
-// Drop spans whose admission share is already fully consumed; the
-// surviving spans stay oldest-first.
-void Network::prune(Uplink& link, common::Seconds now) {
-  std::size_t keep = 0;
-  while (keep < link.spans.size() && link.spans[keep].end <= now) ++keep;
-  if (keep > 0) {
-    link.spans.erase(link.spans.begin(),
-                     link.spans.begin() + static_cast<std::ptrdiff_t>(keep));
+std::uint32_t Network::alloc_span(std::uint64_t ticket,
+                                  common::Seconds begin,
+                                  common::Seconds end) {
+  std::uint32_t index;
+  if (free_span_ != kNilSpan) {
+    index = free_span_;
+    free_span_ = spans_[index].next;
+  } else {
+    index = static_cast<std::uint32_t>(spans_.size());
+    spans_.emplace_back();
   }
+  spans_[index] = {ticket, begin, end, kNilSpan};
+  ++span_count_;
+  return index;
+}
+
+void Network::free_span(std::uint32_t index) {
+  spans_[index].next = free_span_;
+  free_span_ = index;
+  --span_count_;
+}
+
+void Network::append_span(Uplink& link, std::uint32_t index) {
+  if (link.tail == kNilSpan) {
+    link.head = index;
+  } else {
+    spans_[link.tail].next = index;
+  }
+  link.tail = index;
+}
+
+// Drop spans whose admission share is already fully consumed; the
+// survivors stay oldest-first.
+void Network::prune(Uplink& link, common::Seconds now) {
+  while (link.head != kNilSpan && spans_[link.head].end <= now) {
+    const std::uint32_t next = spans_[link.head].next;
+    free_span(link.head);
+    link.head = next;
+  }
+  if (link.head == kNilSpan) link.tail = kNilSpan;
+}
+
+void Network::clear_spans(Uplink& link) {
+  while (link.head != kNilSpan) {
+    const std::uint32_t next = spans_[link.head].next;
+    free_span(link.head);
+    link.head = next;
+  }
+  link.tail = kNilSpan;
 }
 
 TransferGrant Network::request(std::uint32_t src, std::uint32_t dst,
@@ -71,7 +111,7 @@ TransferGrant Network::request(std::uint32_t src, std::uint32_t dst,
     prune(link, now);
     const common::Seconds next =
         grant.start + common::transfer_time(bytes, up);
-    link.spans.push_back({grant.ticket, grant.start, next});
+    append_span(link, alloc_span(grant.ticket, grant.start, next));
     link.admit_at = next;
   }
   return grant;
@@ -82,20 +122,31 @@ common::Seconds Network::abort(const TransferGrant& grant,
   ++stats_.aborts;
   if (!fifo_admission_) return 0.0;
   Uplink& link = uplink(grant.src);
-  for (std::size_t i = 0; i < link.spans.size(); ++i) {
-    if (link.spans[i].ticket != grant.ticket) continue;
-    const Span span = link.spans[i];
+  std::uint32_t prev = kNilSpan;
+  for (std::uint32_t i = link.head; i != kNilSpan; i = spans_[i].next) {
+    if (spans_[i].ticket != grant.ticket) {
+      prev = i;
+      continue;
+    }
+    const Span span = spans_[i];
     const common::Seconds reclaimed =
         std::max(0.0, span.end - std::max(now, span.begin));
-    link.spans.erase(link.spans.begin() + static_cast<std::ptrdiff_t>(i));
+    // Unlink and recycle the aborted span.
+    if (prev == kNilSpan) {
+      link.head = span.next;
+    } else {
+      spans_[prev].next = span.next;
+    }
+    if (link.tail == i) link.tail = prev;
+    free_span(i);
     if (reclaimed > 0.0) {
       // Everything admitted after the aborted transfer moves up by its
       // unused share. Later spans are contiguous whenever reclaimed > 0
       // (a gap would need a reservation made in the future), so the
       // uniform shift is exact, and no span's begin drops below `now`.
-      for (std::size_t j = i; j < link.spans.size(); ++j) {
-        link.spans[j].begin -= reclaimed;
-        link.spans[j].end -= reclaimed;
+      for (std::uint32_t j = span.next; j != kNilSpan; j = spans_[j].next) {
+        spans_[j].begin -= reclaimed;
+        spans_[j].end -= reclaimed;
       }
       link.admit_at -= reclaimed;
       stats_.reclaimed += reclaimed;
@@ -109,7 +160,8 @@ void Network::shift_uplink(std::uint32_t node, common::Seconds delta,
                            common::Seconds now) {
   Uplink& link = uplink(node);
   const common::Seconds down_at = now - delta;
-  for (Span& span : link.spans) {
+  for (std::uint32_t i = link.head; i != kNilSpan; i = spans_[i].next) {
+    Span& span = spans_[i];
     // Shares not fully consumed when the node went down resume shifted
     // by the outage; a straddling span keeps its consumed prefix.
     if (span.end > down_at) span.end += delta;
@@ -121,7 +173,7 @@ void Network::shift_uplink(std::uint32_t node, common::Seconds delta,
 void Network::reset_uplink(std::uint32_t node, common::Seconds now) {
   Uplink& link = uplink(node);
   link.admit_at = now;
-  link.spans.clear();
+  clear_spans(link);
 }
 
 common::Seconds Network::uplink_available_at(std::uint32_t node) const {

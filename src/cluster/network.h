@@ -104,23 +104,39 @@ class Network {
   };
   const Stats& stats() const { return stats_; }
 
+  // Outstanding admission spans across all uplinks, for observability.
+  std::size_t outstanding_spans() const { return span_count_; }
+  std::size_t span_arena_size() const { return spans_.size(); }
+
  private:
+  static constexpr std::uint32_t kNilSpan =
+      std::numeric_limits<std::uint32_t>::max();
+
   // One outstanding reservation's share of the uplink: it occupies
-  // [begin, end) of admission time. Spans are kept oldest-first; consumed
-  // spans (end <= now) are pruned lazily.
+  // [begin, end) of admission time. Spans live in a free-list arena
+  // shared by every uplink (stable indices, no per-reservation heap
+  // traffic); each uplink threads its spans oldest-first through
+  // `next`. Consumed spans (end <= now) are pruned lazily.
   struct Span {
     std::uint64_t ticket = 0;
     common::Seconds begin = 0.0;
     common::Seconds end = 0.0;
+    std::uint32_t next = kNilSpan;  // younger neighbor on the same uplink
   };
 
   struct Uplink {
-    common::Seconds admit_at = 0.0;  // when the next transfer may start
-    std::vector<Span> spans;         // outstanding admission spans
+    common::Seconds admit_at = 0.0;   // when the next transfer may start
+    std::uint32_t head = kNilSpan;    // oldest outstanding span
+    std::uint32_t tail = kNilSpan;    // newest outstanding span
   };
 
   Uplink& uplink(std::uint32_t src);
-  static void prune(Uplink& link, common::Seconds now);
+  std::uint32_t alloc_span(std::uint64_t ticket, common::Seconds begin,
+                           common::Seconds end);
+  void free_span(std::uint32_t index);
+  void append_span(Uplink& link, std::uint32_t index);
+  void prune(Uplink& link, common::Seconds now);
+  void clear_spans(Uplink& link);
 
   std::vector<double> uplink_bps_;
   std::vector<double> downlink_bps_;
@@ -128,6 +144,9 @@ class Network {
   bool fifo_admission_ = true;
   std::vector<Uplink> uplinks_;
   Uplink origin_;
+  std::vector<Span> spans_;         // arena backing every uplink's list
+  std::uint32_t free_span_ = kNilSpan;
+  std::size_t span_count_ = 0;
   std::uint64_t next_ticket_ = 1;
   std::uint64_t bytes_transferred_ = 0;
   Stats stats_;

@@ -25,12 +25,14 @@ std::string to_string(PolicyKind kind) {
 
 placement::PolicyPtr make_policy(
     PolicyKind kind, const std::vector<avail::InterruptionParams>& params,
-    double gamma, std::uint64_t blocks, placement::ChainWeighting weighting) {
+    double gamma, std::uint64_t blocks, placement::ChainWeighting weighting,
+    avail::TaskTimeCache* task_times) {
   switch (kind) {
     case PolicyKind::kRandom:
       return placement::make_random_policy(params.size());
     case PolicyKind::kAdapt: {
       avail::PerformancePredictor predictor(params.size(), gamma);
+      predictor.set_shared_cache(task_times);
       for (std::size_t i = 0; i < params.size(); ++i) {
         predictor.set_params(i, params[i]);
       }
@@ -187,10 +189,15 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
       const double gamma = config.job.gamma;
       const std::uint64_t blocks = config.blocks;
       const placement::ChainWeighting weighting = config.weighting;
+      // One memo table across every refresh this run: estimates for
+      // nodes whose beliefs did not move between dead-node events hit
+      // the cache instead of re-running Eq. 5.
+      const auto task_times = std::make_shared<avail::TaskTimeCache>();
       job_config.churn.policy_factory =
-          [kind, gamma, blocks, weighting](
+          [kind, gamma, blocks, weighting, task_times](
               const std::vector<avail::InterruptionParams>& estimates) {
-            return make_policy(kind, estimates, gamma, blocks, weighting);
+            return make_policy(kind, estimates, gamma, blocks, weighting,
+                               task_times.get());
           };
     }
   }

@@ -38,11 +38,14 @@ std::string to_string(PolicyKind kind);
 // Build the placement policy a PolicyKind denotes.
 // `params` are per-node interruption parameters (ground truth or
 // heartbeat estimates), `gamma` the predicted failure-free task length,
-// `blocks` the table size m.
+// `blocks` the table size m. `task_times` optionally memoizes Eq. 5
+// evaluations across calls — repeated policy rebuilds (churn recovery)
+// pass one cache so unchanged (lambda, mu) profiles skip the expm1.
 placement::PolicyPtr make_policy(
     PolicyKind kind, const std::vector<avail::InterruptionParams>& params,
     double gamma, std::uint64_t blocks,
-    placement::ChainWeighting weighting = placement::ChainWeighting::kPaper);
+    placement::ChainWeighting weighting = placement::ChainWeighting::kPaper,
+    avail::TaskTimeCache* task_times = nullptr);
 
 struct ExperimentConfig {
   PolicyKind policy = PolicyKind::kAdapt;

@@ -72,13 +72,18 @@ FileId Client::cp(const std::string& src, const std::string& dst,
                   TransferSummary* summary,
                   const NameNode::NodeFilter& filter) {
   const FileId src_id = namenode_.file_id(src);
-  const FileInfo& src_info = namenode_.file(src_id);
-  const FileId dst_id = namenode_.create_file(
-      dst, static_cast<std::uint32_t>(src_info.blocks.size()),
-      src_info.replication, policy_for(adapt_enabled), rng, filter);
+  const std::uint32_t src_blocks =
+      static_cast<std::uint32_t>(namenode_.file(src_id).blocks.size());
+  const int src_replication = namenode_.file(src_id).replication;
+  const FileId dst_id =
+      namenode_.create_file(dst, src_blocks, src_replication,
+                            policy_for(adapt_enabled), rng, filter);
 
   // Each destination replica pulls from a source replica of the same
-  // block (round-robin across the source's holders).
+  // block (round-robin across the source's holders). Both references
+  // are taken after create_file: growing the file table can reallocate
+  // it, so a reference held across the call would dangle.
+  const FileInfo& src_info = namenode_.file(src_id);
   const FileInfo& dst_info = namenode_.file(dst_id);
   for (std::size_t b = 0; b < dst_info.blocks.size(); ++b) {
     const BlockInfo& src_block = namenode_.block(src_info.blocks[b]);

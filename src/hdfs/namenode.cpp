@@ -9,22 +9,46 @@ NameNode::NameNode(std::size_t node_count)
     : NameNode(node_count, Options{}) {}
 
 NameNode::NameNode(std::size_t node_count, Options options)
-    : options_(options), nodes_(node_count), dead_(node_count, false) {}
+    : options_(options),
+      nodes_(node_count),
+      dead_(node_count, false),
+      placeable_(node_count) {
+  for (std::size_t i = 0; i < node_count; ++i) {
+    sync_placeable(static_cast<cluster::NodeIndex>(i));
+  }
+}
 
 NameNode::NameNode(std::vector<std::uint64_t> capacity_blocks, Options options)
     : options_(options),
       nodes_(std::move(capacity_blocks)),
-      dead_(nodes_.node_count(), false) {}
+      dead_(nodes_.node_count(), false),
+      placeable_(nodes_.node_count()) {
+  for (std::size_t i = 0; i < nodes_.node_count(); ++i) {
+    sync_placeable(static_cast<cluster::NodeIndex>(i));
+  }
+}
 
-std::vector<bool> NameNode::eligibility(const BlockInfo& info,
-                                        const NodeFilter& filter) const {
-  std::vector<bool> eligible(node_count(), true);
-  for (std::size_t i = 0; i < eligible.size(); ++i) {
+void NameNode::sync_placeable(cluster::NodeIndex node) {
+  placeable_.assign(node, nodes_.has_space(node) && !dead_[node]);
+}
+
+std::optional<cluster::NodeMask> NameNode::materialize_filter(
+    const NodeFilter& filter) const {
+  if (!filter) return std::nullopt;
+  cluster::NodeMask mask(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i) {
     const auto node = static_cast<cluster::NodeIndex>(i);
-    if (!nodes_.has_space(node) || info.hosted_on(node) || dead_[i] ||
-        (filter && !filter(node))) {
-      eligible[i] = false;
-    }
+    if (filter(node)) mask.set(i);
+  }
+  return mask;
+}
+
+cluster::NodeMask NameNode::eligibility(
+    const BlockInfo& info, const cluster::NodeMask* filter_mask) const {
+  cluster::NodeMask eligible = placeable_;
+  if (filter_mask) eligible &= *filter_mask;
+  for (const cluster::NodeIndex holder : info.replicas) {
+    eligible.reset(holder);
   }
   return eligible;
 }
@@ -32,8 +56,8 @@ std::vector<bool> NameNode::eligibility(const BlockInfo& info,
 std::optional<cluster::NodeIndex> NameNode::place_replica(
     const BlockInfo& info, const placement::PlacementPolicy& policy,
     placement::CappedPolicy* cap, common::Rng& rng,
-    const NodeFilter& filter) {
-  const std::vector<bool> eligible = eligibility(info, filter);
+    const cluster::NodeMask* filter_mask) {
+  const cluster::NodeMask eligible = eligibility(info, filter_mask);
   std::optional<cluster::NodeIndex> node =
       cap ? cap->choose(eligible, rng) : policy.choose(eligible, rng);
   if (!node && cap) {
@@ -77,6 +101,11 @@ FileId NameNode::create_file(const std::string& name,
   file_info.replication = replication;
   file_info.blocks.reserve(num_blocks);
 
+  const std::optional<cluster::NodeMask> filter_mask =
+      materialize_filter(filter);
+  const cluster::NodeMask* filter_ptr =
+      filter_mask ? &*filter_mask : nullptr;
+
   // Everything placed so far must be unwound if a later replica cannot
   // be placed: a failed create must leave no trace in the block map or
   // the per-node usage counters.
@@ -84,10 +113,12 @@ FileId NameNode::create_file(const std::string& name,
   auto rollback = [&](const BlockInfo& partial) {
     for (const cluster::NodeIndex n : partial.replicas) {
       nodes_.remove_replica(n);
+      sync_placeable(n);
     }
     for (std::size_t b = first_block; b < blocks_.size(); ++b) {
       for (const cluster::NodeIndex n : blocks_[b].replicas) {
         nodes_.remove_replica(n);
+        sync_placeable(n);
       }
     }
     blocks_.resize(first_block);
@@ -100,7 +131,7 @@ FileId NameNode::create_file(const std::string& name,
     info.index = b;
     for (int r = 0; r < replication; ++r) {
       const auto node =
-          place_replica(info, *policy, cap.get(), rng, filter);
+          place_replica(info, *policy, cap.get(), rng, filter_ptr);
       if (!node) {
         rollback(info);
         throw std::runtime_error(
@@ -109,6 +140,7 @@ FileId NameNode::create_file(const std::string& name,
       }
       info.replicas.push_back(*node);
       nodes_.add_replica(*node);
+      sync_placeable(*node);
     }
     blocks_.push_back(std::move(info));
     file_info.blocks.push_back(block_id);
@@ -136,6 +168,11 @@ std::vector<ReplicaMove> NameNode::rebalance_file(
                                                     limit);
   }
 
+  const std::optional<cluster::NodeMask> filter_mask =
+      materialize_filter(filter);
+  const cluster::NodeMask* filter_ptr =
+      filter_mask ? &*filter_mask : nullptr;
+
   std::vector<ReplicaMove> moves;
   for (const BlockId block_id : info.blocks) {
     // Redraw each replica; a draw landing on the current holder keeps
@@ -143,17 +180,9 @@ std::vector<ReplicaMove> NameNode::rebalance_file(
     const std::vector<cluster::NodeIndex> old_replicas =
         blocks_.at(block_id).replicas;
     for (const cluster::NodeIndex old_node : old_replicas) {
-      const BlockInfo& block_info = blocks_.at(block_id);
-      std::vector<bool> eligible(node_count(), false);
-      for (std::size_t i = 0; i < eligible.size(); ++i) {
-        const auto node = static_cast<cluster::NodeIndex>(i);
-        if (node == old_node) {
-          eligible[i] = true;  // staying put is always allowed
-        } else if (nodes_.has_space(node) && !block_info.hosted_on(node) &&
-                   !dead_[i] && (!filter || filter(node))) {
-          eligible[i] = true;
-        }
-      }
+      cluster::NodeMask eligible =
+          eligibility(blocks_.at(block_id), filter_ptr);
+      eligible.set(old_node);  // staying put is always allowed
       auto target = cap ? cap->choose(eligible, rng)
                         : policy->choose(eligible, rng);
       if (!target) target = old_node;  // over-cap everywhere: keep
@@ -201,6 +230,7 @@ void NameNode::add_replica(BlockId block, cluster::NodeIndex node) {
   }
   info.replicas.push_back(node);
   nodes_.add_replica(node);
+  sync_placeable(node);
 }
 
 void NameNode::remove_replica(BlockId block, cluster::NodeIndex node) {
@@ -212,6 +242,7 @@ void NameNode::remove_replica(BlockId block, cluster::NodeIndex node) {
   }
   info.replicas.erase(it);
   nodes_.remove_replica(node);
+  sync_placeable(node);
 }
 
 std::vector<BlockId> NameNode::mark_node_dead(cluster::NodeIndex node) {
@@ -221,6 +252,7 @@ std::vector<BlockId> NameNode::mark_node_dead(cluster::NodeIndex node) {
   std::vector<BlockId> affected;
   if (dead_[node]) return affected;
   dead_[node] = true;
+  placeable_.reset(node);
   for (BlockId b = 0; b < blocks_.size(); ++b) {
     if (blocks_[b].hosted_on(node)) {
       remove_replica(b, node);
@@ -235,6 +267,7 @@ void NameNode::revive_node(cluster::NodeIndex node) {
     throw std::out_of_range("revive_node: bad node");
   }
   dead_[node] = false;
+  sync_placeable(node);
 }
 
 }  // namespace adapt::hdfs

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/node_mask.h"
 #include "common/rng.h"
 #include "hdfs/block.h"
 #include "hdfs/datanode.h"
@@ -97,16 +98,32 @@ class NameNode {
 
   bool is_dead(cluster::NodeIndex node) const { return dead_.at(node); }
 
+  // Nodes that can receive a replica right now: free space and not dead.
+  // Maintained incrementally on every replica mutation, death and
+  // revival; per-draw eligibility is this mask AND the caller filter
+  // minus the block's current holders.
+  const cluster::NodeMask& placement_mask() const { return placeable_; }
+
  private:
   // One replica draw honoring distinctness/space/filter; updates the cap
-  // counter on success.
+  // counter on success. `filter_mask` is the caller filter materialized
+  // once per create/rebalance call (null = no filter).
   std::optional<cluster::NodeIndex> place_replica(
       const BlockInfo& info, const placement::PlacementPolicy& policy,
       placement::CappedPolicy* cap, common::Rng& rng,
-      const NodeFilter& filter);
+      const cluster::NodeMask* filter_mask);
 
-  std::vector<bool> eligibility(const BlockInfo& info,
-                                const NodeFilter& filter) const;
+  cluster::NodeMask eligibility(const BlockInfo& info,
+                                const cluster::NodeMask* filter_mask) const;
+
+  // Evaluate a caller NodeFilter into a mask, once per call (nullopt
+  // when there is no filter). Filters are pure within one call: the
+  // NameNode is synchronous, so node state cannot change mid-call.
+  std::optional<cluster::NodeMask> materialize_filter(
+      const NodeFilter& filter) const;
+
+  // Recompute the placeable_ bit for one node after a mutation.
+  void sync_placeable(cluster::NodeIndex node);
 
   Options options_;
   DataNodeDirectory nodes_;
@@ -114,6 +131,7 @@ class NameNode {
   std::unordered_map<std::string, FileId> files_by_name_;
   std::vector<BlockInfo> blocks_;
   std::vector<bool> dead_;
+  cluster::NodeMask placeable_;
 };
 
 }  // namespace adapt::hdfs

@@ -17,7 +17,7 @@ WeightedHashPolicy::WeightedHashPolicy(std::string name,
       realized_(table_.selection_probabilities()) {}
 
 std::optional<cluster::NodeIndex> WeightedHashPolicy::choose(
-    const std::vector<bool>& eligible, common::Rng& rng) const {
+    const cluster::NodeMask& eligible, common::Rng& rng) const {
   if (eligible.size() != weights_.size()) {
     throw std::invalid_argument("choose: eligibility mask size mismatch");
   }

@@ -18,7 +18,8 @@ class WeightedHashPolicy : public PlacementPolicy {
   WeightedHashPolicy(std::string name, std::vector<double> weights,
                      std::uint64_t blocks, ChainWeighting weighting);
 
-  std::optional<cluster::NodeIndex> choose(const std::vector<bool>& eligible,
+  using PlacementPolicy::choose;
+  std::optional<cluster::NodeIndex> choose(const cluster::NodeMask& eligible,
                                            common::Rng& rng) const override;
   std::string name() const override { return name_; }
   std::vector<double> target_shares() const override {

@@ -72,7 +72,7 @@ AliasPolicy::AliasPolicy(std::string name, std::vector<double> weights)
       sampler_(weights_) {}
 
 std::optional<cluster::NodeIndex> AliasPolicy::choose(
-    const std::vector<bool>& eligible, common::Rng& rng) const {
+    const cluster::NodeMask& eligible, common::Rng& rng) const {
   if (eligible.size() != weights_.size()) {
     throw std::invalid_argument("choose: eligibility mask size mismatch");
   }

@@ -40,7 +40,8 @@ class AliasPolicy : public PlacementPolicy {
  public:
   AliasPolicy(std::string name, std::vector<double> weights);
 
-  std::optional<cluster::NodeIndex> choose(const std::vector<bool>& eligible,
+  using PlacementPolicy::choose;
+  std::optional<cluster::NodeIndex> choose(const cluster::NodeMask& eligible,
                                            common::Rng& rng) const override;
   std::string name() const override { return name_; }
   std::vector<double> target_shares() const override {

@@ -17,23 +17,25 @@ CappedPolicy::CappedPolicy(PolicyPtr inner, std::size_t node_count,
                            std::uint64_t max_blocks_per_node)
     : inner_(std::move(inner)),
       cap_(max_blocks_per_node),
-      placed_(node_count, 0) {
+      placed_(node_count, 0),
+      over_cap_(node_count) {
   if (!inner_) throw std::invalid_argument("capped policy: null inner");
+  // cap_ == 0 disables the cap; over_cap_ stays empty in that mode.
+  if (cap_ == 0) return;
+  for (std::size_t i = 0; i < node_count; ++i) {
+    if (placed_[i] >= cap_) over_cap_.set(i);
+  }
 }
 
 std::optional<cluster::NodeIndex> CappedPolicy::choose(
-    const std::vector<bool>& eligible, common::Rng& rng) const {
+    const cluster::NodeMask& eligible, common::Rng& rng) const {
   if (eligible.size() != placed_.size()) {
     throw std::invalid_argument("choose: eligibility mask size mismatch");
   }
   if (cap_ == 0) return inner_->choose(eligible, rng);
-  std::vector<bool> masked = eligible;
-  bool any = false;
-  for (std::size_t i = 0; i < masked.size(); ++i) {
-    if (placed_[i] >= cap_) masked[i] = false;
-    any = any || masked[i];
-  }
-  if (!any) return std::nullopt;
+  cluster::NodeMask masked = eligible;
+  masked.and_not(over_cap_);
+  if (masked.none()) return std::nullopt;
   return inner_->choose(masked, rng);
 }
 
@@ -42,13 +44,16 @@ std::string CappedPolicy::name() const {
 }
 
 void CappedPolicy::record_placement(cluster::NodeIndex node) {
-  ++placed_.at(node);
+  auto& count = placed_.at(node);
+  ++count;
+  if (cap_ != 0 && count >= cap_) over_cap_.set(node);
 }
 
 void CappedPolicy::record_removal(cluster::NodeIndex node) {
   auto& count = placed_.at(node);
   if (count == 0) throw std::logic_error("record_removal: underflow");
   --count;
+  if (cap_ != 0 && count < cap_) over_cap_.reset(node);
 }
 
 std::uint64_t CappedPolicy::placed(cluster::NodeIndex node) const {

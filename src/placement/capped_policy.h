@@ -23,7 +23,8 @@ class CappedPolicy : public PlacementPolicy {
   CappedPolicy(PolicyPtr inner, std::size_t node_count,
                std::uint64_t max_blocks_per_node);
 
-  std::optional<cluster::NodeIndex> choose(const std::vector<bool>& eligible,
+  using PlacementPolicy::choose;
+  std::optional<cluster::NodeIndex> choose(const cluster::NodeMask& eligible,
                                            common::Rng& rng) const override;
   std::string name() const override;
   std::vector<double> target_shares() const override {
@@ -41,6 +42,10 @@ class CappedPolicy : public PlacementPolicy {
   PolicyPtr inner_;
   std::uint64_t cap_;
   std::vector<std::uint64_t> placed_;
+  // Nodes at/over the cap, kept in sync by record_placement/
+  // record_removal so choose() masks them with one word-parallel
+  // and_not instead of an O(n) scan of placed_.
+  cluster::NodeMask over_cap_;
 };
 
 }  // namespace adapt::placement

@@ -3,32 +3,32 @@
 namespace adapt::placement {
 
 std::optional<cluster::NodeIndex> masked_exact_draw(
-    const std::vector<double>& realized, const std::vector<bool>& eligible,
+    const std::vector<double>& realized, const cluster::NodeMask& eligible,
     common::Rng& rng) {
   double total = 0.0;
-  for (std::size_t i = 0; i < realized.size(); ++i) {
-    if (eligible[i]) total += realized[i];
-  }
+  eligible.for_each_set([&](std::uint32_t i) { total += realized[i]; });
   if (total > 0.0) {
     double r = rng.uniform() * total;
-    for (std::size_t i = 0; i < realized.size(); ++i) {
-      if (!eligible[i]) continue;
+    std::optional<cluster::NodeIndex> hit;
+    eligible.for_each_set([&](std::uint32_t i) {
+      if (hit) return;
       r -= realized[i];
-      if (r <= 0.0) return static_cast<cluster::NodeIndex>(i);
-    }
-    // Rounding left r marginally positive: return the last eligible node.
-    for (std::size_t i = realized.size(); i-- > 0;) {
-      if (eligible[i] && realized[i] > 0.0) {
-        return static_cast<cluster::NodeIndex>(i);
-      }
-    }
+      if (r <= 0.0) hit = static_cast<cluster::NodeIndex>(i);
+    });
+    if (hit) return hit;
+    // Rounding left r marginally positive: return the last eligible node
+    // with positive realized probability.
+    cluster::NodeMask positive = eligible;
+    positive.for_each_set([&](std::uint32_t i) {
+      if (realized[i] <= 0.0) positive.reset(i);
+    });
+    const std::size_t last = positive.last_set();
+    if (last < positive.size()) return static_cast<cluster::NodeIndex>(last);
   }
-  std::vector<cluster::NodeIndex> candidates;
-  for (std::size_t i = 0; i < eligible.size(); ++i) {
-    if (eligible[i]) candidates.push_back(static_cast<cluster::NodeIndex>(i));
-  }
-  if (candidates.empty()) return std::nullopt;
-  return candidates[rng.uniform_index(candidates.size())];
+  const std::size_t candidates = eligible.count();
+  if (candidates == 0) return std::nullopt;
+  return static_cast<cluster::NodeIndex>(
+      eligible.nth_set(rng.uniform_index(candidates)));
 }
 
 }  // namespace adapt::placement

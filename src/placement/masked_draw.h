@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/node.h"
+#include "cluster/node_mask.h"
 #include "common/rng.h"
 
 namespace adapt::placement {
@@ -28,7 +29,7 @@ namespace adapt::placement {
 // only capped-out or unstable nodes remain); nullopt when no node is
 // eligible at all.
 std::optional<cluster::NodeIndex> masked_exact_draw(
-    const std::vector<double>& realized, const std::vector<bool>& eligible,
+    const std::vector<double>& realized, const cluster::NodeMask& eligible,
     common::Rng& rng);
 
 // The common choose() body: rejection-sample `sample` against the mask,
@@ -37,11 +38,11 @@ std::optional<cluster::NodeIndex> masked_exact_draw(
 template <typename SampleFn>
 std::optional<cluster::NodeIndex> masked_choose(
     const SampleFn& sample, const std::vector<double>& realized,
-    const std::vector<bool>& eligible, common::Rng& rng) {
+    const cluster::NodeMask& eligible, common::Rng& rng) {
   constexpr int kMaxRejections = 32;
   for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
     const std::uint32_t node = sample(rng);
-    if (eligible[node]) return node;
+    if (eligible.test(node)) return node;
   }
   return masked_exact_draw(realized, eligible, rng);
 }

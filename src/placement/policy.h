@@ -4,6 +4,11 @@
 // masking (capacity caps, replicas already placed on a node, node
 // currently offline during a load) is the NameNode's job, so policies
 // stay pure sampling strategies.
+//
+// Eligibility travels as a cluster::NodeMask: the NameNode maintains it
+// incrementally on liveness/capacity changes and hands policies a
+// word-packed view instead of materializing a std::vector<bool> per
+// draw.
 #pragma once
 
 #include <memory>
@@ -12,6 +17,7 @@
 #include <vector>
 
 #include "cluster/node.h"
+#include "cluster/node_mask.h"
 #include "common/rng.h"
 
 namespace adapt::placement {
@@ -20,11 +26,20 @@ class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
 
-  // Pick a node with eligible[i] == true, or nullopt when none exists.
-  // Implementations must honor the mask exactly; they may bias the draw
-  // however they like among eligible nodes.
+  // Pick a node with eligible.test(i) == true, or nullopt when none
+  // exists. Implementations must honor the mask exactly; they may bias
+  // the draw however they like among eligible nodes.
   virtual std::optional<cluster::NodeIndex> choose(
-      const std::vector<bool>& eligible, common::Rng& rng) const = 0;
+      const cluster::NodeMask& eligible, common::Rng& rng) const = 0;
+
+  // One-release adapter for external callers still holding a
+  // std::vector<bool> mask (pre-NodeMask API). Converts and forwards;
+  // scheduled for removal next release — migrate to the NodeMask
+  // overload, which skips the O(n) conversion.
+  std::optional<cluster::NodeIndex> choose(const std::vector<bool>& eligible,
+                                           common::Rng& rng) const {
+    return choose(cluster::NodeMask::from_vector(eligible), rng);
+  }
 
   virtual std::string name() const = 0;
 

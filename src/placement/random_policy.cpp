@@ -11,7 +11,7 @@ RandomPolicy::RandomPolicy(std::size_t node_count) : node_count_(node_count) {
 }
 
 std::optional<cluster::NodeIndex> RandomPolicy::choose(
-    const std::vector<bool>& eligible, common::Rng& rng) const {
+    const cluster::NodeMask& eligible, common::Rng& rng) const {
   if (eligible.size() != node_count_) {
     throw std::invalid_argument("choose: eligibility mask size mismatch");
   }
@@ -21,14 +21,12 @@ std::optional<cluster::NodeIndex> RandomPolicy::choose(
   for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
     const auto node =
         static_cast<cluster::NodeIndex>(rng.uniform_index(node_count_));
-    if (eligible[node]) return node;
+    if (eligible.test(node)) return node;
   }
-  std::vector<cluster::NodeIndex> candidates;
-  for (std::size_t i = 0; i < eligible.size(); ++i) {
-    if (eligible[i]) candidates.push_back(static_cast<cluster::NodeIndex>(i));
-  }
-  if (candidates.empty()) return std::nullopt;
-  return candidates[rng.uniform_index(candidates.size())];
+  const std::size_t candidates = eligible.count();
+  if (candidates == 0) return std::nullopt;
+  return static_cast<cluster::NodeIndex>(
+      eligible.nth_set(rng.uniform_index(candidates)));
 }
 
 std::vector<double> RandomPolicy::target_shares() const {

@@ -10,7 +10,8 @@ class RandomPolicy : public PlacementPolicy {
  public:
   explicit RandomPolicy(std::size_t node_count);
 
-  std::optional<cluster::NodeIndex> choose(const std::vector<bool>& eligible,
+  using PlacementPolicy::choose;
+  std::optional<cluster::NodeIndex> choose(const cluster::NodeMask& eligible,
                                            common::Rng& rng) const override;
   std::string name() const override { return "random"; }
   std::vector<double> target_shares() const override;

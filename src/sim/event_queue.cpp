@@ -1,29 +1,51 @@
 #include "sim/event_queue.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace adapt::sim {
+
+void EventQueue::release(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.generation;   // invalidates outstanding handles and heap entries
+  s.callback = {};  // drop captured state now, not at slot reuse
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+}
 
 EventQueue::Handle EventQueue::schedule(common::Seconds when,
                                         Callback callback) {
   if (when < now_) {
     throw std::invalid_argument("schedule: time travels backwards");
   }
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{when, next_seq_++, std::move(callback), alive});
-  return Handle(std::move(alive));
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].callback = std::move(callback);
+  ++live_;
+  const std::uint32_t generation = slots_[slot].generation;
+  queue_.push(Entry{when, next_seq_++, slot, generation});
+  return Handle(this, slot, generation);
 }
 
 bool EventQueue::run_next() {
   while (!queue_.empty()) {
-    // priority_queue::top is const; the event is copied cheaply (the
-    // callback is moved out after the pop via a const_cast-free path).
-    Event event = queue_.top();
+    const Entry entry = queue_.top();
     queue_.pop();
-    if (!*event.alive) continue;
-    now_ = event.when;
+    if (!armed(entry.slot, entry.generation)) continue;  // cancelled
+    // Free the slot before invoking: the callback may schedule (and
+    // even reuse this slot, under a new generation) or cancel freely.
+    Callback callback = std::move(slots_[entry.slot].callback);
+    release(entry.slot);
+    now_ = entry.when;
     ++processed_;
-    event.callback();
+    callback();
     return true;
   }
   return false;

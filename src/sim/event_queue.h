@@ -1,13 +1,24 @@
 // Discrete-event engine: a time-ordered queue of cancellable callbacks.
 //
-// Ties are broken by insertion order so runs are deterministic. Handles
-// are cheap shared tokens; cancelling is O(1) (the event is skipped when
-// popped).
+// Ties are broken by insertion order so runs are deterministic.
+//
+// Storage is pooled: callbacks live in a slab of reusable slots threaded
+// on a free list, and the heap orders plain-data entries (when, seq,
+// slot, generation). Scheduling therefore allocates nothing once the
+// slab has warmed up — the old implementation paid a make_shared per
+// schedule and a std::function copy per pop. Handles are (slot,
+// generation) tickets: releasing a slot bumps its generation, so a
+// stale handle — or a stale heap entry for a cancelled event — simply
+// stops matching. Cancelling is O(1) and cancel/active on a handle
+// whose event already ran are safe no-ops.
+//
+// Handles hold a plain pointer to their queue; they must not outlive
+// it. Every user in this codebase stores handles next to the queue in
+// the same simulation object, which satisfies that by construction.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
@@ -23,20 +34,30 @@ class EventQueue {
    public:
     Handle() = default;
     void cancel() {
-      if (alive_) *alive_ = false;
+      if (queue_ != nullptr) queue_->cancel(slot_, generation_);
     }
-    bool active() const { return alive_ && *alive_; }
+    bool active() const {
+      return queue_ != nullptr && queue_->armed(slot_, generation_);
+    }
 
    private:
     friend class EventQueue;
-    explicit Handle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-    std::shared_ptr<bool> alive_;
+    Handle(EventQueue* queue, std::uint32_t slot, std::uint32_t generation)
+        : queue_(queue), slot_(slot), generation_(generation) {}
+    EventQueue* queue_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t generation_ = 0;
   };
 
   common::Seconds now() const { return now_; }
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t processed() const { return processed_; }
+
+  // Slots currently holding a scheduled callback (cancelled events drop
+  // out immediately even though their heap entry lingers until popped).
+  std::size_t live_slots() const { return live_; }
+  std::size_t slab_size() const { return slots_.size(); }
 
   // Schedule `callback` at absolute time `when` (>= now).
   Handle schedule(common::Seconds when, Callback callback);
@@ -50,23 +71,44 @@ class EventQueue {
   bool run_until(const std::function<bool()>& done);
 
  private:
-  struct Event {
+  struct Slot {
+    Callback callback;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = 0;
+  };
+  // Plain data on the heap; the callback stays in its slot.
+  struct Entry {
     common::Seconds when;
     std::uint64_t seq;
-    Callback callback;
-    std::shared_ptr<bool> alive;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  bool armed(std::uint32_t slot, std::uint32_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation;
+  }
+  void cancel(std::uint32_t slot, std::uint32_t generation) {
+    if (armed(slot, generation)) release(slot);
+  }
+  // Bump the generation (invalidating handles and heap entries) and
+  // return the slot to the free list.
+  void release(std::uint32_t slot);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_ = 0;
   common::Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 };
 
 }  // namespace adapt::sim

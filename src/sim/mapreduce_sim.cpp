@@ -82,14 +82,7 @@ MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
                 common::Rng(config.seed).fork(0x1417),
                 injector_config(config)),
       mutable_namenode_(mutable_namenode) {
-  if (config_.gamma <= 0) {
-    throw std::invalid_argument("simulation: gamma must be positive");
-  }
-  if (config_.max_concurrent_attempts < 1 ||
-      config_.max_concurrent_attempts > 2) {
-    throw std::invalid_argument(
-        "simulation: max_concurrent_attempts must be 1 or 2");
-  }
+  config_.validate();  // throws ConfigError naming the bad field
   node_state_.resize(cluster.size());
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     node_state_[i].free_slots = cluster.nodes[i].slots;
@@ -130,11 +123,6 @@ MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
     if (mutable_namenode_ == nullptr) {
       throw std::invalid_argument(
           "simulation: churn requires the mutable-NameNode constructor");
-    }
-    if (config_.churn.dead_timeout <= 0.0) {
-      throw std::invalid_argument(
-          "simulation: churn requires dead_timeout > 0 (departed nodes "
-          "must eventually be declared dead)");
     }
     init_churn();
   }

@@ -37,86 +37,9 @@
 #include "sim/overhead.h"
 #include "sim/rereplication.h"
 #include "sim/scheduler.h"
+#include "sim/sim_config.h"
 
 namespace adapt::sim {
-
-struct SimJobConfig {
-  double gamma = 12.0;  // failure-free map task time, seconds (Table 4)
-  bool speculation = true;
-  // Duplicate a running attempt when its remaining time exceeds
-  // slack * (expected cost of running it fresh on the idle node).
-  double speculation_slack = 1.2;
-  // ... and only when the attempt is *overdue*: its projected finish has
-  // slipped at least this many seconds past what it projected when it
-  // was launched (Hadoop speculates laggards, not attempts progressing
-  // at their normal rate). Negative = auto: one gamma.
-  common::Seconds speculation_overdue = -1.0;
-  int max_concurrent_attempts = 2;  // original + one speculative copy
-  bool allow_origin_fetch = true;   // last resort when all replicas down
-  // A task whose replicas are all offline is re-fetched from the origin
-  // only after stalling this long (waiting out a short outage is cheaper
-  // than a broadband transfer). Negative = auto: one block's transfer
-  // time from the origin.
-  common::Seconds origin_fetch_delay = -1.0;
-  std::uint64_t seed = 1;
-  bool randomize_replay_offset = true;
-  common::Seconds replay_horizon = 0.0;  // 0 = derive from trace
-  // Per-node replay offsets (see InterruptionInjector::Config); lets the
-  // caller filter placement to nodes up at t = 0.
-  std::vector<common::Seconds> replay_offsets;
-  // Model-mode steady-state initial outages (see draw_initial_down).
-  std::vector<common::Seconds> initial_down_until;
-  // Allow idle nodes to run pending tasks of other nodes (with the block
-  // migrated). Off = strictly local execution, an ablation knob.
-  bool remote_execution = true;
-  // A block transfer whose *source* goes down stalls (TCP rides out a
-  // short outage) and resumes when the source returns, shifted by the
-  // downtime; it aborts only when the outage exceeds this timeout
-  // (Hadoop DFS client behaviour). 0 = abort immediately. Transfers
-  // whose destination dies always abort (the task fails with its host).
-  common::Seconds transfer_stall_timeout = 60.0;
-  // A replica source whose uplink is backed up further than this is not
-  // worth queueing on (the fetch would sit as a zombie attempt); the
-  // task parks instead and is resolved by its home node or the origin.
-  // Negative = auto: one block's transfer time on the source uplink.
-  common::Seconds max_source_queue_wait = -1.0;
-  // Record per-task completion times into JobResult (diagnostics).
-  bool record_completion_times = false;
-  // -- churn & recovery ---------------------------------------------
-  // Permanent departures, dead-node declaration and re-replication.
-  // Requires the mutable-NameNode constructor when enabled; everything
-  // below is inert (and the run byte-identical to before) otherwise.
-  struct ChurnConfig {
-    bool enabled = false;
-    // Injector: permanent-departure hazard / correlated burst / late
-    // joins (see InterruptionInjector::Config).
-    double departure_rate = 0.0;
-    std::vector<double> departure_rates;
-    common::Seconds burst_at = -1.0;
-    double burst_fraction = 0.0;
-    std::vector<common::Seconds> join_at;
-    // Dead declaration: heartbeat cadence and how long a node must stay
-    // believed-down past detection before its replicas are written off.
-    common::Seconds heartbeat_interval = 3.0;
-    int heartbeat_miss_threshold = 2;
-    common::Seconds dead_timeout = 60.0;
-    // Recovery pipeline knobs (rereplication.enabled switches the
-    // pipeline off while keeping dead declaration on).
-    ReReplicator::Config rereplication;
-    // Builds the re-replication destination policy from the heartbeat
-    // collector's current (lambda, mu) estimates; called at start and
-    // after every dead declaration / recovery. Null = uniform random
-    // over eligible nodes.
-    std::function<placement::PolicyPtr(
-        const std::vector<avail::InterruptionParams>&)>
-        policy_factory;
-  };
-  ChurnConfig churn;
-  // Optional observability sinks, owned by the caller; null = off. Each
-  // instrumented site is a single null check on the disabled path.
-  obs::EventTracer* tracer = nullptr;
-  obs::MetricsRegistry* metrics = nullptr;
-};
 
 struct JobResult {
   common::Seconds elapsed = 0.0;

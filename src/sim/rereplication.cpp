@@ -171,19 +171,18 @@ bool ReReplicator::start_repair(std::size_t pending_index) {
   if (!have_src) return false;  // raced with an outage; pump again later
 
   // Destination: active policy over up, non-dead, non-holder nodes with
-  // space.
-  std::vector<bool> eligible(namenode_.node_count(), false);
-  bool any = false;
-  for (std::size_t n = 0; n < eligible.size(); ++n) {
-    const auto node = static_cast<cluster::NodeIndex>(n);
-    if (node_up_(node) && !namenode_.is_dead(node) &&
-        !info.hosted_on(node) && namenode_.datanodes().has_space(node)) {
-      eligible[n] = true;
-      any = true;
-    }
+  // space. Start from the NameNode's incrementally maintained mask
+  // (space && alive) and only consult the node_up_ callback for nodes
+  // that pass it.
+  cluster::NodeMask eligible = namenode_.placement_mask();
+  for (const cluster::NodeIndex holder : info.replicas) {
+    eligible.reset(holder);
   }
+  eligible.for_each_set([&](std::uint32_t n) {
+    if (!node_up_(static_cast<cluster::NodeIndex>(n))) eligible.reset(n);
+  });
   std::optional<cluster::NodeIndex> dst;
-  if (any) dst = policy_->choose(eligible, rng_);
+  if (eligible.any()) dst = policy_->choose(eligible, rng_);
   if (!dst) {
     // No landing spot right now (everything up is full or a holder).
     // Gate this block behind a flat delay and let the pump move on; the

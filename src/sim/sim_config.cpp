@@ -1,0 +1,167 @@
+#include "sim/sim_config.h"
+
+#include <cmath>
+
+namespace adapt::sim {
+
+namespace {
+
+void check_gamma(double value) {
+  if (!(value > 0) || !std::isfinite(value)) {
+    throw ConfigError("gamma", "must be positive and finite");
+  }
+}
+
+void check_speculation_slack(double value) {
+  if (!(value > 0) || !std::isfinite(value)) {
+    throw ConfigError("speculation_slack", "must be positive and finite");
+  }
+}
+
+void check_max_concurrent_attempts(int value) {
+  if (value < 1 || value > 2) {
+    throw ConfigError("max_concurrent_attempts", "must be 1 or 2");
+  }
+}
+
+void check_transfer_stall_timeout(common::Seconds value) {
+  if (value < 0 || !std::isfinite(value)) {
+    throw ConfigError("transfer_stall_timeout",
+                      "must be >= 0 and finite (0 = abort immediately)");
+  }
+}
+
+void check_departure_rate(double value) {
+  if (value < 0 || !std::isfinite(value)) {
+    throw ConfigError("churn.departure_rate", "must be >= 0 and finite");
+  }
+}
+
+void check_burst_fraction(double value) {
+  if (value < 0 || value > 1) {
+    throw ConfigError("churn.burst_fraction", "must be in [0, 1]");
+  }
+}
+
+void check_heartbeat_interval(common::Seconds value) {
+  if (!(value > 0) || !std::isfinite(value)) {
+    throw ConfigError("churn.heartbeat_interval",
+                      "must be positive and finite");
+  }
+}
+
+void check_heartbeat_miss_threshold(int value) {
+  if (value < 1) {
+    throw ConfigError("churn.heartbeat_miss_threshold", "must be >= 1");
+  }
+}
+
+void check_dead_timeout(common::Seconds value) {
+  if (!(value > 0) || !std::isfinite(value)) {
+    throw ConfigError("churn.dead_timeout",
+                      "must be > 0 (departed nodes must eventually be "
+                      "declared dead)");
+  }
+}
+
+}  // namespace
+
+void SimJobConfig::validate() const {
+  check_gamma(gamma);
+  if (speculation) check_speculation_slack(speculation_slack);
+  check_max_concurrent_attempts(max_concurrent_attempts);
+  check_transfer_stall_timeout(transfer_stall_timeout);
+  if (churn.enabled) {
+    check_departure_rate(churn.departure_rate);
+    for (const double rate : churn.departure_rates) {
+      check_departure_rate(rate);
+    }
+    check_burst_fraction(churn.burst_fraction);
+    check_heartbeat_interval(churn.heartbeat_interval);
+    check_heartbeat_miss_threshold(churn.heartbeat_miss_threshold);
+    check_dead_timeout(churn.dead_timeout);
+  }
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::gamma(double value) {
+  check_gamma(value);
+  config_.gamma = value;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::speculation(
+    bool enabled, double slack, common::Seconds overdue) {
+  if (enabled) check_speculation_slack(slack);
+  config_.speculation = enabled;
+  config_.speculation_slack = slack;
+  config_.speculation_overdue = overdue;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::max_concurrent_attempts(
+    int value) {
+  check_max_concurrent_attempts(value);
+  config_.max_concurrent_attempts = value;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::origin_fetch(
+    bool allowed, common::Seconds delay) {
+  config_.allow_origin_fetch = allowed;
+  config_.origin_fetch_delay = delay;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::transfer_stall_timeout(
+    common::Seconds value) {
+  check_transfer_stall_timeout(value);
+  config_.transfer_stall_timeout = value;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::seed(std::uint64_t value) {
+  config_.seed = value;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::churn(bool enabled) {
+  config_.churn.enabled = enabled;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::departure_rate(double value) {
+  check_departure_rate(value);
+  config_.churn.departure_rate = value;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::burst(common::Seconds at,
+                                                    double fraction) {
+  check_burst_fraction(fraction);
+  config_.churn.burst_at = at;
+  config_.churn.burst_fraction = fraction;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::heartbeat(
+    common::Seconds interval, int miss_threshold) {
+  check_heartbeat_interval(interval);
+  check_heartbeat_miss_threshold(miss_threshold);
+  config_.churn.heartbeat_interval = interval;
+  config_.churn.heartbeat_miss_threshold = miss_threshold;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::dead_timeout(
+    common::Seconds value) {
+  check_dead_timeout(value);
+  config_.churn.dead_timeout = value;
+  return *this;
+}
+
+SimJobConfig SimJobConfig::Builder::build() const {
+  config_.validate();
+  return config_;
+}
+
+}  // namespace adapt::sim

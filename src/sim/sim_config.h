@@ -1,0 +1,162 @@
+// Simulation job configuration, its validation, and a checked builder.
+//
+// SimJobConfig is a plain aggregate so experiment code can fill fields
+// directly; validate() centralizes every range check the simulation
+// relies on (previously scattered across the MapReduceSimulation and
+// ReReplicator constructors). The Builder wraps the same checks behind
+// fluent setters that fail eagerly, at the call that supplied the bad
+// value, with a structured ConfigError naming the offending field.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "availability/interruption_model.h"
+#include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "placement/policy.h"
+#include "sim/rereplication.h"
+
+namespace adapt::sim {
+
+// A configuration value out of range. Derives std::invalid_argument so
+// existing catch sites keep working; field() names the bad field for
+// structured reporting (CLI flag mapping, test assertions).
+class ConfigError : public std::invalid_argument {
+ public:
+  ConfigError(std::string field, const std::string& message)
+      : std::invalid_argument("config." + field + ": " + message),
+        field_(std::move(field)) {}
+
+  const std::string& field() const { return field_; }
+
+ private:
+  std::string field_;
+};
+
+struct SimJobConfig {
+  double gamma = 12.0;  // failure-free map task time, seconds (Table 4)
+  bool speculation = true;
+  // Duplicate a running attempt when its remaining time exceeds
+  // slack * (expected cost of running it fresh on the idle node).
+  double speculation_slack = 1.2;
+  // ... and only when the attempt is *overdue*: its projected finish has
+  // slipped at least this many seconds past what it projected when it
+  // was launched (Hadoop speculates laggards, not attempts progressing
+  // at their normal rate). Negative = auto: one gamma.
+  common::Seconds speculation_overdue = -1.0;
+  int max_concurrent_attempts = 2;  // original + one speculative copy
+  bool allow_origin_fetch = true;   // last resort when all replicas down
+  // A task whose replicas are all offline is re-fetched from the origin
+  // only after stalling this long (waiting out a short outage is cheaper
+  // than a broadband transfer). Negative = auto: one block's transfer
+  // time from the origin.
+  common::Seconds origin_fetch_delay = -1.0;
+  std::uint64_t seed = 1;
+  bool randomize_replay_offset = true;
+  common::Seconds replay_horizon = 0.0;  // 0 = derive from trace
+  // Per-node replay offsets (see InterruptionInjector::Config); lets the
+  // caller filter placement to nodes up at t = 0.
+  std::vector<common::Seconds> replay_offsets;
+  // Model-mode steady-state initial outages (see draw_initial_down).
+  std::vector<common::Seconds> initial_down_until;
+  // Allow idle nodes to run pending tasks of other nodes (with the block
+  // migrated). Off = strictly local execution, an ablation knob.
+  bool remote_execution = true;
+  // A block transfer whose *source* goes down stalls (TCP rides out a
+  // short outage) and resumes when the source returns, shifted by the
+  // downtime; it aborts only when the outage exceeds this timeout
+  // (Hadoop DFS client behaviour). 0 = abort immediately. Transfers
+  // whose destination dies always abort (the task fails with its host).
+  common::Seconds transfer_stall_timeout = 60.0;
+  // A replica source whose uplink is backed up further than this is not
+  // worth queueing on (the fetch would sit as a zombie attempt); the
+  // task parks instead and is resolved by its home node or the origin.
+  // Negative = auto: one block's transfer time on the source uplink.
+  common::Seconds max_source_queue_wait = -1.0;
+  // Record per-task completion times into JobResult (diagnostics).
+  bool record_completion_times = false;
+  // -- churn & recovery ---------------------------------------------
+  // Permanent departures, dead-node declaration and re-replication.
+  // Requires the mutable-NameNode constructor when enabled; everything
+  // below is inert (and the run byte-identical to before) otherwise.
+  struct ChurnConfig {
+    bool enabled = false;
+    // Injector: permanent-departure hazard / correlated burst / late
+    // joins (see InterruptionInjector::Config).
+    double departure_rate = 0.0;
+    std::vector<double> departure_rates;
+    common::Seconds burst_at = -1.0;
+    double burst_fraction = 0.0;
+    std::vector<common::Seconds> join_at;
+    // Dead declaration: heartbeat cadence and how long a node must stay
+    // believed-down past detection before its replicas are written off.
+    common::Seconds heartbeat_interval = 3.0;
+    int heartbeat_miss_threshold = 2;
+    common::Seconds dead_timeout = 60.0;
+    // Recovery pipeline knobs (rereplication.enabled switches the
+    // pipeline off while keeping dead declaration on).
+    ReReplicator::Config rereplication;
+    // Builds the re-replication destination policy from the heartbeat
+    // collector's current (lambda, mu) estimates; called at start and
+    // after every dead declaration / recovery. Null = uniform random
+    // over eligible nodes.
+    std::function<placement::PolicyPtr(
+        const std::vector<avail::InterruptionParams>&)>
+        policy_factory;
+  };
+  ChurnConfig churn;
+  // Optional observability sinks, owned by the caller; null = off. Each
+  // instrumented site is a single null check on the disabled path.
+  obs::EventTracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+
+  // Throws ConfigError on the first out-of-range field. The simulation
+  // constructor calls this, so hand-filled aggregates are still checked;
+  // the Builder calls the same predicates per setter.
+  void validate() const;
+
+  class Builder;
+};
+
+// Checked construction: each setter validates its value immediately and
+// throws ConfigError naming the field, so a bad knob fails at the line
+// that set it instead of deep inside the simulation constructor.
+//
+//   auto config = SimJobConfig::Builder()
+//                     .gamma(8.0)
+//                     .speculation(true, /*slack=*/1.5)
+//                     .dead_timeout(120.0)
+//                     .build();
+class SimJobConfig::Builder {
+ public:
+  Builder() = default;
+  // Start from an existing aggregate (its values are re-checked by
+  // build()).
+  explicit Builder(SimJobConfig base) : config_(std::move(base)) {}
+
+  Builder& gamma(double value);
+  Builder& speculation(bool enabled, double slack = 1.2,
+                       common::Seconds overdue = -1.0);
+  Builder& max_concurrent_attempts(int value);
+  Builder& origin_fetch(bool allowed, common::Seconds delay = -1.0);
+  Builder& transfer_stall_timeout(common::Seconds value);
+  Builder& seed(std::uint64_t value);
+  Builder& churn(bool enabled);
+  Builder& departure_rate(double value);
+  Builder& burst(common::Seconds at, double fraction);
+  Builder& heartbeat(common::Seconds interval, int miss_threshold);
+  Builder& dead_timeout(common::Seconds value);
+
+  // Final cross-field validation, then the finished config.
+  SimJobConfig build() const;
+
+ private:
+  SimJobConfig config_;
+};
+
+}  // namespace adapt::sim

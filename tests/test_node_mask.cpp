@@ -1,0 +1,226 @@
+// NodeMask property tests against a std::vector<bool> oracle, with the
+// word-boundary sizes (63/64/65) the packed representation has to get
+// right, plus the tail-bits-zero invariant the word-parallel operations
+// rely on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/node_mask.h"
+#include "common/rng.h"
+
+namespace {
+
+using adapt::cluster::NodeMask;
+
+// The sizes that exercise empty, sub-word, exact-word, word+1 and
+// multi-word layouts.
+const std::size_t kSizes[] = {0, 1, 63, 64, 65, 100, 128, 200, 1024};
+
+std::size_t oracle_count(const std::vector<bool>& bits) {
+  std::size_t n = 0;
+  for (const bool b : bits) n += b ? 1 : 0;
+  return n;
+}
+
+// Random bit pattern of the given size and density.
+std::vector<bool> random_bits(std::size_t size, double density,
+                              adapt::common::Rng& rng) {
+  std::vector<bool> bits(size, false);
+  for (std::size_t i = 0; i < size; ++i) {
+    bits[i] = rng.uniform() < density;
+  }
+  return bits;
+}
+
+void expect_matches_oracle(const NodeMask& mask,
+                           const std::vector<bool>& bits) {
+  ASSERT_EQ(mask.size(), bits.size());
+  EXPECT_EQ(mask.count(), oracle_count(bits));
+  EXPECT_EQ(mask.any(), oracle_count(bits) > 0);
+  EXPECT_EQ(mask.none(), oracle_count(bits) == 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(mask.test(i), bits[i]) << "bit " << i;
+    EXPECT_EQ(mask[i], bits[i]) << "bit " << i;
+  }
+  EXPECT_EQ(mask.to_vector(), bits);
+}
+
+void expect_tail_zero(const NodeMask& mask) {
+  const std::size_t tail = mask.size() % NodeMask::kWordBits;
+  if (tail == 0 || mask.words().empty()) return;
+  const NodeMask::Word tail_mask = (NodeMask::Word{1} << tail) - 1;
+  EXPECT_EQ(mask.words().back() & ~tail_mask, 0u)
+      << "tail bits past size() must stay zero (size " << mask.size()
+      << ")";
+}
+
+TEST(NodeMaskTest, FromVectorRoundTripsAtWordBoundaries) {
+  adapt::common::Rng rng(11);
+  for (const std::size_t size : kSizes) {
+    for (const double density : {0.0, 0.1, 0.5, 1.0}) {
+      const std::vector<bool> bits = random_bits(size, density, rng);
+      const NodeMask mask = NodeMask::from_vector(bits);
+      expect_matches_oracle(mask, bits);
+      expect_tail_zero(mask);
+    }
+  }
+}
+
+TEST(NodeMaskTest, RandomMutationSequenceTracksOracle) {
+  adapt::common::Rng rng(12);
+  for (const std::size_t size : {std::size_t{63}, std::size_t{64},
+                                 std::size_t{65}, std::size_t{200}}) {
+    NodeMask mask(size);
+    std::vector<bool> bits(size, false);
+    for (int step = 0; step < 500; ++step) {
+      const std::size_t i = rng.uniform_index(size);
+      switch (rng.uniform_index(3)) {
+        case 0:
+          mask.set(i);
+          bits[i] = true;
+          break;
+        case 1:
+          mask.reset(i);
+          bits[i] = false;
+          break;
+        default: {
+          const bool value = rng.uniform() < 0.5;
+          mask.assign(i, value);
+          bits[i] = value;
+          break;
+        }
+      }
+    }
+    expect_matches_oracle(mask, bits);
+    expect_tail_zero(mask);
+  }
+}
+
+TEST(NodeMaskTest, SetAllRespectsSizeInvariant) {
+  for (const std::size_t size : kSizes) {
+    NodeMask mask(size);
+    mask.set_all();
+    EXPECT_EQ(mask.count(), size);
+    expect_tail_zero(mask);
+    mask.reset_all();
+    EXPECT_EQ(mask.count(), 0u);
+    EXPECT_TRUE(mask.none());
+  }
+  // The fill constructor is set_all.
+  const NodeMask filled(65, true);
+  EXPECT_EQ(filled.count(), 65u);
+  expect_tail_zero(filled);
+}
+
+TEST(NodeMaskTest, WordParallelCombinesMatchOracle) {
+  adapt::common::Rng rng(13);
+  for (const std::size_t size : {std::size_t{63}, std::size_t{64},
+                                 std::size_t{65}, std::size_t{190}}) {
+    const std::vector<bool> a_bits = random_bits(size, 0.5, rng);
+    const std::vector<bool> b_bits = random_bits(size, 0.5, rng);
+    const NodeMask a = NodeMask::from_vector(a_bits);
+    const NodeMask b = NodeMask::from_vector(b_bits);
+
+    NodeMask and_mask = a;
+    and_mask &= b;
+    NodeMask or_mask = a;
+    or_mask |= b;
+    NodeMask and_not_mask = a;
+    and_not_mask.and_not(b);
+
+    std::vector<bool> and_bits(size), or_bits(size), and_not_bits(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      and_bits[i] = a_bits[i] && b_bits[i];
+      or_bits[i] = a_bits[i] || b_bits[i];
+      and_not_bits[i] = a_bits[i] && !b_bits[i];
+    }
+    expect_matches_oracle(and_mask, and_bits);
+    expect_matches_oracle(or_mask, or_bits);
+    expect_matches_oracle(and_not_mask, and_not_bits);
+    expect_tail_zero(and_not_mask);
+  }
+}
+
+TEST(NodeMaskTest, CombineSizeMismatchThrows) {
+  NodeMask a(64);
+  const NodeMask b(65);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a.and_not(b), std::invalid_argument);
+}
+
+TEST(NodeMaskTest, ForEachSetVisitsAscending) {
+  adapt::common::Rng rng(14);
+  for (const std::size_t size : {std::size_t{65}, std::size_t{200}}) {
+    const std::vector<bool> bits = random_bits(size, 0.3, rng);
+    const NodeMask mask = NodeMask::from_vector(bits);
+    std::vector<std::size_t> visited;
+    mask.for_each_set([&](std::uint32_t i) { visited.push_back(i); });
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < size; ++i) {
+      if (bits[i]) expected.push_back(i);
+    }
+    EXPECT_EQ(visited, expected);
+  }
+}
+
+TEST(NodeMaskTest, ForEachSetToleratesResettingTheCurrentBit) {
+  // The re-replication path filters in place: it resets the bit it is
+  // currently visiting. The iteration works on a local copy of each
+  // word, so every originally-set bit is still visited exactly once.
+  NodeMask mask(130, true);
+  std::size_t visited = 0;
+  mask.for_each_set([&](std::uint32_t i) {
+    mask.reset(i);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 130u);
+  EXPECT_TRUE(mask.none());
+}
+
+TEST(NodeMaskTest, NthSetMatchesOracle) {
+  adapt::common::Rng rng(15);
+  for (const std::size_t size : {std::size_t{63}, std::size_t{64},
+                                 std::size_t{65}, std::size_t{300}}) {
+    const std::vector<bool> bits = random_bits(size, 0.4, rng);
+    const NodeMask mask = NodeMask::from_vector(bits);
+    std::vector<std::size_t> set_indices;
+    for (std::size_t i = 0; i < size; ++i) {
+      if (bits[i]) set_indices.push_back(i);
+    }
+    for (std::size_t n = 0; n < set_indices.size(); ++n) {
+      EXPECT_EQ(mask.nth_set(n), set_indices[n]) << "n=" << n;
+    }
+    // Past the population: sentinel size().
+    EXPECT_EQ(mask.nth_set(set_indices.size()), size);
+    EXPECT_EQ(mask.nth_set(set_indices.size() + 7), size);
+  }
+}
+
+TEST(NodeMaskTest, LastSetMatchesOracle) {
+  for (const std::size_t size : {std::size_t{63}, std::size_t{64},
+                                 std::size_t{65}}) {
+    NodeMask mask(size);
+    EXPECT_EQ(mask.last_set(), size) << "empty mask sentinel";
+    mask.set(0);
+    EXPECT_EQ(mask.last_set(), 0u);
+    mask.set(size - 1);
+    EXPECT_EQ(mask.last_set(), size - 1);
+    mask.reset(size - 1);
+    EXPECT_EQ(mask.last_set(), 0u);
+  }
+}
+
+TEST(NodeMaskTest, EqualityComparesContents) {
+  const NodeMask a = NodeMask::from_vector({true, false, true});
+  NodeMask b(3);
+  b.set(0);
+  b.set(2);
+  EXPECT_EQ(a, b);
+  b.reset(2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace

@@ -213,8 +213,9 @@ TEST(CappedPolicy, ZeroCapDisables) {
   const auto inner = make_random_policy(2);
   CappedPolicy capped(inner, 2, 0);
   Rng rng(13);
+  const adapt::cluster::NodeMask both(2, true);
   for (int i = 0; i < 10; ++i) {
-    capped.record_placement(capped.choose({true, true}, rng).value());
+    capped.record_placement(capped.choose(both, rng).value());
   }
   EXPECT_EQ(capped.name(), "random");
 }
@@ -223,10 +224,11 @@ TEST(CappedPolicy, RemovalFreesHeadroom) {
   const auto inner = make_random_policy(1);
   CappedPolicy capped(inner, 1, 1);
   Rng rng(14);
+  const adapt::cluster::NodeMask one(1, true);
   capped.record_placement(0);
-  EXPECT_FALSE(capped.choose({true}, rng));
+  EXPECT_FALSE(capped.choose(one, rng));
   capped.record_removal(0);
-  EXPECT_TRUE(capped.choose({true}, rng));
+  EXPECT_TRUE(capped.choose(one, rng));
   EXPECT_THROW(capped.record_removal(1), std::out_of_range);
 }
 

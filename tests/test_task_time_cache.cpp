@@ -1,0 +1,148 @@
+// TaskTimeCache: bit-exactness vs the direct Eq. 5 evaluation, hit/miss
+// accounting, growth, and the predictor's invalidate-on-gamma-change
+// contract (value-keyed entries cannot go stale; invalidation is
+// hygiene).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "availability/interruption_model.h"
+#include "availability/predictor.h"
+#include "availability/task_time_cache.h"
+#include "common/rng.h"
+
+namespace {
+
+using adapt::avail::InterruptionParams;
+using adapt::avail::PerformancePredictor;
+using adapt::avail::TaskTimeCache;
+
+InterruptionParams random_params(adapt::common::Rng& rng) {
+  return {0.001 + rng.uniform() * 0.02, 10.0 + rng.uniform() * 120.0};
+}
+
+TEST(TaskTimeCacheTest, BitExactAgainstDirectEvaluation) {
+  TaskTimeCache cache;
+  adapt::common::Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const InterruptionParams p = random_params(rng);
+    const double gamma = 1.0 + rng.uniform() * 30.0;
+    const double direct = adapt::avail::expected_task_time(p, gamma);
+    // Exact equality on purpose: a hit must return the identical double.
+    EXPECT_EQ(cache.expected_task_time(p, gamma), direct);
+    EXPECT_EQ(cache.expected_task_time(p, gamma), direct) << "cached hit";
+  }
+}
+
+TEST(TaskTimeCacheTest, CountsHitsAndMisses) {
+  TaskTimeCache cache;
+  const InterruptionParams p{0.01, 60.0};
+  cache.expected_task_time(p, 12.0);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.expected_task_time(p, 12.0);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Any changed parameter is a different key, not a stale value.
+  cache.expected_task_time(p, 13.0);
+  cache.expected_task_time({0.02, 60.0}, 12.0);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(TaskTimeCacheTest, InvalidateDropsEntriesKeepsStats) {
+  TaskTimeCache cache;
+  const InterruptionParams p{0.01, 60.0};
+  cache.expected_task_time(p, 12.0);
+  cache.expected_task_time(p, 12.0);
+  cache.invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u) << "history survives invalidation";
+
+  // The dropped key misses again and recomputes the same value.
+  const double direct = adapt::avail::expected_task_time(p, 12.0);
+  EXPECT_EQ(cache.expected_task_time(p, 12.0), direct);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(TaskTimeCacheTest, GrowsPastInitialCapacityWithoutLosingEntries) {
+  TaskTimeCache cache;
+  adapt::common::Rng rng(22);
+  std::vector<InterruptionParams> keys;
+  std::vector<double> values;
+  // Well past the initial table; every insert is a distinct key.
+  for (int i = 0; i < 500; ++i) {
+    keys.push_back(random_params(rng));
+    values.push_back(cache.expected_task_time(keys.back(), 12.0));
+  }
+  EXPECT_EQ(cache.size(), keys.size());
+  const auto misses_before = cache.stats().misses;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(cache.expected_task_time(keys[i], 12.0), values[i]);
+  }
+  EXPECT_EQ(cache.stats().misses, misses_before)
+      << "re-queries after growth must all hit";
+}
+
+TEST(PredictorCacheTest, RepeatEvaluationsHitTheCache) {
+  PerformancePredictor predictor(32, 12.0);
+  adapt::common::Rng rng(23);
+  for (std::size_t i = 0; i < predictor.node_count(); ++i) {
+    predictor.set_params(i, random_params(rng));
+  }
+  const std::vector<double> first = predictor.expected_task_times();
+  const auto misses = predictor.task_time_cache().stats().misses;
+  const std::vector<double> second = predictor.expected_task_times();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(predictor.task_time_cache().stats().misses, misses)
+      << "second sweep must be all hits";
+  EXPECT_GE(predictor.task_time_cache().stats().hits,
+            predictor.node_count());
+}
+
+TEST(PredictorCacheTest, GammaChangeInvalidates) {
+  PerformancePredictor predictor(8, 12.0);
+  predictor.set_params(0, {0.01, 60.0});
+  predictor.expected_task_times();
+  EXPECT_GT(predictor.task_time_cache().size(), 0u);
+
+  // New observed task length moves the running-mean gamma: every cached
+  // key is now unreachable, so the predictor flushes.
+  predictor.record_task_length(20.0);
+  EXPECT_EQ(predictor.task_time_cache().size(), 0u);
+  EXPECT_EQ(predictor.task_time_cache().stats().invalidations, 1u);
+
+  // Values after the flush equal the direct evaluation at the new gamma.
+  EXPECT_EQ(predictor.expected_task_time(0),
+            adapt::avail::expected_task_time({0.01, 60.0},
+                                             predictor.gamma()));
+}
+
+TEST(PredictorCacheTest, SharedCacheIsReusedAcrossPredictors) {
+  TaskTimeCache shared;
+  PerformancePredictor first(4, 12.0);
+  PerformancePredictor second(4, 12.0);
+  first.set_shared_cache(&shared);
+  second.set_shared_cache(&shared);
+  const InterruptionParams p{0.01, 60.0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    first.set_params(i, p);
+    second.set_params(i, p);
+  }
+  first.expected_task_times();
+  const auto misses = shared.stats().misses;
+  second.expected_task_times();  // identical keys -> all hits
+  EXPECT_EQ(shared.stats().misses, misses);
+  EXPECT_GE(shared.stats().hits, 4u);
+
+  // Detaching returns the predictor to its own (empty) cache.
+  second.set_shared_cache(nullptr);
+  EXPECT_EQ(second.task_time_cache().size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare a bench_hotpath JSON report against the committed baseline.
+
+Warn-only by design: perf on shared CI runners is noisy, so a regression
+past the threshold prints a ::warning:: annotation (picked up by GitHub
+Actions) and the script still exits 0. Pass --strict to exit 1 instead,
+for local use on quiet reference hardware.
+
+Metrics are matched by name. Each metric's "better" field says which
+direction is a regression: "lower" (timings), "higher" (throughput), or
+"info" (reported, never compared).
+
+Usage:
+  tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
+                         [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("bench") != "hotpath":
+        raise SystemExit(f"{path}: not a bench_hotpath report")
+    return report.get("mode", "?"), {
+        m["name"]: m for m in report.get("metrics", [])
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression that triggers a warning"
+                             " (default 0.25 = 25%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regression instead of warn-only")
+    args = parser.parse_args()
+
+    base_mode, baseline = load_metrics(args.baseline)
+    cur_mode, current = load_metrics(args.current)
+    if base_mode != cur_mode:
+        print(f"::warning::bench mode mismatch: baseline is {base_mode},"
+              f" current is {cur_mode}; comparison may be meaningless")
+
+    regressions = []
+    for name, base in baseline.items():
+        direction = base.get("better", "info")
+        if direction == "info":
+            continue
+        cur = current.get(name)
+        if cur is None:
+            print(f"::warning::metric {name} missing from {args.current}")
+            continue
+        b, c = float(base["value"]), float(cur["value"])
+        if b == 0:
+            continue
+        # Positive delta = worse, regardless of direction.
+        delta = (c - b) / b if direction == "lower" else (b - c) / b
+        marker = " <-- REGRESSION" if delta > args.threshold else ""
+        print(f"{name:40s} base {b:12.4g}  now {c:12.4g}  "
+              f"{'+' if delta >= 0 else ''}{delta * 100:.1f}% worse"
+              f"{marker}")
+        if delta > args.threshold:
+            regressions.append((name, delta))
+
+    for name, delta in regressions:
+        print(f"::warning::perf regression in {name}: "
+              f"{delta * 100:.1f}% worse than the committed baseline")
+    if regressions:
+        print(f"{len(regressions)} metric(s) regressed past "
+              f"{args.threshold * 100:.0f}% (warn-only"
+              f"{'' if not args.strict else ', strict'})")
+        return 1 if args.strict else 0
+    print("no regressions past threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
