@@ -16,8 +16,15 @@
 // and DESIGN.md §7). Timings are machine-dependent — regenerate the
 // baseline with this binary when reference hardware changes.
 //
-//   ./bench_hotpath [--quick] [--runs R] [--seed S] [--json PATH]
+//   ./bench_hotpath [--quick] [--obs] [--runs R] [--seed S] [--json PATH]
 //                   [--threads T] [--trace PATH] [--metrics]
+//
+// --obs turns the full observability stack on for the simulation and
+// churn measurements (metrics + spans + calibration + 5 s time-series
+// sampling) while keeping metric names unchanged, so CI can run the
+// bench twice and diff the two JSONs with tools/compare_bench.py to
+// bound the enabled-path overhead (warn-only). Without --obs every
+// hook sits on its disabled path, which is the committed baseline.
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -119,7 +126,19 @@ void bench_create_file(std::vector<Metric>& metrics) {
 // 3. Simulator throughput: full map-phase runs on the emulated cluster;
 // the inner loops are the slab-pooled event queue and the span-arena
 // network model.
-void bench_simulation(std::vector<Metric>& metrics, int runs) {
+// With `obs` every collection hook is live: metrics, spans, calibration
+// pairing and 5 s sampling — the enabled-path cost CI bounds warn-only.
+obs::Options obs_stack() {
+  obs::Options obs;
+  obs.metrics = true;
+  obs.spans = true;
+  obs.sample_dt = 5.0;
+  obs.calibration.enabled = true;
+  obs.calibration.per_node = true;
+  return obs;
+}
+
+void bench_simulation(std::vector<Metric>& metrics, int runs, bool obs) {
   cluster::EmulationConfig emu;
   emu.node_count = 256;
   const cluster::Cluster cl = cluster::emulated_cluster(emu);
@@ -129,6 +148,7 @@ void bench_simulation(std::vector<Metric>& metrics, int runs) {
   config.blocks = 5120;
   config.job.gamma = 8.0;
   config.seed = 7;
+  if (obs) config.obs = obs_stack();
   std::uint64_t events = 0;
   double wall = 0.0;
   for (int i = 0; i < runs; ++i) {
@@ -149,7 +169,7 @@ void bench_simulation(std::vector<Metric>& metrics, int runs) {
 // pipeline on. Every dead declaration rebuilds the destination policy
 // (shared TaskTimeCache) and every repair draws through the mask path.
 void bench_churn_recovery(std::vector<Metric>& metrics, int runs,
-                          std::uint64_t seed) {
+                          std::uint64_t seed, bool obs) {
   const std::size_t nodes = 128;
   trace::GeneratorConfig gc;
   gc.node_count = nodes;
@@ -176,6 +196,7 @@ void bench_churn_recovery(std::vector<Metric>& metrics, int runs,
   config.job.churn.departure_rate = 1.0 / 7200.0;
   config.job.churn.dead_timeout = 60.0;
   config.job.churn.rereplication.enabled = true;
+  if (obs) config.obs = obs_stack();
 
   std::uint64_t rereplications = 0;
   double wall = 0.0;
@@ -227,6 +248,7 @@ int main(int argc, char** argv) {
   using namespace adapt;
   const common::Flags flags(argc, argv);
   const bool quick = flags.get_bool("quick", false);
+  const bool obs = flags.get_bool("obs", false);
   const bench::BenchOptions common_opts =
       bench::bench_options(flags, {.runs = 3, .seed = 7});
   const int runs = quick ? 1 : common_opts.runs;
@@ -238,13 +260,14 @@ int main(int argc, char** argv) {
       "Hot-path perf baseline (DESIGN.md §7)",
       std::string("placement draw / create_file / simulation / churn "
                   "recovery; ") +
-          (quick ? "--quick (CI smoke scale)" : "full scale"));
+          (quick ? "--quick (CI smoke scale)" : "full scale") +
+          (obs ? "; full observability stack ON" : ""));
 
   std::vector<Metric> metrics;
   bench_placement_micro(metrics, quick);
   bench_create_file(metrics);
-  bench_simulation(metrics, runs);
-  bench_churn_recovery(metrics, runs, seed);
+  bench_simulation(metrics, runs, obs);
+  bench_churn_recovery(metrics, runs, seed, obs);
   write_json(metrics, quick, options.json_path);
   return 0;
 }

@@ -24,12 +24,22 @@ namespace adapt::bench {
 //   --trace PATH   structured event trace, JSONL, one line per event
 //                  (byte-identical across thread counts)
 //   --metrics      collect metrics and embed them in the --json report
+//   --spans PATH   span profile, JSONL, one line per closed span
+//                  (byte-identical across thread counts)
+//   --span-host    include host-clock ns in the span export (real
+//                  profiling cost; breaks byte-identity, off by default)
+//   --sample-dt S  sample metric time series every S simulated seconds
+//                  and embed per-run sample counts in the --json report
+//   --timeseries PATH  metric time series, JSONL (needs --sample-dt)
+//   --calibrate    track predicted-vs-realized task times + CUSUM drift
 struct RunnerOptions {
   std::size_t threads = 0;
   std::string json_path;
   std::string trace_path;
+  std::string spans_path;
+  std::string timeseries_path;
   bool metrics = false;
-  obs::Options obs;  // derived from trace_path/metrics
+  obs::Options obs;  // derived from the flags above
 };
 
 inline void probe_writable(const std::string& path, const char* flag) {
@@ -54,9 +64,28 @@ inline RunnerOptions runner_options(const common::Flags& flags) {
   if (!options.trace_path.empty()) {
     probe_writable(options.trace_path, "--trace");
   }
+  options.spans_path = flags.get_string("spans", "");
+  if (!options.spans_path.empty()) {
+    probe_writable(options.spans_path, "--spans");
+  }
+  options.timeseries_path = flags.get_string("timeseries", "");
+  if (!options.timeseries_path.empty()) {
+    probe_writable(options.timeseries_path, "--timeseries");
+  }
   options.metrics = flags.get_bool("metrics", false);
   options.obs.trace = !options.trace_path.empty();
   options.obs.metrics = options.metrics;
+  options.obs.spans = !options.spans_path.empty();
+  options.obs.span_host = flags.get_bool("span-host", false);
+  options.obs.sample_dt = flags.get_double("sample-dt", 0.0);
+  options.obs.calibration.enabled = flags.get_bool("calibrate", false);
+  if (options.obs.calibration.enabled) {
+    options.obs.calibration.per_node = true;
+  }
+  if (!options.timeseries_path.empty() && options.obs.sample_dt <= 0.0) {
+    std::fprintf(stderr, "--timeseries requires --sample-dt > 0\n");
+    std::exit(2);
+  }
   return options;
 }
 
@@ -139,6 +168,35 @@ struct ObsSink {
                   static_cast<unsigned long long>(records),
                   static_cast<unsigned long long>(dropped),
                   options.trace_path.c_str());
+    }
+    if (!options.spans_path.empty()) {
+      try {
+        obs::write_spans_jsonl(options.spans_path, runs,
+                               options.obs.span_host);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(1);
+      }
+      std::uint64_t spans = 0;
+      for (const obs::RunObservations& run : runs) spans += run.spans.size();
+      std::printf("wrote %llu span(s) to %s\n",
+                  static_cast<unsigned long long>(spans),
+                  options.spans_path.c_str());
+    }
+    if (!options.timeseries_path.empty()) {
+      try {
+        obs::write_timeseries_jsonl(options.timeseries_path, runs);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(1);
+      }
+      std::uint64_t samples = 0;
+      for (const obs::RunObservations& run : runs) {
+        samples += run.timeseries.times.size();
+      }
+      std::printf("wrote %llu sample(s) to %s\n",
+                  static_cast<unsigned long long>(samples),
+                  options.timeseries_path.c_str());
     }
   }
 };

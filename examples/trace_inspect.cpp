@@ -5,7 +5,14 @@
 // tasks), which can be audited against the JobResult accounting in the
 // matching --json report.
 //
-//   ./trace_inspect <trace.jsonl> [--nodes N] [--runs R]
+// With --spans it additionally (or instead) folds a span-profile stream
+// written by a bench's --spans flag into per-phase self-time tables:
+// simulated seconds attributed to each phase with child time subtracted,
+// so nested spans never double-count.
+//
+//   ./trace_inspect [<trace.jsonl>] [--spans spans.jsonl]
+//                   [--nodes N] [--runs R]
+//     --spans P   fold span-profile JSONL P into per-phase tables
 //     --nodes N   show the N busiest node timelines per run (default 8)
 //     --runs R    inspect only the first R runs (default: all)
 #include <algorithm>
@@ -114,21 +121,72 @@ void print_run(std::uint64_t run_index, const obs::RunObservations& run,
               summary.nodes.size(), timeline.to_string().c_str());
 }
 
+void print_phase_table(const char* title,
+                       const std::vector<obs::PhaseTotals>& phases) {
+  double total_self = 0.0;
+  for (const obs::PhaseTotals& p : phases) total_self += p.self_sim;
+  common::Table table({"phase", "spans", "total (s)", "self (s)",
+                       "self share"});
+  for (const obs::PhaseTotals& p : phases) {
+    table.add_row({p.name, std::to_string(p.count),
+                   common::format_double(p.dur_sim, 3),
+                   common::format_double(p.self_sim, 3),
+                   common::format_percent(
+                       total_self > 0 ? p.self_sim / total_self : 0.0)});
+  }
+  std::printf("%s\n%s", title, table.to_string().c_str());
+}
+
+int inspect_spans(const std::string& path, std::int64_t max_runs) {
+  std::vector<std::vector<obs::SpanRecord>> runs;
+  try {
+    runs = obs::parse_spans_jsonl(read_file(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::size_t spans = 0;
+  std::vector<obs::SpanRecord> all;
+  for (const auto& run : runs) {
+    spans += run.size();
+    all.insert(all.end(), run.begin(), run.end());
+  }
+  std::printf("\n%s: %zu run(s), %zu span(s)\n", path.c_str(),
+              runs.size(), spans);
+  print_phase_table("\nper-phase self time, all runs:",
+                    obs::fold_spans(all));
+  const std::size_t limit =
+      max_runs < 0 ? runs.size()
+                   : std::min(runs.size(), static_cast<std::size_t>(max_runs));
+  if (runs.size() > 1) {
+    for (std::size_t i = 0; i < limit; ++i) {
+      std::printf("\n=== run %zu: %zu span(s) ===\n", i, runs[i].size());
+      print_phase_table("", obs::fold_spans(runs[i]));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace adapt;
   const common::Flags flags(argc, argv);
-  if (flags.positional().size() != 1) {
+  const std::string spans_path = flags.get_string("spans", "");
+  if (flags.positional().size() != 1 &&
+      !(flags.positional().empty() && !spans_path.empty())) {
     std::fprintf(stderr,
-                 "usage: trace_inspect <trace.jsonl> [--nodes N] "
-                 "[--runs R]\n");
+                 "usage: trace_inspect [<trace.jsonl>] "
+                 "[--spans spans.jsonl] [--nodes N] [--runs R]\n");
     return 2;
   }
-  const std::string path = flags.positional()[0];
   const auto show_nodes =
       static_cast<std::size_t>(flags.get_int("nodes", 8));
   const std::int64_t max_runs = flags.get_int("runs", -1);
+  if (flags.positional().empty()) {
+    return inspect_spans(spans_path, max_runs);
+  }
+  const std::string path = flags.positional()[0];
 
   std::vector<obs::RunObservations> runs;
   try {
@@ -154,6 +212,9 @@ int main(int argc, char** argv) {
                    : std::min(runs.size(), static_cast<std::size_t>(max_runs));
   for (std::size_t i = 0; i < limit; ++i) {
     print_run(i, runs[i], show_nodes);
+  }
+  if (!spans_path.empty()) {
+    return inspect_spans(spans_path, max_runs);
   }
   return 0;
 }

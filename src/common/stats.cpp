@@ -57,14 +57,28 @@ double RunningStats::min() const { return min_; }
 double RunningStats::max() const { return max_; }
 double RunningStats::sum() const { return sum_; }
 
-double percentile(std::vector<double> samples, double q) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const double pos = q * static_cast<double>(samples.size() - 1);
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, q);
+}
+
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double>& qs) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(percentile_sorted(samples, q));
+  return out;
 }
 
 Summary summarize(std::vector<double> samples) {
@@ -78,8 +92,10 @@ Summary summarize(std::vector<double> samples) {
   s.cov = rs.coefficient_of_variation();
   s.min = rs.min();
   s.max = rs.max();
-  s.median = percentile(samples, 0.5);
-  s.p95 = percentile(samples, 0.95);
+  std::sort(samples.begin(), samples.end());
+  s.median = percentile_sorted(samples, 0.5);
+  s.p95 = percentile_sorted(samples, 0.95);
+  s.p99 = percentile_sorted(samples, 0.99);
   s.ci95_half_width =
       1.96 * s.stddev / std::sqrt(static_cast<double>(s.count));
   return s;

@@ -46,13 +46,23 @@ struct Summary {
   double max = 0.0;
   double median = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
   double ci95_half_width = 0.0;  // mean +/- this covers ~95%
 };
 
 Summary summarize(std::vector<double> samples);
 
-// Percentile of a sample by linear interpolation; q in [0, 1].
+// Percentile of a sample by linear interpolation; q is clamped to
+// [0, 1]. Sorts a copy — for several quantiles of the same sample use
+// percentiles() (one sort) or percentile_sorted() on presorted data.
 double percentile(std::vector<double> samples, double q);
+
+// Percentile of an already ascending-sorted sample; q clamped to [0, 1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+// All requested quantiles with a single sort; results align with `qs`.
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double>& qs);
 
 // Relative difference |a - b| / max(|a|, |b|, eps).
 double relative_error(double a, double b);

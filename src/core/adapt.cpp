@@ -26,18 +26,27 @@ std::string to_string(PolicyKind kind) {
 placement::PolicyPtr make_policy(
     PolicyKind kind, const std::vector<avail::InterruptionParams>& params,
     double gamma, std::uint64_t blocks, placement::ChainWeighting weighting,
-    avail::TaskTimeCache* task_times) {
+    avail::TaskTimeCache* task_times, obs::SpanProfiler* spans,
+    common::Seconds now) {
   switch (kind) {
     case PolicyKind::kRandom:
       return placement::make_random_policy(params.size());
     case PolicyKind::kAdapt: {
+      if (spans != nullptr) spans->begin("predict", now);
       avail::PerformancePredictor predictor(params.size(), gamma);
       predictor.set_shared_cache(task_times);
       for (std::size_t i = 0; i < params.size(); ++i) {
         predictor.set_params(i, params[i]);
       }
-      return placement::make_adapt_policy(predictor.expected_task_times(),
-                                          blocks, weighting);
+      std::vector<double> expected = predictor.expected_task_times();
+      if (spans != nullptr) {
+        spans->end(now);
+        spans->begin("hash_table_build", now);
+      }
+      placement::PolicyPtr policy =
+          placement::make_adapt_policy(std::move(expected), blocks, weighting);
+      if (spans != nullptr) spans->end(now);
+      return policy;
     }
     case PolicyKind::kNaive:
       return placement::make_naive_policy(params, blocks, weighting);
@@ -87,11 +96,35 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
           ? observe_cluster(cluster, config.observation_window, config.seed)
           : cluster.params();
 
+  // One observability sink of each kind per run, owned here;
+  // single-threaded by design, so runs parallelized by the
+  // ExperimentRunner never share state.
+  std::unique_ptr<obs::SpanProfiler> spans;
+  if (config.obs.spans) spans = std::make_unique<obs::SpanProfiler>();
+  std::unique_ptr<obs::CalibrationTracker> calibration;
+  if (config.obs.calibration.enabled) {
+    calibration =
+        std::make_unique<obs::CalibrationTracker>(config.obs.calibration);
+  }
+
+  if (spans) spans->begin("policy_build", 0.0);
   const placement::PolicyPtr policy = make_policy(
       config.policy, params, config.job.gamma, config.blocks,
-      config.weighting);
+      config.weighting, /*task_times=*/nullptr, spans.get(), 0.0);
   const placement::PolicyPtr random =
       placement::make_random_policy(cluster.size());
+  if (spans) spans->end(0.0);
+
+  if (calibration) {
+    // Pin the E[T_i] quotes the placement policy saw — the predictor's
+    // view over the same `params` (ground truth or heartbeat estimates)
+    // at placement time.
+    avail::PerformancePredictor predictor(params.size(), config.job.gamma);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      predictor.set_params(i, params[i]);
+    }
+    calibration->set_predictions(predictor.expected_task_times());
+  }
 
   hdfs::NameNode::Options options;
   options.fidelity_cap = config.fidelity_cap;
@@ -120,7 +153,7 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
     tracer = std::make_unique<obs::EventTracer>(config.obs.ring_capacity);
     client.set_tracer(tracer.get());
   }
-  if (config.obs.metrics) {
+  if (config.obs.metrics || config.obs.sample_dt > 0.0) {
     metrics = std::make_unique<obs::MetricsRegistry>();
   }
 
@@ -203,10 +236,12 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
   }
 
   common::Rng placement_rng = common::Rng(config.seed).fork(0x91ac);
+  if (spans) spans->begin("load", 0.0);
   const hdfs::FileId file = client.copy_from_local(
       "input", config.blocks, config.replication,
       /*adapt_enabled=*/true, placement_rng, /*now=*/0.0, &result.load,
       filter);
+  if (spans) spans->end(0.0);
 
   result.distribution = namenode.file_distribution(file);
   const std::uint64_t max_blocks =
@@ -222,16 +257,14 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
   if (config.run_reduce) job_config.record_completion_times = true;
   job_config.tracer = tracer.get();
   job_config.metrics = metrics.get();
+  job_config.spans = spans.get();
+  job_config.calibration = calibration.get();
+  job_config.sample_dt = config.obs.sample_dt;
+  if (calibration) job_config.truth_params = cluster.params();
   sim::MapReduceSimulation simulation(cluster, namenode, file, job_config);
+  if (spans) spans->begin("map_phase", 0.0);
   result.job = simulation.run();
-
-  if (tracer) {
-    result.obs.dropped = tracer->dropped();
-    result.obs.records = tracer->take_records();
-  }
-  if (metrics) {
-    result.obs.metrics = metrics->snapshot();
-  }
+  if (spans) spans->end(result.job.elapsed);
 
   if (config.run_reduce) {
     sim::ReduceConfig reduce = config.reduce;
@@ -244,8 +277,23 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
     reduce.initial_down_until = job_config.initial_down_until;
     sim::ReducePhaseSimulation reducer(cluster, result.job.winner_nodes,
                                        reduce);
+    if (spans) spans->begin("reduce_phase", result.job.elapsed);
     result.reduce = reducer.run();
+    if (spans) {
+      spans->end(result.job.elapsed + result.reduce.elapsed);
+    }
   }
+
+  if (tracer) {
+    result.obs.dropped = tracer->dropped();
+    result.obs.records = tracer->take_records();
+  }
+  if (metrics) {
+    result.obs.metrics = metrics->snapshot();
+    result.obs.timeseries = metrics->take_timeseries();
+  }
+  if (spans) result.obs.spans = spans->take_records();
+  if (calibration) result.obs.calibration = calibration->take_snapshot();
   return result;
 }
 

@@ -41,11 +41,16 @@ std::string to_string(PolicyKind kind);
 // `blocks` the table size m. `task_times` optionally memoizes Eq. 5
 // evaluations across calls — repeated policy rebuilds (churn recovery)
 // pass one cache so unchanged (lambda, mu) profiles skip the expm1.
+// With a SpanProfiler the Eq. 5 evaluation ("predict") and the weighted
+// hash-table construction ("hash_table_build") are profiled as nested
+// spans stamped with `now` (setup runs between sim events, so its
+// simulated duration is zero; host time carries the real cost).
 placement::PolicyPtr make_policy(
     PolicyKind kind, const std::vector<avail::InterruptionParams>& params,
     double gamma, std::uint64_t blocks,
     placement::ChainWeighting weighting = placement::ChainWeighting::kPaper,
-    avail::TaskTimeCache* task_times = nullptr);
+    avail::TaskTimeCache* task_times = nullptr,
+    obs::SpanProfiler* spans = nullptr, common::Seconds now = 0.0);
 
 struct ExperimentConfig {
   PolicyKind policy = PolicyKind::kAdapt;

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/jsonfmt.h"
@@ -64,6 +65,15 @@ MetricsRegistry::Id MetricsRegistry::histogram(const std::string& name,
   return static_cast<std::uint32_t>(histograms_.size() - 1);
 }
 
+MetricsRegistry::Id MetricsRegistry::sketch(const std::string& name,
+                                            std::size_t capacity) {
+  for (std::uint32_t i = 0; i < sketches_.size(); ++i) {
+    if (sketches_[i].name == name) return i;
+  }
+  sketches_.push_back(NamedSketch{name, QuantileSketch(capacity)});
+  return static_cast<std::uint32_t>(sketches_.size() - 1);
+}
+
 void MetricsRegistry::observe(Id id, double v) {
   Histogram& h = histograms_[id];
   const auto it = std::lower_bound(h.bounds.begin(), h.bounds.end(), v);
@@ -91,7 +101,56 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
             [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
               return a.name < b.name;
             });
+  snap.sketches.reserve(sketches_.size());
+  for (const NamedSketch& s : sketches_) {
+    snap.sketches.push_back({s.name, s.sketch});
+  }
+  std::sort(snap.sketches.begin(), snap.sketches.end(),
+            [](const SketchSnapshot& a, const SketchSnapshot& b) {
+              return a.name < b.name;
+            });
   return snap;
+}
+
+void MetricsRegistry::sample(common::Seconds t) {
+  RawSample row;
+  row.t = t;
+  row.counter_values.reserve(counters_.size());
+  for (const Scalar& c : counters_) row.counter_values.push_back(c.value);
+  row.gauge_values.reserve(gauges_.size());
+  for (const Scalar& g : gauges_) row.gauge_values.push_back(g.value);
+  samples_.push_back(std::move(row));
+}
+
+TimeSeriesSnapshot MetricsRegistry::take_timeseries() {
+  TimeSeriesSnapshot ts;
+  if (samples_.empty()) return ts;
+  ts.times.reserve(samples_.size());
+  for (const RawSample& row : samples_) ts.times.push_back(row.t);
+
+  // One column per scalar series; rows taken before a series was
+  // registered pad with 0.
+  const auto column = [&](std::size_t idx, bool is_counter) {
+    std::vector<double> col;
+    col.reserve(samples_.size());
+    for (const RawSample& row : samples_) {
+      const std::vector<double>& values =
+          is_counter ? row.counter_values : row.gauge_values;
+      col.push_back(idx < values.size() ? values[idx] : 0.0);
+    }
+    return col;
+  };
+  ts.series.reserve(counters_.size() + gauges_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    ts.series.emplace_back(counters_[i].name, column(i, true));
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    ts.series.emplace_back(gauges_[i].name, column(i, false));
+  }
+  std::sort(ts.series.begin(), ts.series.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  samples_.clear();
+  return ts;
 }
 
 std::vector<double> MetricsRegistry::exponential_bounds(double start,
@@ -106,6 +165,23 @@ std::vector<double> MetricsRegistry::exponential_bounds(double start,
   for (std::size_t i = 0; i < count; ++i) {
     bounds.push_back(b);
     b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> MetricsRegistry::log_bounds(double lo, double hi,
+                                                std::size_t count) {
+  if (!(lo > 0.0) || !(hi > lo) || count < 2) {
+    throw std::invalid_argument(
+        "metrics: log bounds need 0 < lo < hi and count >= 2");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  const double ratio = hi / lo;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double frac =
+        static_cast<double>(i) / static_cast<double>(count - 1);
+    bounds.push_back(i + 1 == count ? hi : lo * std::pow(ratio, frac));
   }
   return bounds;
 }
@@ -165,6 +241,19 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
     it->total += h.total;
     it->sum += h.sum;
   }
+  for (const SketchSnapshot& s : other.sketches) {
+    auto it = std::find_if(
+        sketches.begin(), sketches.end(),
+        [&](const SketchSnapshot& mine) { return mine.name == s.name; });
+    if (it == sketches.end()) {
+      const auto pos = std::find_if(
+          sketches.begin(), sketches.end(),
+          [&](const SketchSnapshot& mine) { return mine.name > s.name; });
+      sketches.insert(pos, s);
+      continue;
+    }
+    it->sketch.merge(s.sketch);  // throws on capacity mismatch
+  }
 }
 
 void MetricsSnapshot::append_json(std::string& out,
@@ -192,6 +281,19 @@ void MetricsSnapshot::append_json(std::string& out,
     out += ", \"sum\": " + json_number(h.sum) + "}";
   }
   out += histograms.empty() ? "]\n" : "\n" + indent + "  ]\n";
+  if (!sketches.empty()) {
+    // Trailing-key form so pre-sketch outputs stay byte-identical.
+    out.back() = ',';
+    out += "\n" + indent + "  \"sketches\": [";
+    for (std::size_t i = 0; i < sketches.size(); ++i) {
+      out += i > 0 ? ",\n" : "\n";
+      out += indent + "    {\"name\": \"" + json_escape(sketches[i].name) +
+             "\", \"summary\": ";
+      sketches[i].sketch.append_json(out);
+      out += "}";
+    }
+    out += "\n" + indent + "  ]\n";
+  }
   out += indent + "}";
 }
 

@@ -19,6 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "common/units.h"
+#include "obs/quantile_sketch.h"
+
 namespace adapt::obs {
 
 struct HistogramSnapshot {
@@ -31,24 +34,46 @@ struct HistogramSnapshot {
   double sum = 0.0;
 };
 
+struct SketchSnapshot {
+  std::string name;
+  QuantileSketch sketch;
+};
+
+// Metric trajectories: one row per sample() call, one column per scalar
+// series (counters and gauges together, name-sorted). Columns are
+// aligned with `times`; series registered after a sample was taken pad
+// the earlier rows with 0.
+struct TimeSeriesSnapshot {
+  std::vector<common::Seconds> times;
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+
+  bool empty() const { return times.empty(); }
+};
+
 // A frozen copy of a registry's state; mergeable across runs.
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, double>> counters;  // sorted by name
   std::vector<std::pair<std::string, double>> gauges;    // sorted by name
   std::vector<HistogramSnapshot> histograms;             // sorted by name
+  std::vector<SketchSnapshot> sketches;                  // sorted by name
 
   bool empty() const {
-    return counters.empty() && gauges.empty() && histograms.empty();
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           sketches.empty();
   }
 
   // Merge another run into this one: counters and histogram buckets add
   // up; gauges keep the maximum (they record run-level quantities like
-  // elapsed time, where the max across runs is the useful aggregate).
-  // Histograms with the same name must share a bucket layout.
+  // elapsed time, where the max across runs is the useful aggregate);
+  // sketches merge (same capacity required — mirrors the histogram
+  // layout rule). Histograms with the same name must share a bucket
+  // layout.
   void merge(const MetricsSnapshot& other);
 
   // Deterministic JSON object ({"counters": {...}, "gauges": {...},
-  // "histograms": [...]}), appended to `out`.
+  // "histograms": [...]}), appended to `out`. A "sketches" key follows
+  // "histograms" only when sketches exist, so pre-sketch outputs stay
+  // byte-identical.
   void append_json(std::string& out, const std::string& indent) const;
 };
 
@@ -62,17 +87,34 @@ class MetricsRegistry {
   Id counter(const std::string& name);
   Id gauge(const std::string& name);
   Id histogram(const std::string& name, std::vector<double> bounds);
+  Id sketch(const std::string& name,
+            std::size_t capacity = QuantileSketch::kDefaultCapacity);
 
   void add(Id id, double v = 1.0) { counters_[id].value += v; }
   void set(Id id, double v) { gauges_[id].value = v; }
   void observe(Id id, double v);
+  void sketch_observe(Id id, double v) { sketches_[id].sketch.observe(v); }
 
   MetricsSnapshot snapshot() const;
+
+  // Record one time-series row: the current value of every registered
+  // counter and gauge, stamped with simulated time `t`.
+  void sample(common::Seconds t);
+
+  // Materialize and drain the sampled rows (empty if sample() was never
+  // called).
+  TimeSeriesSnapshot take_timeseries();
 
   // Helper for a deterministic fixed layout: `count` bounds starting at
   // `start`, each `factor` times the previous.
   static std::vector<double> exponential_bounds(double start, double factor,
                                                 std::size_t count);
+
+  // `count` log-spaced bounds from `lo` to `hi` inclusive — the right
+  // shape for heavy-tailed durations, where a fixed linear layout clips
+  // the tail into the overflow bucket. Requires 0 < lo < hi, count >= 2.
+  static std::vector<double> log_bounds(double lo, double hi,
+                                        std::size_t count);
 
  private:
   struct Scalar {
@@ -87,9 +129,21 @@ class MetricsRegistry {
     double sum = 0.0;
   };
 
+  struct NamedSketch {
+    std::string name;
+    QuantileSketch sketch;
+  };
+  struct RawSample {
+    common::Seconds t = 0.0;
+    std::vector<double> counter_values;
+    std::vector<double> gauge_values;
+  };
+
   std::vector<Scalar> counters_;
   std::vector<Scalar> gauges_;
   std::vector<Histogram> histograms_;
+  std::vector<NamedSketch> sketches_;
+  std::vector<RawSample> samples_;
 };
 
 // Merge per-run snapshots in run order (deterministic for any thread

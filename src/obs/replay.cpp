@@ -151,6 +151,13 @@ ReplaySummary replay(const std::vector<TraceRecord>& records) {
       case EventType::kRereplicationGiveup:
         ++out.rereplication_giveups;
         break;
+      case EventType::kPredictorDrift:
+        ++out.drift_alarms;
+        if (r.v1 >= 0.0) {
+          out.drift_latency_sum += r.v1;
+          ++out.drift_latency_count;
+        }
+        break;
       default:
         break;
     }
@@ -385,12 +392,78 @@ std::vector<RunObservations> parse_jsonl(const std::string& text) {
           r.aux = static_cast<std::uint32_t>(as_u64(*v));
         }
         break;
+      case EventType::kPredictorDrift:
+        if (const auto* v = get("score")) r.v0 = as_double(*v);
+        if (const auto* v = get("latency")) r.v1 = as_double(*v);
+        break;
       default:
         break;
     }
     runs[run].records.push_back(r);
   }
   return runs;
+}
+
+std::vector<std::vector<SpanRecord>> parse_spans_jsonl(
+    const std::string& text) {
+  std::vector<std::vector<SpanRecord>> runs;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    const LineFields fields = parse_line(line, line_no);
+    const std::string* run_str = fields.find("run");
+    const std::string* name = fields.find("span");
+    if (run_str == nullptr || name == nullptr) {
+      throw std::runtime_error("span parse error on line " +
+                               std::to_string(line_no) +
+                               ": missing run/span");
+    }
+    const auto run = static_cast<std::size_t>(as_u64(*run_str));
+    if (runs.size() <= run) runs.resize(run + 1);
+
+    SpanRecord s;
+    s.name = *name;
+    if (const auto* v = fields.find("depth")) {
+      s.depth = static_cast<std::uint32_t>(as_u64(*v));
+    }
+    if (const auto* v = fields.find("t0")) s.start = as_double(*v);
+    if (const auto* v = fields.find("dur")) s.dur_sim = as_double(*v);
+    if (const auto* v = fields.find("self")) s.self_sim = as_double(*v);
+    if (const auto* v = fields.find("host_ns")) s.dur_host_ns = as_u64(*v);
+    if (const auto* v = fields.find("host_self_ns")) {
+      s.self_host_ns = as_u64(*v);
+    }
+    runs[run].push_back(std::move(s));
+  }
+  return runs;
+}
+
+std::vector<PhaseTotals> fold_spans(const std::vector<SpanRecord>& spans) {
+  std::vector<PhaseTotals> out;
+  for (const SpanRecord& s : spans) {
+    auto it = std::find_if(
+        out.begin(), out.end(),
+        [&](const PhaseTotals& p) { return p.name == s.name; });
+    if (it == out.end()) {
+      out.push_back(PhaseTotals{s.name, 0, 0.0, 0.0});
+      it = out.end() - 1;
+    }
+    ++it->count;
+    it->dur_sim += s.dur_sim;
+    it->self_sim += s.self_sim;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PhaseTotals& a, const PhaseTotals& b) {
+              return a.name < b.name;
+            });
+  return out;
 }
 
 }  // namespace adapt::obs

@@ -48,6 +48,11 @@ struct ReplaySummary {
   std::uint64_t rereplication_giveups = 0;
   double rereplication_bytes = 0.0;         // bytes moved by recovery
 
+  // Predictor drift accounting (zero without calibration).
+  std::uint64_t drift_alarms = 0;
+  std::uint64_t drift_latency_count = 0;    // alarms with known latency
+  common::Seconds drift_latency_sum = 0.0;
+
   std::uint64_t count(EventType type) const {
     return event_counts[static_cast<std::size_t>(type)];
   }
@@ -60,5 +65,23 @@ ReplaySummary replay(const std::vector<TraceRecord>& records);
 // indexed by run. {"ev": "dropped"} marker lines set the run's dropped
 // count. Throws std::runtime_error on malformed input.
 std::vector<RunObservations> parse_jsonl(const std::string& text);
+
+// Parse a span stream produced by spans_to_jsonl back into per-run span
+// lists, indexed by run. Host-time fields parse when present and stay
+// zero otherwise. Throws std::runtime_error on malformed input.
+std::vector<std::vector<SpanRecord>> parse_spans_jsonl(
+    const std::string& text);
+
+// Per-phase span totals: fold a run's span records by name.
+struct PhaseTotals {
+  std::string name;
+  std::uint64_t count = 0;
+  common::Seconds dur_sim = 0.0;   // summed span durations
+  common::Seconds self_sim = 0.0;  // summed self-times (no double count)
+};
+
+// Aggregate spans by name, sorted by name — the per-phase self-time
+// table trace_inspect prints.
+std::vector<PhaseTotals> fold_spans(const std::vector<SpanRecord>& spans);
 
 }  // namespace adapt::obs

@@ -1,0 +1,56 @@
+#include "obs/span.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace adapt::obs {
+
+namespace {
+
+std::uint64_t host_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void SpanProfiler::begin(const char* name, common::Seconds sim_now) {
+  open_.push_back(OpenSpan{name, sim_now, host_now_ns()});
+}
+
+void SpanProfiler::end(common::Seconds sim_now) {
+  if (open_.empty()) {
+    throw std::logic_error("span profiler: end() without a matching begin()");
+  }
+  const OpenSpan top = open_.back();
+  open_.pop_back();
+
+  SpanRecord r;
+  r.name = top.name;
+  r.depth = static_cast<std::uint32_t>(open_.size());
+  r.start = top.start_sim;
+  r.dur_sim = sim_now - top.start_sim;
+  r.self_sim = r.dur_sim - top.child_sim;
+  const std::uint64_t host_end = host_now_ns();
+  r.dur_host_ns = host_end - top.start_host_ns;
+  r.self_host_ns = r.dur_host_ns - top.child_host_ns;
+
+  if (!open_.empty()) {
+    open_.back().child_sim += r.dur_sim;
+    open_.back().child_host_ns += r.dur_host_ns;
+  }
+  records_.push_back(std::move(r));
+}
+
+std::vector<SpanRecord> SpanProfiler::take_records() {
+  if (!open_.empty()) {
+    throw std::logic_error("span profiler: take_records() with open spans");
+  }
+  std::vector<SpanRecord> out;
+  out.swap(records_);
+  return out;
+}
+
+}  // namespace adapt::obs

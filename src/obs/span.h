@@ -1,0 +1,70 @@
+// Nested span profiler: where the event tracer answers "what happened",
+// spans answer "where did the time go" — placement build, hash-table
+// construction, heartbeat sweeps, re-replication batches, the reduce
+// phase — as a begin/end nesting recorded in both simulated time and
+// host (wall-clock) time.
+//
+// The disabled path matches EventTracer: instrumented code holds a
+// `SpanProfiler*` that is null when profiling is off, so every site is a
+// single predictable branch. Spans are explicit begin/end pairs rather
+// than RAII guards because the simulated clock lives in the event queue;
+// a destructor has no way to read "sim now".
+//
+// Determinism contract: simulated-time fields are a pure function of the
+// event stream, so the span JSONL export is byte-identical across
+// `--threads` values. Host-time fields are measured with
+// std::chrono::steady_clock and are inherently nondeterministic; they
+// are always recorded but only serialized when the caller opts in
+// (`include_host`), keeping the default export byte-comparable in CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace adapt::obs {
+
+// One closed span. `self_*` durations subtract the time spent in child
+// spans, so a per-phase table can sum self-times without double counting.
+struct SpanRecord {
+  std::string name;
+  std::uint32_t depth = 0;          // 0 = top-level
+  common::Seconds start = 0.0;      // sim time at begin()
+  common::Seconds dur_sim = 0.0;    // sim time between begin() and end()
+  common::Seconds self_sim = 0.0;   // dur_sim minus child span durations
+  std::uint64_t dur_host_ns = 0;    // host time between begin() and end()
+  std::uint64_t self_host_ns = 0;   // dur_host_ns minus child durations
+};
+
+class SpanProfiler {
+ public:
+  // Open a span. `name` must outlive the call (string literals at the
+  // instrumentation sites). Spans must be strictly nested.
+  void begin(const char* name, common::Seconds sim_now);
+
+  // Close the innermost open span. Throws std::logic_error if no span
+  // is open (an unbalanced instrumentation site is a bug, not data).
+  void end(common::Seconds sim_now);
+
+  std::size_t open_depth() const { return open_.size(); }
+
+  // Closed spans in close order (children before their parent), leaving
+  // the profiler empty. Throws std::logic_error if spans are still open.
+  std::vector<SpanRecord> take_records();
+
+ private:
+  struct OpenSpan {
+    const char* name;
+    common::Seconds start_sim;
+    std::uint64_t start_host_ns;
+    common::Seconds child_sim = 0.0;  // accumulated child durations
+    std::uint64_t child_host_ns = 0;
+  };
+
+  std::vector<OpenSpan> open_;
+  std::vector<SpanRecord> records_;
+};
+
+}  // namespace adapt::obs

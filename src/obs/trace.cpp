@@ -65,6 +65,8 @@ const char* to_string(EventType type) {
       return "rereplication_retry";
     case EventType::kRereplicationGiveup:
       return "rereplication_giveup";
+    case EventType::kPredictorDrift:
+      return "predictor_drift";
   }
   return "?";
 }
@@ -220,6 +222,11 @@ void append_jsonl(std::string& out, std::uint64_t run_index,
       out += ", \"block\": " + std::to_string(r.task) +
              ", \"attempts\": " + std::to_string(r.aux);
       break;
+    case EventType::kPredictorDrift:
+      out += ", \"node\": " + std::to_string(r.node) +
+             ", \"score\": " + json_number(r.v0) +
+             ", \"latency\": " + json_number(r.v1);
+      break;
   }
   out += "}";
 }
@@ -240,19 +247,76 @@ std::string to_jsonl(const std::vector<RunObservations>& runs) {
   return out;
 }
 
-void write_jsonl(const std::string& path,
-                 const std::vector<RunObservations>& runs) {
+namespace {
+
+void write_text(const std::string& path, const std::string& text) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     throw std::runtime_error("trace: cannot open " + path);
   }
-  const std::string text = to_jsonl(runs);
   const std::size_t written =
       std::fwrite(text.data(), 1, text.size(), file);
   const int close_rc = std::fclose(file);
   if (written != text.size() || close_rc != 0) {
     throw std::runtime_error("trace: short write to " + path);
   }
+}
+
+}  // namespace
+
+void write_jsonl(const std::string& path,
+                 const std::vector<RunObservations>& runs) {
+  write_text(path, to_jsonl(runs));
+}
+
+std::string spans_to_jsonl(const std::vector<RunObservations>& runs,
+                           bool include_host) {
+  std::string out;
+  for (std::size_t run = 0; run < runs.size(); ++run) {
+    for (const SpanRecord& s : runs[run].spans) {
+      out += "{\"run\": " + std::to_string(run) + ", \"span\": \"" +
+             common::json_escape(s.name) +
+             "\", \"depth\": " + std::to_string(s.depth) +
+             ", \"t0\": " + json_number(s.start) +
+             ", \"dur\": " + json_number(s.dur_sim) +
+             ", \"self\": " + json_number(s.self_sim);
+      if (include_host) {
+        out += ", \"host_ns\": " + std::to_string(s.dur_host_ns) +
+               ", \"host_self_ns\": " + std::to_string(s.self_host_ns);
+      }
+      out += "}\n";
+    }
+  }
+  return out;
+}
+
+void write_spans_jsonl(const std::string& path,
+                       const std::vector<RunObservations>& runs,
+                       bool include_host) {
+  write_text(path, spans_to_jsonl(runs, include_host));
+}
+
+std::string timeseries_to_jsonl(const std::vector<RunObservations>& runs) {
+  std::string out;
+  for (std::size_t run = 0; run < runs.size(); ++run) {
+    const TimeSeriesSnapshot& ts = runs[run].timeseries;
+    for (std::size_t row = 0; row < ts.times.size(); ++row) {
+      out += "{\"run\": " + std::to_string(run) +
+             ", \"t\": " + json_number(ts.times[row]) + ", \"series\": {";
+      for (std::size_t col = 0; col < ts.series.size(); ++col) {
+        if (col > 0) out += ", ";
+        out += "\"" + common::json_escape(ts.series[col].first) +
+               "\": " + json_number(ts.series[col].second[row]);
+      }
+      out += "}}\n";
+    }
+  }
+  return out;
+}
+
+void write_timeseries_jsonl(const std::string& path,
+                            const std::vector<RunObservations>& runs) {
+  write_text(path, timeseries_to_jsonl(runs));
 }
 
 }  // namespace adapt::obs

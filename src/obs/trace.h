@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/calibration.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace adapt::obs {
 
@@ -45,8 +47,11 @@ enum class EventType : std::uint8_t {
   kRereplicationDone,   // re-replication transfer landed (v0 = bytes)
   kRereplicationRetry,  // transfer failed; backing off (v0 = next try)
   kRereplicationGiveup, // retry budget exhausted (aux = attempts)
+  // -- calibration --
+  kPredictorDrift,      // CUSUM alarm: estimate departed from ground
+                        // truth (v0 = score, v1 = detection latency or -1)
 };
-inline constexpr std::size_t kEventTypeCount = 20;
+inline constexpr std::size_t kEventTypeCount = 21;
 
 // Why an attempt/transfer was killed; mirrors the simulator's kill paths.
 enum class TraceReason : std::uint8_t {
@@ -105,8 +110,14 @@ struct RunObservations {
   std::vector<TraceRecord> records;
   std::uint64_t dropped = 0;
   MetricsSnapshot metrics;
+  std::vector<SpanRecord> spans;
+  TimeSeriesSnapshot timeseries;
+  CalibrationSnapshot calibration;
 
-  bool empty() const { return records.empty() && metrics.empty(); }
+  bool empty() const {
+    return records.empty() && metrics.empty() && spans.empty() &&
+           timeseries.empty() && calibration.empty();
+  }
 };
 
 // Observability knobs carried by experiment configs. Everything is off
@@ -114,9 +125,16 @@ struct RunObservations {
 struct Options {
   bool trace = false;    // collect trace records
   bool metrics = false;  // collect metrics
+  bool spans = false;    // collect profiler spans
+  bool span_host = false;  // include (nondeterministic) host time in exports
+  common::Seconds sample_dt = 0.0;  // >0: sample metric time-series
+  CalibrationOptions calibration;   // prediction calibration / drift
   std::size_t ring_capacity = EventTracer::kDefaultCapacity;
 
-  bool enabled() const { return trace || metrics; }
+  bool enabled() const {
+    return trace || metrics || spans || sample_dt > 0.0 ||
+           calibration.enabled;
+  }
 };
 
 // One record as a JSONL line (no trailing newline), prefixed with the
@@ -131,5 +149,21 @@ std::string to_jsonl(const std::vector<RunObservations>& runs);
 // Write to_jsonl(runs) to `path`; throws std::runtime_error on failure.
 void write_jsonl(const std::string& path,
                  const std::vector<RunObservations>& runs);
+
+// Span stream, one JSONL line per closed span in close order:
+// {"run": N, "span": "...", "depth": D, "t0": ..., "dur": ...,
+//  "self": ...} — plus "host_ns"/"host_self_ns" when `include_host`
+// (host time is nondeterministic, so CI byte-compares leave it off).
+std::string spans_to_jsonl(const std::vector<RunObservations>& runs,
+                           bool include_host);
+void write_spans_jsonl(const std::string& path,
+                       const std::vector<RunObservations>& runs,
+                       bool include_host);
+
+// Time-series stream, one JSONL line per sample:
+// {"run": N, "t": ..., "series": {"name": value, ...}} (name-sorted).
+std::string timeseries_to_jsonl(const std::vector<RunObservations>& runs);
+void write_timeseries_jsonl(const std::string& path,
+                            const std::vector<RunObservations>& runs);
 
 }  // namespace adapt::obs

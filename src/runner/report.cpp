@@ -73,14 +73,29 @@ void Report::set_observability(
   obs_records_.clear();
   obs_dropped_.clear();
   obs_replays_.clear();
-  for (const obs::RunObservations& run : runs) {
+  obs_span_counts_.clear();
+  obs_sample_counts_.clear();
+  obs_calibrations_.clear();
+  bool any_spans = false;
+  bool any_samples = false;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const obs::RunObservations& run = runs[i];
     obs_metrics_.merge(run.metrics);
     obs_records_.push_back(run.records.size());
     obs_dropped_.push_back(run.dropped);
     if (!run.records.empty()) {
       obs_replays_.push_back(obs::replay(run.records));
     }
+    obs_span_counts_.push_back(run.spans.size());
+    obs_sample_counts_.push_back(run.timeseries.times.size());
+    any_spans = any_spans || !run.spans.empty();
+    any_samples = any_samples || !run.timeseries.empty();
+    if (!run.calibration.empty()) {
+      obs_calibrations_.emplace_back(i, run.calibration);
+    }
   }
+  if (!any_spans) obs_span_counts_.clear();
+  if (!any_samples) obs_sample_counts_.clear();
 }
 
 std::string Report::to_json() const {
@@ -125,7 +140,36 @@ std::string Report::to_json() const {
       }
       out += "]}";
     }
-    out += obs_replays_.empty() ? "]\n  }" : "\n    ]\n  }";
+    out += obs_replays_.empty() ? "]" : "\n    ]";
+    if (!obs_span_counts_.empty()) {
+      out += ",\n    \"spans\": [";
+      for (std::size_t i = 0; i < obs_span_counts_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(obs_span_counts_[i]);
+      }
+      out += "]";
+    }
+    if (!obs_sample_counts_.empty()) {
+      out += ",\n    \"samples\": [";
+      for (std::size_t i = 0; i < obs_sample_counts_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(obs_sample_counts_[i]);
+      }
+      out += "]";
+    }
+    if (!obs_calibrations_.empty()) {
+      out += ",\n    \"calibration\": [";
+      for (std::size_t i = 0; i < obs_calibrations_.size(); ++i) {
+        out += i > 0 ? ",\n" : "\n";
+        out += "      {\"run\": " +
+               std::to_string(obs_calibrations_[i].first) +
+               ", \"summary\": ";
+        obs_calibrations_[i].second.append_json(out);
+        out += "}";
+      }
+      out += "\n    ]";
+    }
+    out += "\n  }";
   }
   out += ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows_.size(); ++i) {

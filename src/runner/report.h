@@ -33,7 +33,11 @@ class Report {
 
   // Attach per-run observations (from ExperimentRunner). Emits an
   // "observability" object: merged metrics plus per-run record counts
-  // and trace overhead summary. Deterministic like the rest: runs are
+  // and trace overhead summary. Runs that carried spans, time-series
+  // samples or calibration data additionally get "spans" (per-run span
+  // counts), "samples" (per-run sample counts) and "calibration"
+  // (per-run snapshot) keys — omitted entirely otherwise so pre-existing
+  // outputs stay byte-identical. Deterministic like the rest: runs are
   // already in job order, metrics snapshots are name-sorted.
   void set_observability(const std::vector<obs::RunObservations>& runs);
 
@@ -64,6 +68,13 @@ class Report {
   std::vector<std::uint64_t> obs_dropped_;    // per run
   // Replayed per-node timelines, one summary per traced run.
   std::vector<obs::ReplaySummary> obs_replays_;
+  // Per-run span record and time-series sample counts (the full streams
+  // go to JSONL side files); all-zero vectors are not emitted.
+  std::vector<std::uint64_t> obs_span_counts_;
+  std::vector<std::uint64_t> obs_sample_counts_;
+  // (run index, snapshot) for runs that tracked calibration.
+  std::vector<std::pair<std::size_t, obs::CalibrationSnapshot>>
+      obs_calibrations_;
 };
 
 }  // namespace adapt::runner

@@ -105,7 +105,33 @@ MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
     hist_wait_ = config_.metrics->histogram(
         "net.admission_wait_s",
         obs::MetricsRegistry::exponential_bounds(0.5, 2.0, 14));
+    // Realized task completion times are heavy-tailed (a single outage
+    // multiplies them); log-spaced bounds keep the tail out of the
+    // overflow bucket.
+    hist_task_time_ = config_.metrics->histogram(
+        "sim.task_completion_s",
+        obs::MetricsRegistry::log_bounds(8.0, 8192.0, 21));
+    if (config_.sample_dt > 0.0) {
+      gauge_nodes_up_ = config_.metrics->gauge("sim.nodes_up");
+      gauge_tasks_done_ = config_.metrics->gauge("sim.tasks_done");
+      gauge_attempts_running_ =
+          config_.metrics->gauge("sim.attempts_running");
+      if (config_.churn.enabled) {
+        gauge_under_replicated_ =
+            config_.metrics->gauge("sim.under_replicated");
+      }
+      if (config_.calibration != nullptr) {
+        gauge_cal_ratio_ = config_.metrics->gauge("calibration.ratio");
+      }
+    }
+    if (config_.calibration != nullptr) {
+      ctr_drift_alarms_ = config_.metrics->counter("calibration.drift_alarms");
+    }
   }
+  if (config_.metrics != nullptr || config_.calibration != nullptr) {
+    task_first_start_.assign(board_.task_count(), -1.0);
+  }
+  departed_at_.assign(node_state_.size(), -1.0);
 
   if (config_.origin_fetch_delay >= 0) {
     origin_delay_ = config_.origin_fetch_delay;
@@ -158,6 +184,7 @@ void MapReduceSimulation::init_churn() {
       [this](cluster::NodeIndex n) { return node_state_[n].up; });
   rereplicator_->set_tracer(config_.tracer);
   rereplicator_->set_metrics(config_.metrics);
+  rereplicator_->set_spans(config_.spans, &queue_);
   rereplicator_->set_on_replicated(
       [this](hdfs::BlockId block, cluster::NodeIndex dst) {
         on_block_replicated(block, dst);
@@ -167,6 +194,7 @@ void MapReduceSimulation::init_churn() {
 
 void MapReduceSimulation::refresh_policy() {
   if (!rereplicator_) return;
+  span_begin("policy_refresh");
   placement::PolicyPtr policy;
   if (config_.churn.policy_factory) {
     policy = config_.churn.policy_factory(collector_->estimates(queue_.now()));
@@ -174,6 +202,7 @@ void MapReduceSimulation::refresh_policy() {
     policy = placement::make_random_policy(node_state_.size());
   }
   rereplicator_->set_policy(std::move(policy));
+  span_end();
 }
 
 std::optional<TaskId> MapReduceSimulation::task_of(
@@ -293,6 +322,74 @@ void MapReduceSimulation::on_block_replicated(hdfs::BlockId block,
   }
 }
 
+// ---------------------------------------------------------------------
+// Time-series sampling & calibration
+// ---------------------------------------------------------------------
+
+void MapReduceSimulation::on_sample() {
+  span_begin("heartbeat_sweep");
+  const common::Seconds now = queue_.now();
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    std::size_t up = 0;
+    for (const NodeState& ns : node_state_) up += ns.up ? 1u : 0u;
+    m.set(gauge_nodes_up_, static_cast<double>(up));
+    m.set(gauge_tasks_done_, static_cast<double>(board_.done_count()));
+    m.set(gauge_attempts_running_, static_cast<double>(running_.size()));
+    if (rereplicator_) {
+      m.set(gauge_under_replicated_,
+            static_cast<double>(rereplicator_->backlog()));
+    }
+    if (config_.calibration != nullptr) {
+      m.set(gauge_cal_ratio_, config_.calibration->cluster_ratio());
+    }
+  }
+  if (config_.calibration != nullptr && collector_ &&
+      !config_.truth_params.empty()) {
+    const std::vector<avail::InterruptionParams> est =
+        collector_->estimates(now);
+    const std::size_t n = std::min(est.size(), config_.truth_params.size());
+    std::vector<double> lambda_hat(n);
+    std::vector<double> mu_hat(n);
+    std::vector<double> lambda_truth(n);
+    std::vector<double> mu_truth(n);
+    std::vector<common::Seconds> changed(n, -1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      lambda_hat[i] = est[i].lambda;
+      mu_hat[i] = est[i].mu;
+      lambda_truth[i] = config_.truth_params[i].lambda;
+      mu_truth[i] = config_.truth_params[i].mu;
+      changed[i] = departed_at_[i];
+    }
+    const std::vector<obs::DriftAlarm> alarms =
+        config_.calibration->cusum_step(now, lambda_hat, mu_hat,
+                                        lambda_truth, mu_truth, changed);
+    for (const obs::DriftAlarm& alarm : alarms) {
+      obs::TraceRecord r;
+      r.type = obs::EventType::kPredictorDrift;
+      r.node = alarm.node;
+      r.v0 = alarm.score;
+      r.v1 = alarm.latency;
+      trace(r);
+      if (config_.metrics != nullptr) {
+        config_.metrics->add(ctr_drift_alarms_);
+      }
+    }
+  }
+  if (config_.metrics != nullptr) config_.metrics->sample(now);
+  span_end();
+  // Keep ticking unless the whole pool permanently departed — then the
+  // queue must be allowed to drain so run() can declare no_live_nodes
+  // instead of sampling forever.
+  if (!(collector_ && injector_.departures() >= node_state_.size())) {
+    queue_.schedule(now + config_.sample_dt, [this] { on_sample(); });
+  }
+}
+
+void MapReduceSimulation::on_node_departed(cluster::NodeIndex node) {
+  departed_at_[node] = queue_.now();
+}
+
 JobResult MapReduceSimulation::run() {
   result_ = JobResult{};
   result_.tasks = board_.task_count();
@@ -315,6 +412,10 @@ JobResult MapReduceSimulation::run() {
       if (node_state_[i].up) dispatch(i);
     }
   });
+  if (config_.sample_dt > 0.0 &&
+      (config_.metrics != nullptr || config_.calibration != nullptr)) {
+    queue_.schedule(config_.sample_dt, [this] { on_sample(); });
+  }
 
   const bool done = queue_.run_until([this] {
     return board_.done_count() + tasks_lost_ >= board_.task_count();
@@ -675,6 +776,9 @@ void MapReduceSimulation::start_attempt(TaskId task, cluster::NodeIndex node,
   ++result_.attempts_started;
 
   const common::Seconds now = queue_.now();
+  if (!task_first_start_.empty() && task_first_start_[task] < 0.0) {
+    task_first_start_[task] = now;
+  }
   if (a.local) {
     a.exec_start = now;
     a.nominal_end = now + config_.gamma;
@@ -767,6 +871,19 @@ void MapReduceSimulation::on_attempt_complete(AttemptId id) {
   if (config_.record_completion_times) {
     result_.completion_times[task] = queue_.now();
     result_.winner_nodes[task] = node;
+  }
+  if (!task_first_start_.empty() && task_first_start_[task] >= 0.0) {
+    // Realized completion time: winning finish minus the task's
+    // first-ever attempt start, attributed to the winning node (an
+    // approximation when a speculative duplicate wins, documented in
+    // DESIGN.md §6d).
+    const common::Seconds realized = queue_.now() - task_first_start_[task];
+    if (config_.metrics != nullptr) {
+      config_.metrics->observe(hist_task_time_, realized);
+    }
+    if (config_.calibration != nullptr) {
+      config_.calibration->record_completion(node, realized);
+    }
   }
   for (const cluster::NodeIndex home : board_.home_nodes(task)) {
     NodeState& hs = node_state_[home];

@@ -109,6 +109,7 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
   // InterruptionInjector::Listener
   void on_node_down(cluster::NodeIndex node) override;
   void on_node_up(cluster::NodeIndex node) override;
+  void on_node_departed(cluster::NodeIndex node) override;
 
  private:
   MapReduceSimulation(const cluster::Cluster& cluster,
@@ -141,6 +142,12 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
   void on_block_replicated(hdfs::BlockId block, cluster::NodeIndex dst);
   // Map task of `block` (nullopt for blocks of other files).
   std::optional<TaskId> task_of(hdfs::BlockId block) const;
+
+  // -- time-series sampling & calibration ----------------------------
+  // Fires every config_.sample_dt simulated seconds: snapshots the
+  // sampler gauges into the metric time-series and steps the
+  // calibration CUSUM drift detector.
+  void on_sample();
 
  private:
   using AttemptId = std::uint32_t;
@@ -256,10 +263,34 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
     }
   }
 
+  // Span hooks: one predictable branch each when profiling is off.
+  void span_begin(const char* name) {
+    if (config_.spans != nullptr) config_.spans->begin(name, queue_.now());
+  }
+  void span_end() {
+    if (config_.spans != nullptr) config_.spans->end(queue_.now());
+  }
+
   // Pre-registered histogram ids, valid only when config_.metrics is set.
   obs::MetricsRegistry::Id hist_transfer_ = 0;
   obs::MetricsRegistry::Id hist_outage_ = 0;
   obs::MetricsRegistry::Id hist_wait_ = 0;
+  obs::MetricsRegistry::Id hist_task_time_ = 0;
+  // Sampler series ids, valid only when sampling is armed.
+  obs::MetricsRegistry::Id gauge_nodes_up_ = 0;
+  obs::MetricsRegistry::Id gauge_tasks_done_ = 0;
+  obs::MetricsRegistry::Id gauge_attempts_running_ = 0;
+  obs::MetricsRegistry::Id gauge_under_replicated_ = 0;
+  obs::MetricsRegistry::Id gauge_cal_ratio_ = 0;
+  obs::MetricsRegistry::Id ctr_drift_alarms_ = 0;
+
+  // First-ever attempt start per task (realized completion time is
+  // "done minus first start", attributed to the winning node); sized
+  // only when metrics or calibration need it.
+  std::vector<common::Seconds> task_first_start_;
+  // Sim time each node permanently departed (-1 while resident) — the
+  // CUSUM drift detector's ground-truth change points.
+  std::vector<common::Seconds> departed_at_;
 };
 
 // Convenience: board construction input from HDFS metadata.

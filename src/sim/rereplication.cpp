@@ -111,6 +111,13 @@ void ReReplicator::on_node_down(cluster::NodeIndex node) {
 
 void ReReplicator::pump() {
   if (!policy_) return;  // not armed yet
+  const bool profile = spans_ != nullptr && !pending_.empty();
+  if (profile) spans_->begin("rereplication_batch", span_clock_->now());
+  drain();
+  if (profile) spans_->end(span_clock_->now());
+}
+
+void ReReplicator::drain() {
   while (static_cast<int>(in_flight_.size()) < config_.max_concurrent) {
     // Pick the ready block with the fewest live replicas (ties by id).
     const common::Seconds now = queue_.now();

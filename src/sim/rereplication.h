@@ -74,6 +74,12 @@ class ReReplicator {
   void set_on_giveup(BlockFn fn) { on_giveup_ = std::move(fn); }
   void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
   void set_metrics(obs::MetricsRegistry* metrics);
+  // Profile each pump() batch as a "rereplication_batch" span; `clock`
+  // supplies sim time and must outlive the ReReplicator.
+  void set_spans(obs::SpanProfiler* spans, const EventQueue* clock) {
+    spans_ = spans;
+    span_clock_ = clock;
+  }
 
   // Admit a block that dropped below its target replication. Blocks
   // already queued or in flight are ignored; blocks with zero live
@@ -105,8 +111,10 @@ class ReReplicator {
     EventQueue::Handle done;
   };
 
-  // Start transfers while below the concurrency cap and work is ready.
+  // Start transfers while below the concurrency cap and work is ready;
+  // profiled as one "rereplication_batch" span when there is a backlog.
   void pump();
+  void drain();
   bool start_repair(std::size_t pending_index);
   void on_transfer_done(std::uint64_t ticket);
   void fail_transfer(std::size_t index, obs::TraceReason reason);
@@ -137,6 +145,8 @@ class ReReplicator {
   BlockFn on_giveup_;
   obs::EventTracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanProfiler* spans_ = nullptr;
+  const EventQueue* span_clock_ = nullptr;
 
   std::vector<Repair> pending_;
   std::vector<Transfer> in_flight_;

@@ -71,6 +71,9 @@ void SimJobConfig::validate() const {
   if (speculation) check_speculation_slack(speculation_slack);
   check_max_concurrent_attempts(max_concurrent_attempts);
   check_transfer_stall_timeout(transfer_stall_timeout);
+  if (sample_dt < 0 || !std::isfinite(sample_dt)) {
+    throw ConfigError("sample_dt", "must be >= 0 and finite");
+  }
   if (churn.enabled) {
     check_departure_rate(churn.departure_rate);
     for (const double rate : churn.departure_rates) {

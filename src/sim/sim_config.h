@@ -114,6 +114,14 @@ struct SimJobConfig {
   // instrumented site is a single null check on the disabled path.
   obs::EventTracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  obs::SpanProfiler* spans = nullptr;
+  obs::CalibrationTracker* calibration = nullptr;
+  // > 0 (and metrics set): sample the metric time-series every this many
+  // simulated seconds; the calibration CUSUM steps on the same cadence.
+  common::Seconds sample_dt = 0.0;
+  // Ground truth the calibration drift detector compares estimates to
+  // (per-node injector parameters); empty = skip CUSUM stepping.
+  std::vector<avail::InterruptionParams> truth_params;
 
   // Throws ConfigError on the first out-of-range field. The simulation
   // constructor calls this, so hand-filled aggregates are still checked;

@@ -4,8 +4,11 @@
 // across worker-thread counts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cluster/topology.h"
@@ -99,6 +102,129 @@ TEST(Metrics, ExponentialBoundsValidated) {
                std::invalid_argument);
   EXPECT_THROW(obs::MetricsRegistry::exponential_bounds(1.0, 1.0, 4),
                std::invalid_argument);
+}
+
+TEST(Metrics, MergeMaxesNegativeGauges) {
+  // Gauge merge takes the maximum; that must hold below zero too (a
+  // gauge of -2 beats -5, and merging must not treat 0 as a floor).
+  obs::MetricsRegistry a;
+  a.set(a.gauge("depth"), -5.0);
+  obs::MetricsRegistry b;
+  b.set(b.gauge("depth"), -2.0);
+  obs::MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges[0].second, -2.0);
+}
+
+TEST(Metrics, MergeEmptyWithNonEmpty) {
+  obs::MetricsRegistry reg;
+  reg.add(reg.counter("n"), 3.0);
+  reg.observe(reg.histogram("h", {1.0, 2.0}), 1.5);
+
+  obs::MetricsSnapshot empty_lhs;  // default-constructed: no series
+  empty_lhs.merge(reg.snapshot());
+  ASSERT_EQ(empty_lhs.counters.size(), 1u);
+  EXPECT_DOUBLE_EQ(empty_lhs.counters[0].second, 3.0);
+  ASSERT_EQ(empty_lhs.histograms.size(), 1u);
+  EXPECT_EQ(empty_lhs.histograms[0].total, 1u);
+
+  obs::MetricsSnapshot nonempty = reg.snapshot();
+  nonempty.merge(obs::MetricsSnapshot{});  // absorbing empty is a no-op
+  ASSERT_EQ(nonempty.counters.size(), 1u);
+  EXPECT_DOUBLE_EQ(nonempty.counters[0].second, 3.0);
+  EXPECT_EQ(nonempty.histograms[0].total, 1u);
+}
+
+TEST(Metrics, LogBoundsSpacing) {
+  const std::vector<double> bounds =
+      obs::MetricsRegistry::log_bounds(8.0, 8192.0, 21);
+  ASSERT_EQ(bounds.size(), 21u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 8.0);
+  EXPECT_DOUBLE_EQ(bounds.back(), 8192.0);  // endpoint exact, not pow-drift
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+    // Log-spaced: constant ratio between consecutive bounds.
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], std::pow(1024.0, 1.0 / 20.0),
+                1e-9);
+  }
+  EXPECT_THROW(obs::MetricsRegistry::log_bounds(0.0, 10.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(obs::MetricsRegistry::log_bounds(10.0, 10.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(obs::MetricsRegistry::log_bounds(1.0, 10.0, 1),
+               std::invalid_argument);
+}
+
+TEST(Metrics, SketchesSnapshotMergeAndJson) {
+  obs::MetricsRegistry a;
+  const auto sa = a.sketch("z.times", 64);
+  a.sketch_observe(sa, 1.0);
+  a.sketch_observe(sa, 3.0);
+  obs::MetricsRegistry b;
+  const auto sb = b.sketch("z.times", 64);
+  b.sketch_observe(sb, 2.0);
+  b.sketch_observe(b.sketch("a.other", 64), 9.0);
+
+  obs::MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  ASSERT_EQ(merged.sketches.size(), 2u);  // name-sorted
+  EXPECT_EQ(merged.sketches[0].name, "a.other");
+  EXPECT_EQ(merged.sketches[1].name, "z.times");
+  EXPECT_EQ(merged.sketches[1].sketch.count(), 3u);
+  EXPECT_DOUBLE_EQ(merged.sketches[1].sketch.quantile(0.5), 2.0);
+
+  std::string with;
+  merged.append_json(with, "");
+  EXPECT_NE(with.find("\"sketches\": ["), std::string::npos);
+  EXPECT_NE(with.find("{\"name\": \"a.other\", \"summary\": {\"count\": 1"),
+            std::string::npos);
+
+  // No sketches -> no "sketches" key, so pre-existing exports stay
+  // byte-identical.
+  obs::MetricsRegistry plain;
+  plain.add(plain.counter("c"));
+  std::string without;
+  plain.snapshot().append_json(without, "");
+  EXPECT_EQ(without.find("\"sketches\""), std::string::npos);
+}
+
+TEST(Metrics, TimeSeriesAlignsLateRegisteredSeries) {
+  obs::MetricsRegistry reg;
+  const auto c = reg.counter("b.count");
+  reg.add(c, 2.0);
+  reg.sample(10.0);
+  const auto g = reg.gauge("a.late");  // registered after the 1st sample
+  reg.set(g, 7.0);
+  reg.add(c);
+  reg.sample(20.0);
+
+  const obs::TimeSeriesSnapshot ts = reg.take_timeseries();
+  ASSERT_EQ(ts.times.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.times[0], 10.0);
+  EXPECT_DOUBLE_EQ(ts.times[1], 20.0);
+  ASSERT_EQ(ts.series.size(), 2u);  // name-sorted columns
+  EXPECT_EQ(ts.series[0].first, "a.late");
+  ASSERT_EQ(ts.series[0].second.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.series[0].second[0], 0.0);  // padded before birth
+  EXPECT_DOUBLE_EQ(ts.series[0].second[1], 7.0);
+  EXPECT_EQ(ts.series[1].first, "b.count");
+  EXPECT_DOUBLE_EQ(ts.series[1].second[0], 2.0);
+  EXPECT_DOUBLE_EQ(ts.series[1].second[1], 3.0);
+
+  // take_timeseries drains.
+  EXPECT_TRUE(reg.take_timeseries().empty());
+}
+
+TEST(Metrics, TimeSeriesJsonlRoundsTrips) {
+  obs::MetricsRegistry reg;
+  reg.add(reg.counter("n"), 1.0);
+  reg.sample(5.0);
+  obs::RunObservations run;
+  run.timeseries = reg.take_timeseries();
+  const std::string jsonl = obs::timeseries_to_jsonl({run});
+  EXPECT_EQ(jsonl,
+            "{\"run\": 0, \"t\": 5, \"series\": {\"n\": 1}}\n");
 }
 
 TEST(Tracer, RingOverflowKeepsNewestAndCountsDrops) {
@@ -273,6 +399,76 @@ TEST(Obs, TraceExportIsByteIdenticalAcrossThreadCounts) {
   obs::merge_snapshots(ms).append_json(js, "");
   obs::merge_snapshots(mp).append_json(jp, "");
   EXPECT_EQ(js, jp);
+}
+
+TEST(Obs, ReplayHandlesLateJoiners) {
+  // A join_at node is absent at load time and comes up mid-run; its
+  // trace opens with a kNodeUp transition with no preceding kNodeDown.
+  // The replayer must charge the pre-join absence as downtime and keep
+  // the recovery audit coherent.
+  cluster::EmulationConfig emu;
+  emu.node_count = 24;
+  emu.interrupted_ratio = 0.5;
+  const cluster::Cluster cl = cluster::emulated_cluster(emu);
+  core::ExperimentConfig config = traced_config(cl, 9);
+  config.job.churn.enabled = true;
+  config.job.churn.join_at.assign(cl.size(), 0.0);
+  config.job.churn.join_at[3] = 40.0;
+  config.job.churn.join_at[7] = 80.0;
+  const core::ExperimentResult result = core::run_experiment(cl, config);
+  ASSERT_FALSE(result.obs.records.empty());
+
+  const obs::ReplaySummary summary = obs::replay(result.obs.records);
+  EXPECT_DOUBLE_EQ(summary.elapsed, result.job.elapsed);
+  ASSERT_GT(summary.nodes.size(), 7u);
+  // The joiners' absence from t=0 counts as downtime, so each accrues
+  // at least its join delay (more if it also had interruptions later).
+  EXPECT_GE(summary.nodes[3].downtime, 40.0 - 1e-9);
+  EXPECT_GE(summary.nodes[7].downtime,
+            std::min(80.0, result.job.elapsed) - 1e-9);
+  EXPECT_GE(summary.nodes[3].transitions, 1u);
+}
+
+TEST(Obs, FullStackExportsAreByteIdenticalAcrossThreadCounts) {
+  // The new artifacts — span streams, time-series rows and calibration
+  // summaries — honor the same cross-thread byte-identity contract as
+  // traces and metrics.
+  cluster::EmulationConfig emu;
+  emu.node_count = 32;
+  emu.interrupted_ratio = 0.5;
+  const cluster::Cluster cl = cluster::emulated_cluster(emu);
+  core::ExperimentConfig config = traced_config(cl, 5);
+  config.obs.spans = true;
+  config.obs.sample_dt = 10.0;
+  config.obs.calibration.enabled = true;
+  config.obs.calibration.per_node = true;
+
+  runner::ExperimentRunner serial(1);
+  runner::ExperimentRunner pooled(4);
+  std::vector<obs::RunObservations> obs_serial;
+  std::vector<obs::RunObservations> obs_pooled;
+  (void)serial.run_replications(cl, config, 4, &obs_serial);
+  (void)pooled.run_replications(cl, config, 4, &obs_pooled);
+
+  ASSERT_EQ(obs_serial.size(), 4u);
+  ASSERT_EQ(obs_pooled.size(), 4u);
+  EXPECT_FALSE(obs_serial[0].spans.empty());
+  EXPECT_FALSE(obs_serial[0].timeseries.empty());
+  EXPECT_GT(obs_serial[0].calibration.pairs, 0u);
+  EXPECT_EQ(obs::spans_to_jsonl(obs_serial, false),
+            obs::spans_to_jsonl(obs_pooled, false));
+  EXPECT_EQ(obs::timeseries_to_jsonl(obs_serial),
+            obs::timeseries_to_jsonl(obs_pooled));
+  for (std::size_t i = 0; i < obs_serial.size(); ++i) {
+    std::string a;
+    std::string b;
+    obs_serial[i].calibration.append_json(a);
+    obs_pooled[i].calibration.append_json(b);
+    EXPECT_EQ(a, b) << "run " << i;
+  }
+  // Host-clock span times are intentionally excluded from the
+  // deterministic export but present in memory.
+  EXPECT_GT(obs_serial[0].spans.back().dur_host_ns, 0u);
 }
 
 }  // namespace

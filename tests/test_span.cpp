@@ -1,0 +1,117 @@
+// SpanProfiler: nesting and self-time accounting, close-order records,
+// error handling on unbalanced usage, and the JSONL export/parse/fold
+// pipeline trace_inspect drives.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/replay.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace adapt;
+using obs::SpanProfiler;
+using obs::SpanRecord;
+
+TEST(Span, SelfTimeExcludesChildren) {
+  SpanProfiler prof;
+  prof.begin("outer", 0.0);
+  prof.begin("inner_a", 10.0);
+  prof.end(30.0);
+  prof.begin("inner_b", 40.0);
+  prof.end(45.0);
+  prof.end(100.0);
+
+  const std::vector<SpanRecord> records = prof.take_records();
+  ASSERT_EQ(records.size(), 3u);
+  // Records are in close order: inner_a, inner_b, outer.
+  EXPECT_EQ(records[0].name, "inner_a");
+  EXPECT_EQ(records[0].depth, 1u);
+  EXPECT_DOUBLE_EQ(records[0].dur_sim, 20.0);
+  EXPECT_DOUBLE_EQ(records[0].self_sim, 20.0);
+  EXPECT_EQ(records[1].name, "inner_b");
+  EXPECT_DOUBLE_EQ(records[1].dur_sim, 5.0);
+  EXPECT_EQ(records[2].name, "outer");
+  EXPECT_EQ(records[2].depth, 0u);
+  EXPECT_DOUBLE_EQ(records[2].dur_sim, 100.0);
+  EXPECT_DOUBLE_EQ(records[2].self_sim, 75.0);  // 100 - 20 - 5
+}
+
+TEST(Span, HostTimeIsMonotonic) {
+  SpanProfiler prof;
+  prof.begin("a", 0.0);
+  prof.end(0.0);  // zero simulated duration: setup-phase convention
+  const std::vector<SpanRecord> records = prof.take_records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].dur_sim, 0.0);
+  EXPECT_GE(records[0].dur_host_ns, records[0].self_host_ns);
+}
+
+TEST(Span, UnbalancedUseThrows) {
+  SpanProfiler prof;
+  EXPECT_THROW(prof.end(1.0), std::logic_error);  // nothing open
+  prof.begin("open", 0.0);
+  EXPECT_EQ(prof.open_depth(), 1u);
+  EXPECT_THROW(prof.take_records(), std::logic_error);  // still open
+  prof.end(1.0);
+  EXPECT_NO_THROW(prof.take_records());
+}
+
+TEST(Span, JsonlRoundTripAndFold) {
+  obs::RunObservations run;
+  {
+    SpanProfiler prof;
+    prof.begin("map_phase", 0.0);
+    prof.begin("heartbeat_sweep", 5.0);
+    prof.end(6.0);
+    prof.begin("heartbeat_sweep", 10.0);
+    prof.end(12.0);
+    prof.end(50.0);
+    run.spans = prof.take_records();
+  }
+  const std::string jsonl =
+      obs::spans_to_jsonl({run}, /*include_host=*/false);
+  EXPECT_EQ(jsonl.find("{\"run\": 0, \"span\": \"heartbeat_sweep\""), 0u);
+  EXPECT_EQ(jsonl.find("host_ns"), std::string::npos);
+
+  const auto parsed = obs::parse_spans_jsonl(jsonl);
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].size(), 3u);
+  EXPECT_EQ(parsed[0][2].name, "map_phase");
+  EXPECT_DOUBLE_EQ(parsed[0][2].self_sim, 47.0);
+
+  const std::vector<obs::PhaseTotals> phases = obs::fold_spans(parsed[0]);
+  ASSERT_EQ(phases.size(), 2u);  // name-sorted
+  EXPECT_EQ(phases[0].name, "heartbeat_sweep");
+  EXPECT_EQ(phases[0].count, 2u);
+  EXPECT_DOUBLE_EQ(phases[0].dur_sim, 3.0);
+  EXPECT_EQ(phases[1].name, "map_phase");
+  EXPECT_DOUBLE_EQ(phases[1].self_sim, 47.0);
+}
+
+TEST(Span, HostExportOnlyWhenRequested) {
+  obs::RunObservations run;
+  SpanProfiler prof;
+  prof.begin("a", 0.0);
+  prof.end(1.0);
+  run.spans = prof.take_records();
+  const std::string with_host =
+      obs::spans_to_jsonl({run}, /*include_host=*/true);
+  EXPECT_NE(with_host.find("\"host_ns\": "), std::string::npos);
+  EXPECT_NE(with_host.find("\"host_self_ns\": "), std::string::npos);
+  // Host fields parse back when present.
+  const auto parsed = obs::parse_spans_jsonl(with_host);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0][0].dur_host_ns, run.spans[0].dur_host_ns);
+}
+
+TEST(Span, ParseRejectsMalformedLines) {
+  EXPECT_THROW(obs::parse_spans_jsonl("{\"span\": \"x\"}\n"),
+               std::runtime_error);
+}
+
+}  // namespace

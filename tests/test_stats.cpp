@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/stats.h"
 
 namespace {
 
 using adapt::common::percentile;
+using adapt::common::percentile_sorted;
+using adapt::common::percentiles;
 using adapt::common::relative_error;
 using adapt::common::RunningStats;
 using adapt::common::Summary;
@@ -85,6 +89,35 @@ TEST(Percentile, InterpolatesLinearly) {
   EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
 }
 
+TEST(Percentile, ClampsOutOfRangeQ) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  // q outside [0, 1] used to index out of bounds; it must clamp.
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.5), 40.0);
+}
+
+TEST(Percentile, SortedVariantMatchesSortingCopy) {
+  const std::vector<double> unsorted = {30, 10, 40, 20};
+  std::vector<double> sorted = unsorted;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, q), percentile(unsorted, q));
+  }
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+}
+
+TEST(Percentile, MultiQuantileSortsOnce) {
+  const std::vector<double> v = {30, 10, 40, 20};
+  const std::vector<double> qs = {0.0, 0.5, 1.0};
+  const std::vector<double> out = percentiles(v, qs);
+  ASSERT_EQ(out.size(), qs.size());
+  EXPECT_DOUBLE_EQ(out[0], 10.0);
+  EXPECT_DOUBLE_EQ(out[1], 25.0);
+  EXPECT_DOUBLE_EQ(out[2], 40.0);
+  EXPECT_TRUE(percentiles({}, {0.5}).size() == 1);
+  EXPECT_TRUE(percentiles(v, {}).empty());
+}
+
 TEST(Summarize, FullSummary) {
   const Summary s = summarize({1, 2, 3, 4, 5});
   EXPECT_EQ(s.count, 5u);
@@ -95,6 +128,8 @@ TEST(Summarize, FullSummary) {
   EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
   EXPECT_NEAR(s.cov, std::sqrt(2.5) / 3.0, 1e-12);
   EXPECT_GT(s.ci95_half_width, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, percentile({1, 2, 3, 4, 5}, 0.95));
+  EXPECT_DOUBLE_EQ(s.p99, percentile({1, 2, 3, 4, 5}, 0.99));
 }
 
 TEST(Summarize, EmptyInput) {
