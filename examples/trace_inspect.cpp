@@ -91,6 +91,21 @@ void print_run(std::uint64_t run_index, const obs::RunObservations& run,
     std::printf("\nchurn & recovery:\n%s", recovery.to_string().c_str());
   }
 
+  // Online rebalancing: only shown when the drift→rebalance loop ran.
+  if (summary.rebalance_triggers > 0 || summary.migrations_committed > 0 ||
+      summary.migration_retries > 0 || summary.migration_giveups > 0) {
+    common::Table migration({"triggers", "committed", "retries",
+                             "give-ups", "moved"});
+    migration.add_row(
+        {std::to_string(summary.rebalance_triggers),
+         std::to_string(summary.migrations_committed),
+         std::to_string(summary.migration_retries),
+         std::to_string(summary.migration_giveups),
+         common::format_bytes(
+             static_cast<std::uint64_t>(summary.migration_bytes))});
+    std::printf("\nonline rebalancing:\n%s", migration.to_string().c_str());
+  }
+
   // Busiest nodes first; ties broken by index for a stable listing.
   std::vector<std::size_t> order(summary.nodes.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;

@@ -1,0 +1,88 @@
+// Continuous open-loop workload: a stream of map jobs arriving against
+// ONE persistent mini-HDFS. The dataset is placed once, at t = 0, under
+// the initial availability regime; every job then reads the same file,
+// and whatever churn, data loss, re-replication and rebalancing happened
+// during job j is the starting state of job j+1.
+//
+// The availability regime can shift mid-stream (`shift_at_job`): jobs
+// from that index on run against a *different* cluster truth while the
+// placement still reflects the original beliefs. With the drift loop on
+// (SimJobConfig::rebalance) the CUSUM alarms re-estimate (lambda, mu),
+// rebuild the Algorithm-1 weights and migrate the badly-placed replicas;
+// with it off the stale placement just keeps paying for the shift. The
+// bench_rebalance sweep measures that difference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/units.h"
+#include "core/adapt.h"
+#include "hdfs/client.h"
+#include "obs/trace.h"
+#include "sim/mapreduce_sim.h"
+#include "sim/sim_config.h"
+
+namespace adapt::core {
+
+struct JobStreamConfig {
+  PolicyKind policy = PolicyKind::kAdapt;
+  int replication = 2;
+  std::uint32_t blocks = 0;  // m; must be set
+  bool fidelity_cap = true;
+  placement::ChainWeighting weighting = placement::ChainWeighting::kPaper;
+
+  // Template for every job in the stream (gamma, churn, rebalance, ...).
+  // Per-job seed / observability pointers are filled in by the runner.
+  sim::SimJobConfig job;
+
+  // Open-loop arrival process: job j is submitted at j * arrival_gap and
+  // starts as soon as its predecessor finished (FIFO, one job at a
+  // time — map-slot contention across jobs is out of scope).
+  int jobs = 4;
+  common::Seconds arrival_gap = 0.0;
+
+  // Index of the first job that runs under the shifted regime; < 0
+  // disables the shift (the `shifted` cluster argument is ignored).
+  int shift_at_job = -1;
+
+  std::uint64_t seed = 1;
+  obs::Options obs;
+};
+
+struct JobStreamResult {
+  // End of the last job on the stream timeline (arrival gaps included).
+  common::Seconds makespan = 0.0;
+  std::vector<sim::JobResult> jobs;
+  hdfs::TransferSummary load;  // one-time copyFromLocal cost
+  std::string policy_name;
+
+  // Realized / predicted across the whole stream (0 without calibration).
+  double calibration_ratio = 0.0;
+
+  // Stream-wide totals.
+  std::uint64_t failed_jobs = 0;
+  std::uint64_t blocks_lost = 0;
+  std::uint64_t tasks_lost = 0;
+  std::uint64_t rereplications = 0;
+  std::uint64_t rebalance_triggers = 0;
+  std::uint64_t migrations_submitted = 0;
+  std::uint64_t migrations_committed = 0;
+  std::uint64_t migration_retries = 0;
+  std::uint64_t migration_giveups = 0;
+  std::uint64_t migration_bytes = 0;
+
+  obs::RunObservations obs;
+};
+
+// Run `config.jobs` jobs back to back. `initial` is the regime the data
+// was placed under; `shifted` (same node count) takes over at
+// `config.shift_at_job`. Throws ConfigError / invalid_argument on
+// inconsistent configuration.
+JobStreamResult run_job_stream(const cluster::Cluster& initial,
+                               const cluster::Cluster& shifted,
+                               const JobStreamConfig& config);
+
+}  // namespace adapt::core

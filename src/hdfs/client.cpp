@@ -25,19 +25,39 @@ placement::PolicyPtr Client::policy_for(bool adapt_enabled) const {
   return adapt_enabled ? adapt_policy_ : default_policy_;
 }
 
-void Client::charge_transfer(std::uint32_t src, std::uint32_t dst,
+void Client::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_) {
+    skipped_dead_ = metrics_->counter("hdfs.transfer_skipped_dead");
+  }
+}
+
+bool Client::node_live(cluster::NodeIndex node) const {
+  if (node == cluster::kOriginEndpoint) return true;
+  if (namenode_.is_dead(node)) return false;
+  return !liveness_ || liveness_(node);
+}
+
+bool Client::charge_transfer(std::uint32_t src, std::uint32_t dst,
                              common::Seconds now, TransferSummary* summary) {
+  if (!node_live(src) || !node_live(dst)) {
+    // A departed endpoint cannot source or sink bytes; charging the
+    // network here would model a full-speed transfer from a ghost.
+    if (metrics_) metrics_->add(skipped_dead_);
+    return false;
+  }
   if (summary) {
     ++summary->blocks_moved;
     summary->bytes_moved += block_size_;
   }
-  if (!network_) return;
+  if (!network_) return true;
   const cluster::TransferGrant grant =
       network_->request(src, dst, block_size_, now);
   network_->on_transfer_complete(block_size_);
   if (summary) {
     summary->completion_time = std::max(summary->completion_time, grant.end);
   }
+  return true;
 }
 
 FileId Client::copy_from_local(const std::string& name,
@@ -80,17 +100,25 @@ FileId Client::cp(const std::string& src, const std::string& dst,
                             policy_for(adapt_enabled), rng, filter);
 
   // Each destination replica pulls from a source replica of the same
-  // block (round-robin across the source's holders). Both references
-  // are taken after create_file: growing the file table can reallocate
-  // it, so a reference held across the call would dangle.
+  // block (round-robin across the source's *live* holders; when every
+  // holder is down the copy falls back to an origin fetch, mirroring
+  // the simulator's read path). Both references are taken after
+  // create_file: growing the file table can reallocate it, so a
+  // reference held across the call would dangle.
   const FileInfo& src_info = namenode_.file(src_id);
   const FileInfo& dst_info = namenode_.file(dst_id);
   for (std::size_t b = 0; b < dst_info.blocks.size(); ++b) {
     const BlockInfo& src_block = namenode_.block(src_info.blocks[b]);
     const BlockInfo& dst_block = namenode_.block(dst_info.blocks[b]);
+    std::vector<cluster::NodeIndex> live_sources;
+    live_sources.reserve(src_block.replicas.size());
+    for (const cluster::NodeIndex holder : src_block.replicas) {
+      if (node_live(holder)) live_sources.push_back(holder);
+    }
     for (std::size_t r = 0; r < dst_block.replicas.size(); ++r) {
       const cluster::NodeIndex from =
-          src_block.replicas[r % src_block.replicas.size()];
+          live_sources.empty() ? cluster::kOriginEndpoint
+                               : live_sources[r % live_sources.size()];
       const cluster::NodeIndex to = dst_block.replicas[r];
       if (from != to) charge_transfer(from, to, now, summary);
     }
@@ -105,8 +133,27 @@ TransferSummary Client::adapt_rebalance(const std::string& name,
   TransferSummary summary;
   const std::vector<ReplicaMove> moves =
       namenode_.rebalance_file(id, adapt_policy_, rng, filter);
+  // Data first, metadata second: each pending move only commits once
+  // its transfer has been charged. The preferred source is the holder
+  // being vacated; if it is down another live holder serves, and with
+  // no live holder at all the origin re-seeds the destination.
   for (const ReplicaMove& move : moves) {
-    charge_transfer(move.from, move.to, now, &summary);
+    cluster::NodeIndex src = move.from;
+    if (!node_live(src)) {
+      src = cluster::kOriginEndpoint;
+      for (const cluster::NodeIndex holder :
+           namenode_.block(move.block).replicas) {
+        if (node_live(holder)) {
+          src = holder;
+          break;
+        }
+      }
+    }
+    if (charge_transfer(src, move.to, now, &summary)) {
+      namenode_.commit_move(move.block, move.from, move.to);
+    } else {
+      namenode_.abort_move(move.block, move.from, move.to);
+    }
   }
   return summary;
 }

@@ -14,11 +14,13 @@
 // Section IV-C.
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "cluster/network.h"
 #include "common/rng.h"
 #include "hdfs/namenode.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace adapt::hdfs {
@@ -63,9 +65,25 @@ class Client {
   // copy_from_local (null = off).
   void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
 
+  // Environment-supplied liveness (e.g. "node currently up" in the
+  // simulator). Composed with the NameNode dead registry: a node is a
+  // usable endpoint only if it is not dead AND the liveness callback
+  // (when set) approves it. Null = dead registry only.
+  using LivenessFn = std::function<bool(cluster::NodeIndex)>;
+  void set_liveness(LivenessFn liveness) { liveness_ = std::move(liveness); }
+
+  // Register the hdfs.transfer_skipped_dead counter (null = off).
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   placement::PolicyPtr policy_for(bool adapt_enabled) const;
-  void charge_transfer(std::uint32_t src, std::uint32_t dst,
+  bool node_live(cluster::NodeIndex node) const;
+
+  // Charge one block transfer to the network model. Returns false —
+  // charging nothing — when either endpoint is dead or down (the
+  // bytes could not actually have flowed); the origin endpoint is
+  // always live.
+  bool charge_transfer(std::uint32_t src, std::uint32_t dst,
                        common::Seconds now, TransferSummary* summary);
 
   NameNode& namenode_;
@@ -74,6 +92,9 @@ class Client {
   cluster::Network* network_;
   std::uint64_t block_size_;
   obs::EventTracer* tracer_ = nullptr;
+  LivenessFn liveness_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::Id skipped_dead_ = 0;
 };
 
 }  // namespace adapt::hdfs

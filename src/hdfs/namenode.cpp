@@ -44,20 +44,33 @@ std::optional<cluster::NodeMask> NameNode::materialize_filter(
 }
 
 cluster::NodeMask NameNode::eligibility(
-    const BlockInfo& info, const cluster::NodeMask* filter_mask) const {
+    const BlockInfo& info, const cluster::NodeMask* filter_mask,
+    std::optional<BlockId> block_id) const {
   cluster::NodeMask eligible = placeable_;
   if (filter_mask) eligible &= *filter_mask;
   for (const cluster::NodeIndex holder : info.replicas) {
     eligible.reset(holder);
   }
+  // A brand-new block (create_file) cannot have pending moves; only
+  // callers that pass the id pay the pending scan.
+  if (block_id && !pending_moves_.empty()) {
+    for (const ReplicaMove& move : pending_moves_) {
+      if (move.block == *block_id) eligible.reset(move.to);
+    }
+  }
   return eligible;
+}
+
+cluster::NodeMask NameNode::eligibility_for_new_replica(BlockId block) const {
+  return eligibility(blocks_.at(block), nullptr, block);
 }
 
 std::optional<cluster::NodeIndex> NameNode::place_replica(
     const BlockInfo& info, const placement::PlacementPolicy& policy,
     placement::CappedPolicy* cap, common::Rng& rng,
     const cluster::NodeMask* filter_mask) {
-  const cluster::NodeMask eligible = eligibility(info, filter_mask);
+  const cluster::NodeMask eligible =
+      eligibility(info, filter_mask, std::nullopt);
   std::optional<cluster::NodeIndex> node =
       cap ? cap->choose(eligible, rng) : policy.choose(eligible, rng);
   if (!node && cap) {
@@ -176,25 +189,101 @@ std::vector<ReplicaMove> NameNode::rebalance_file(
   std::vector<ReplicaMove> moves;
   for (const BlockId block_id : info.blocks) {
     // Redraw each replica; a draw landing on the current holder keeps
-    // the replica in place (no transfer).
+    // the replica in place (no transfer). Draws that move become
+    // pending: space reserved at the target, metadata untouched until
+    // the caller commits the transfer.
     const std::vector<cluster::NodeIndex> old_replicas =
         blocks_.at(block_id).replicas;
     for (const cluster::NodeIndex old_node : old_replicas) {
       cluster::NodeMask eligible =
-          eligibility(blocks_.at(block_id), filter_ptr);
+          eligibility(blocks_.at(block_id), filter_ptr, block_id);
       eligible.set(old_node);  // staying put is always allowed
       auto target = cap ? cap->choose(eligible, rng)
                         : policy->choose(eligible, rng);
       if (!target) target = old_node;  // over-cap everywhere: keep
       if (cap) cap->record_placement(*target);
       if (*target != old_node) {
-        remove_replica(block_id, old_node);
-        add_replica(block_id, *target);
+        begin_move(block_id, old_node, *target);
         moves.push_back({block_id, old_node, *target});
       }
     }
   }
   return moves;
+}
+
+std::size_t NameNode::find_pending(BlockId block, cluster::NodeIndex from,
+                                   cluster::NodeIndex to) const {
+  for (std::size_t i = 0; i < pending_moves_.size(); ++i) {
+    const ReplicaMove& move = pending_moves_[i];
+    if (move.block == block && move.from == from && move.to == to) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+bool NameNode::has_pending_move(BlockId block, cluster::NodeIndex from,
+                                cluster::NodeIndex to) const {
+  return find_pending(block, from, to) != static_cast<std::size_t>(-1);
+}
+
+void NameNode::begin_move(BlockId block, cluster::NodeIndex from,
+                          cluster::NodeIndex to) {
+  const BlockInfo& info = blocks_.at(block);
+  if (!info.hosted_on(from)) {
+    throw std::logic_error("begin_move: source does not hold block");
+  }
+  if (info.hosted_on(to)) {
+    throw std::logic_error("begin_move: destination already holds block");
+  }
+  for (const ReplicaMove& move : pending_moves_) {
+    if (move.block == block && move.to == to) {
+      throw std::logic_error("begin_move: destination already pending");
+    }
+  }
+  if (dead_.at(to)) throw std::logic_error("begin_move: destination dead");
+  if (!nodes_.has_space(to)) {
+    throw std::logic_error("begin_move: destination full");
+  }
+  nodes_.add_replica(to);  // reserve space for the inbound bytes
+  sync_placeable(to);
+  pending_moves_.push_back({block, from, to});
+}
+
+void NameNode::commit_move(BlockId block, cluster::NodeIndex from,
+                           cluster::NodeIndex to) {
+  const std::size_t idx = find_pending(block, from, to);
+  if (idx == static_cast<std::size_t>(-1)) {
+    throw std::logic_error("commit_move: no such pending move");
+  }
+  pending_moves_.erase(pending_moves_.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+  if (blocks_.at(block).hosted_on(to)) {
+    // Another pipeline (re-replication) landed its own copy at `to`
+    // while this move was on the wire. The replica is already real;
+    // release the reservation and keep the source copy in place.
+    nodes_.remove_replica(to);
+    sync_placeable(to);
+    return;
+  }
+  // The reservation made by begin_move becomes the real replica; no
+  // second usage bump.
+  blocks_.at(block).replicas.push_back(to);
+  // Drop the source copy. If a node death already wrote it off
+  // mid-transfer the new replica simply lands (net replica gain).
+  if (blocks_.at(block).hosted_on(from)) {
+    remove_replica(block, from);
+  }
+}
+
+void NameNode::abort_move(BlockId block, cluster::NodeIndex from,
+                          cluster::NodeIndex to) {
+  const std::size_t idx = find_pending(block, from, to);
+  if (idx == static_cast<std::size_t>(-1)) {
+    throw std::logic_error("abort_move: no such pending move");
+  }
+  pending_moves_.erase(pending_moves_.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+  nodes_.remove_replica(to);  // release the reservation
+  sync_placeable(to);
 }
 
 bool NameNode::has_file(const std::string& name) const {
@@ -253,6 +342,17 @@ std::vector<BlockId> NameNode::mark_node_dead(cluster::NodeIndex node) {
   if (dead_[node]) return affected;
   dead_[node] = true;
   placeable_.reset(node);
+  // Pending moves *into* the dead node can never complete: release
+  // their reservations here so the space accounting stays exact even
+  // if the migration driver learns of the death later. Moves *out*
+  // survive — they re-source from a live holder.
+  for (std::size_t i = pending_moves_.size(); i-- > 0;) {
+    if (pending_moves_[i].to == node) {
+      nodes_.remove_replica(node);
+      pending_moves_.erase(pending_moves_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+    }
+  }
   for (BlockId b = 0; b < blocks_.size(); ++b) {
     if (blocks_[b].hosted_on(node)) {
       remove_replica(b, node);

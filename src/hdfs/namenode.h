@@ -26,8 +26,10 @@
 
 namespace adapt::hdfs {
 
-// A replica move produced by the rebalancer; the caller charges the
-// transfer to the network model.
+// A replica move produced by the rebalancer. The move is *pending*
+// until the caller streams the bytes and calls commit_move (or gives
+// up and calls abort_move); the destination holds reserved space but
+// no readable replica while the move is in flight.
 struct ReplicaMove {
   BlockId block = 0;
   cluster::NodeIndex from = 0;
@@ -63,10 +65,40 @@ class NameNode {
 
   // Re-place every replica of an existing file through `policy` (the
   // `adapt` shell command / rebalance). Replicas whose new draw equals an
-  // existing location stay put; others move. Returns the moves.
+  // existing location stay put; others become *pending* moves: the
+  // destination's space is reserved (begin_move) but block metadata is
+  // untouched until the caller commits each move after the bytes have
+  // actually been transferred. Returns the pending moves.
   std::vector<ReplicaMove> rebalance_file(
       FileId file, const placement::PolicyPtr& policy, common::Rng& rng,
       const NodeFilter& filter = nullptr);
+
+  // -- Pending-move state machine -----------------------------------
+  // begin_move reserves destination space for an in-flight migration
+  // without making the replica readable there; commit_move flips the
+  // metadata (add at `to`, drop at `from`) once the bytes have landed;
+  // abort_move releases the reservation with no metadata change.
+  // Invariants enforced: `from` must hold the block and `to` must not
+  // (nor already be a pending target for it); `to` must be alive with
+  // free space. commit_move tolerates `from` having been written off
+  // by a node death mid-transfer (the new replica still lands).
+  void begin_move(BlockId block, cluster::NodeIndex from,
+                  cluster::NodeIndex to);
+  void commit_move(BlockId block, cluster::NodeIndex from,
+                   cluster::NodeIndex to);
+  void abort_move(BlockId block, cluster::NodeIndex from,
+                  cluster::NodeIndex to);
+  bool has_pending_move(BlockId block, cluster::NodeIndex from,
+                        cluster::NodeIndex to) const;
+  const std::vector<ReplicaMove>& pending_moves() const {
+    return pending_moves_;
+  }
+
+  // Eligibility mask for placing a brand-new replica of `block` right
+  // now: placeable nodes minus current holders minus pending-move
+  // targets (a node already receiving the block must not be drawn
+  // again). Shared by re-replication and migration redraws.
+  cluster::NodeMask eligibility_for_new_replica(BlockId block) const;
 
   bool has_file(const std::string& name) const;
   FileId file_id(const std::string& name) const;
@@ -88,8 +120,11 @@ class NameNode {
   // -- Dead-node registry -------------------------------------------
   // Declare a node dead: every replica it held is written off (the
   // directory forgets them) and the affected blocks are returned, each
-  // once, for re-replication. The node is ineligible for placement
-  // until revived. Idempotent: a second call returns nothing.
+  // once, for re-replication. Pending moves *into* the node are
+  // aborted (their reservations released); pending moves *out* stay —
+  // the migration driver re-sources them from a surviving holder. The
+  // node is ineligible for placement until revived. Idempotent: a
+  // second call returns nothing.
   std::vector<BlockId> mark_node_dead(cluster::NodeIndex node);
 
   // A dead node came back. It rejoins with no replicas (its data was
@@ -113,8 +148,16 @@ class NameNode {
       placement::CappedPolicy* cap, common::Rng& rng,
       const cluster::NodeMask* filter_mask);
 
+  // Per-draw eligibility. `block_id`, when known, additionally
+  // excludes the block's pending-move targets (create_file passes
+  // nullopt: a brand-new block has none).
   cluster::NodeMask eligibility(const BlockInfo& info,
-                                const cluster::NodeMask* filter_mask) const;
+                                const cluster::NodeMask* filter_mask,
+                                std::optional<BlockId> block_id) const;
+
+  // Index of the pending entry for (block, from, to), or npos.
+  std::size_t find_pending(BlockId block, cluster::NodeIndex from,
+                           cluster::NodeIndex to) const;
 
   // Evaluate a caller NodeFilter into a mask, once per call (nullopt
   // when there is no filter). Filters are pure within one call: the
@@ -132,6 +175,7 @@ class NameNode {
   std::vector<BlockInfo> blocks_;
   std::vector<bool> dead_;
   cluster::NodeMask placeable_;
+  std::vector<ReplicaMove> pending_moves_;
 };
 
 }  // namespace adapt::hdfs

@@ -158,6 +158,19 @@ ReplaySummary replay(const std::vector<TraceRecord>& records) {
           ++out.drift_latency_count;
         }
         break;
+      case EventType::kRebalanceTrigger:
+        ++out.rebalance_triggers;
+        break;
+      case EventType::kMigrationCommit:
+        ++out.migrations_committed;
+        out.migration_bytes += r.v0;
+        break;
+      case EventType::kMigrationRetry:
+        ++out.migration_retries;
+        break;
+      case EventType::kMigrationGiveup:
+        ++out.migration_giveups;
+        break;
       default:
         break;
     }
@@ -395,6 +408,35 @@ std::vector<RunObservations> parse_jsonl(const std::string& text) {
       case EventType::kPredictorDrift:
         if (const auto* v = get("score")) r.v0 = as_double(*v);
         if (const auto* v = get("latency")) r.v1 = as_double(*v);
+        break;
+      case EventType::kRebalanceTrigger:
+        if (const auto* v = get("moves")) {
+          r.task = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        if (const auto* v = get("alarms")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        break;
+      case EventType::kMigrationStart:
+        if (const auto* v = get("attempt")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        if (const auto* v = get("start")) r.v0 = as_double(*v);
+        if (const auto* v = get("end")) r.v1 = as_double(*v);
+        break;
+      case EventType::kMigrationCommit:
+        if (const auto* v = get("bytes")) r.v0 = as_double(*v);
+        break;
+      case EventType::kMigrationRetry:
+        if (const auto* v = get("attempt")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        if (const auto* v = get("next")) r.v0 = as_double(*v);
+        break;
+      case EventType::kMigrationGiveup:
+        if (const auto* v = get("attempts")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
         break;
       default:
         break;

@@ -53,6 +53,13 @@ struct ReplaySummary {
   std::uint64_t drift_latency_count = 0;    // alarms with known latency
   common::Seconds drift_latency_sum = 0.0;
 
+  // Online rebalancing accounting (zero with the loop off).
+  std::uint64_t rebalance_triggers = 0;
+  std::uint64_t migrations_committed = 0;
+  std::uint64_t migration_retries = 0;
+  std::uint64_t migration_giveups = 0;
+  double migration_bytes = 0.0;             // bytes moved by rebalancing
+
   std::uint64_t count(EventType type) const {
     return event_counts[static_cast<std::size_t>(type)];
   }

@@ -67,6 +67,16 @@ const char* to_string(EventType type) {
       return "rereplication_giveup";
     case EventType::kPredictorDrift:
       return "predictor_drift";
+    case EventType::kRebalanceTrigger:
+      return "rebalance_trigger";
+    case EventType::kMigrationStart:
+      return "migration_start";
+    case EventType::kMigrationCommit:
+      return "migration_commit";
+    case EventType::kMigrationRetry:
+      return "migration_retry";
+    case EventType::kMigrationGiveup:
+      return "migration_giveup";
   }
   return "?";
 }
@@ -226,6 +236,36 @@ void append_jsonl(std::string& out, std::uint64_t run_index,
       out += ", \"node\": " + std::to_string(r.node) +
              ", \"score\": " + json_number(r.v0) +
              ", \"latency\": " + json_number(r.v1);
+      break;
+    case EventType::kRebalanceTrigger:
+      out += ", \"moves\": " + std::to_string(r.task) +
+             ", \"alarms\": " + std::to_string(r.aux);
+      break;
+    case EventType::kMigrationStart:
+      out += ", \"block\": " + std::to_string(r.task) + ", ";
+      append_src(out, r.peer);
+      out += ", \"dst\": " + std::to_string(r.node) +
+             ", \"ticket\": " + std::to_string(r.ticket) +
+             ", \"attempt\": " + std::to_string(r.aux) +
+             ", \"start\": " + json_number(r.v0) +
+             ", \"end\": " + json_number(r.v1);
+      break;
+    case EventType::kMigrationCommit:
+      out += ", \"block\": " + std::to_string(r.task) + ", ";
+      append_src(out, r.peer);
+      out += ", \"dst\": " + std::to_string(r.node) +
+             ", \"ticket\": " + std::to_string(r.ticket) +
+             ", \"bytes\": " + json_number(r.v0);
+      break;
+    case EventType::kMigrationRetry:
+      out += ", \"block\": " + std::to_string(r.task) + ", \"reason\": \"" +
+             to_string(r.reason) +
+             "\", \"attempt\": " + std::to_string(r.aux) +
+             ", \"next\": " + json_number(r.v0);
+      break;
+    case EventType::kMigrationGiveup:
+      out += ", \"block\": " + std::to_string(r.task) +
+             ", \"attempts\": " + std::to_string(r.aux);
       break;
   }
   out += "}";

@@ -50,8 +50,15 @@ enum class EventType : std::uint8_t {
   // -- calibration --
   kPredictorDrift,      // CUSUM alarm: estimate departed from ground
                         // truth (v0 = score, v1 = detection latency or -1)
+  // -- online rebalancing --
+  kRebalanceTrigger,    // drift alarms tripped a rebalance pass
+                        // (task = moves submitted, aux = alarms)
+  kMigrationStart,      // migration transfer reserved (aux = attempt#)
+  kMigrationCommit,     // migration landed; metadata flipped (v0 = bytes)
+  kMigrationRetry,      // migration failed; backing off (v0 = next try)
+  kMigrationGiveup,     // migration retry budget exhausted (aux = attempts)
 };
-inline constexpr std::size_t kEventTypeCount = 21;
+inline constexpr std::size_t kEventTypeCount = 26;
 
 // Why an attempt/transfer was killed; mirrors the simulator's kill paths.
 enum class TraceReason : std::uint8_t {

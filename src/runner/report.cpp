@@ -62,6 +62,17 @@ void Report::add_result(const std::string& sweep, const std::string& point,
   rows_.push_back(std::move(row));
 }
 
+void Report::add_row(const std::string& sweep, const std::string& point,
+                     const std::string& series,
+                     std::vector<std::pair<std::string, double>> metrics) {
+  Row row;
+  row.sweep = sweep;
+  row.point = point;
+  row.series = series;
+  row.metrics = std::move(metrics);
+  rows_.push_back(std::move(row));
+}
+
 void Report::set_config(const std::string& key, double value) {
   config_.emplace_back(key, value);
 }

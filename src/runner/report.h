@@ -27,6 +27,13 @@ class Report {
                   const std::string& series,
                   const core::RepeatedResult& result);
 
+  // Append one cell with caller-provided metrics, for benches whose
+  // aggregate doesn't fit the RepeatedResult shape (e.g. job streams).
+  // Key order is preserved in the output.
+  void add_row(const std::string& sweep, const std::string& point,
+               const std::string& series,
+               std::vector<std::pair<std::string, double>> metrics);
+
   // Extra scalar attached to a row-less context (e.g. a config knob
   // worth recording); emitted in the "config" object.
   void set_config(const std::string& key, double value);

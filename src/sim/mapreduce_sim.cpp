@@ -1,9 +1,11 @@
 #include "sim/mapreduce_sim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "availability/predictor.h"
 #include "placement/random_policy.h"
 
 namespace adapt::sim {
@@ -145,6 +147,13 @@ MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
         std::min(network_.origin_uplink_bps(), max_down));
   }
 
+  if (config_.rebalance.enabled &&
+      (config_.calibration == nullptr || config_.sample_dt <= 0.0 ||
+       config_.truth_params.empty())) {
+    throw std::invalid_argument(
+        "simulation: rebalance requires calibration, sample_dt > 0 and "
+        "truth_params (the loop is driven by CUSUM drift alarms)");
+  }
   if (config_.churn.enabled) {
     if (mutable_namenode_ == nullptr) {
       throw std::invalid_argument(
@@ -189,6 +198,21 @@ void MapReduceSimulation::init_churn() {
       [this](hdfs::BlockId block, cluster::NodeIndex dst) {
         on_block_replicated(block, dst);
       });
+  if (config_.rebalance.enabled) {
+    migration_.emplace(
+        queue_, *mutable_namenode_, network_, cluster_.block_size_bytes,
+        config_.rebalance.migration, common::Rng(config_.seed).fork(0xBEEF),
+        [this](cluster::NodeIndex n) { return node_state_[n].up; });
+    migration_->set_tracer(config_.tracer);
+    migration_->set_metrics(config_.metrics);
+    migration_->set_spans(config_.spans, &queue_);
+    migration_->set_on_committed([this](hdfs::BlockId block,
+                                        cluster::NodeIndex from,
+                                        cluster::NodeIndex to) {
+      on_migration_committed(block, from, to);
+    });
+    rebalance_rng_ = common::Rng(config_.seed).fork(0x0b1e);
+  }
   refresh_policy();
 }
 
@@ -201,7 +225,11 @@ void MapReduceSimulation::refresh_policy() {
   } else {
     policy = placement::make_random_policy(node_state_.size());
   }
-  rereplicator_->set_policy(std::move(policy));
+  rereplicator_->set_policy(policy);
+  if (migration_) {
+    migration_->set_policy(policy);
+    rebalance_policy_ = std::move(policy);
+  }
   span_end();
 }
 
@@ -323,6 +351,131 @@ void MapReduceSimulation::on_block_replicated(hdfs::BlockId block,
 }
 
 // ---------------------------------------------------------------------
+// Online rebalancing
+// ---------------------------------------------------------------------
+
+void MapReduceSimulation::maybe_rebalance(std::uint32_t alarm_count) {
+  const common::Seconds now = queue_.now();
+  if (last_rebalance_at_ >= 0.0 &&
+      now - last_rebalance_at_ < config_.rebalance.cooldown) {
+    return;
+  }
+  last_rebalance_at_ = now;
+  span_begin("rebalance_pass");
+  ++result_.rebalance_triggers;
+
+  // Re-estimate and rebuild the placement policies from the collector's
+  // current (lambda, mu) beliefs — the drift alarm means the old
+  // weights quote the wrong cluster.
+  refresh_policy();
+
+  // Eq. 5 quotes under the refreshed beliefs decide which replicas are
+  // now badly placed: a holder quoting worse than hysteresis * the
+  // median of live nodes has degraded enough to vacate.
+  const std::vector<avail::InterruptionParams> est =
+      collector_->estimates(now);
+  avail::PerformancePredictor predictor(node_state_.size(), config_.gamma);
+  for (std::size_t i = 0; i < est.size() && i < node_state_.size(); ++i) {
+    predictor.set_params(i, est[i]);
+  }
+  const std::vector<double> quote = predictor.expected_task_times();
+  std::vector<double> live_quotes;
+  live_quotes.reserve(quote.size());
+  for (std::size_t i = 0; i < quote.size(); ++i) {
+    if (node_state_[i].up && !declared_dead_[i] &&
+        std::isfinite(quote[i])) {
+      live_quotes.push_back(quote[i]);
+    }
+  }
+  std::uint32_t submitted = 0;
+  if (!live_quotes.empty()) {
+    std::sort(live_quotes.begin(), live_quotes.end());
+    const double median = live_quotes[live_quotes.size() / 2];
+    const double threshold = config_.rebalance.hysteresis * median;
+    const hdfs::FileInfo& info = namenode_.file(file_);
+    for (const hdfs::BlockId block : info.blocks) {
+      const std::optional<TaskId> task = task_of(block);
+      if (task && board_.status(*task) == TaskStatus::kDone) continue;
+      // One in-flight move per block: a holder being vacated by an
+      // earlier pass is still listed in replicas, and vacating it a
+      // second time would inflate the replica count on commit.
+      bool block_pending = false;
+      for (const hdfs::ReplicaMove& m : namenode_.pending_moves()) {
+        if (m.block == block) {
+          block_pending = true;
+          break;
+        }
+      }
+      if (block_pending) continue;
+      const std::vector<cluster::NodeIndex> holders =
+          namenode_.block(block).replicas;
+      for (const cluster::NodeIndex holder : holders) {
+        const bool degraded =
+            std::isfinite(quote[holder])
+                ? quote[holder] > threshold
+                : true;  // +inf quote: the node looks unusable
+        if (!degraded) continue;
+        cluster::NodeMask eligible =
+            mutable_namenode_->eligibility_for_new_replica(block);
+        eligible.for_each_set([&](std::uint32_t n) {
+          if (!node_state_[n].up) eligible.reset(n);
+        });
+        std::optional<cluster::NodeIndex> dst;
+        if (eligible.any()) {
+          dst = rebalance_policy_->choose(eligible, rebalance_rng_);
+        }
+        if (!dst) continue;  // nowhere better to put it right now
+        mutable_namenode_->begin_move(block, holder, *dst);
+        migration_->submit({block, holder, *dst});
+        ++submitted;
+      }
+    }
+  }
+  result_.migrations_submitted += submitted;
+  trace({.type = obs::EventType::kRebalanceTrigger,
+         .task = submitted,
+         .aux = alarm_count});
+  span_end();
+}
+
+void MapReduceSimulation::on_migration_committed(hdfs::BlockId block,
+                                                 cluster::NodeIndex from,
+                                                 cluster::NodeIndex to) {
+  const std::optional<TaskId> task = task_of(block);
+  if (!task || board_.status(*task) == TaskStatus::kDone) return;
+  const common::Seconds now = queue_.now();
+  if (board_.is_local_to(*task, from)) {
+    board_.remove_home(*task, from);
+    NodeState& fs = node_state_[from];
+    if (fs.undone_home > 0 && --fs.undone_home == 0 &&
+        fs.recovery_open >= 0.0) {
+      // The vacated node is down but nothing of the job depends on it
+      // anymore; stop charging its downtime to recovery.
+      result_.overhead.recovery +=
+          (now - fs.recovery_open) * cluster_.nodes[from].slots;
+      fs.recovery_open = -1.0;
+    }
+  }
+  board_.add_home(*task, to);
+  ++node_state_[to].undone_home;
+  {
+    obs::TraceRecord r;
+    r.type = obs::EventType::kPlacement;
+    r.task = block;
+    r.node = to;
+    r.aux = static_cast<std::uint32_t>(
+        mutable_namenode_->block(block).replicas.size() - 1);
+    trace(r);
+  }
+  board_.revive_stalled_for(to, now);
+  if (node_state_[to].up && node_state_[to].free_slots > 0) {
+    dispatch(to);
+  } else {
+    wake_for_task(*task);
+  }
+}
+
+// ---------------------------------------------------------------------
 // Time-series sampling & calibration
 // ---------------------------------------------------------------------
 
@@ -374,6 +527,9 @@ void MapReduceSimulation::on_sample() {
       if (config_.metrics != nullptr) {
         config_.metrics->add(ctr_drift_alarms_);
       }
+    }
+    if (migration_ && !alarms.empty()) {
+      maybe_rebalance(static_cast<std::uint32_t>(alarms.size()));
     }
   }
   if (config_.metrics != nullptr) config_.metrics->sample(now);
@@ -462,6 +618,18 @@ JobResult MapReduceSimulation::run() {
     result_.rereplication_bytes = rs.bytes_moved;
     result_.max_under_replicated = rs.max_under_replicated;
   }
+  if (migration_) {
+    // Drop moves still queued or on the wire so a NameNode that
+    // outlives this job carries no orphan space reservations.
+    migration_->cancel_all();
+    const MigrationDriver::Stats& ms = migration_->stats();
+    result_.migrations_submitted = ms.submitted;
+    result_.migrations_committed = ms.committed;
+    result_.migration_retries = ms.retries;
+    result_.migration_giveups = ms.giveups;
+    result_.migration_redraws = ms.redraws;
+    result_.migration_bytes = ms.bytes_moved;
+  }
 
   // Close out costs still open at the instant the job finished.
   for (cluster::NodeIndex i = 0; i < node_state_.size(); ++i) {
@@ -549,6 +717,12 @@ JobResult MapReduceSimulation::run() {
           static_cast<double>(result_.replicas_dropped));
       add("sim.blocks_lost", static_cast<double>(result_.blocks_lost));
       add("sim.tasks_lost", static_cast<double>(result_.tasks_lost));
+    }
+    // Rebalance counters appear only with the loop on, so loop-off
+    // metric output stays byte-identical to before.
+    if (migration_) {
+      add("sim.rebalance_triggers",
+          static_cast<double>(result_.rebalance_triggers));
     }
   }
   return result_;
@@ -1071,6 +1245,7 @@ void MapReduceSimulation::on_node_down(cluster::NodeIndex node) {
   // Recovery transfers touching the node abort and go through the
   // pipeline's retry/backoff.
   if (rereplicator_) rereplicator_->on_node_down(node);
+  if (migration_) migration_->on_node_down(node);
 
   if (config_.transfer_stall_timeout > 0.0) {
     // Transfers sourced here stall; they resume (shifted) when the node
@@ -1212,6 +1387,7 @@ void MapReduceSimulation::on_node_up(cluster::NodeIndex node) {
 
   // A returning node may unblock a recovery source or destination.
   if (rereplicator_) rereplicator_->on_node_up(node);
+  if (migration_) migration_->on_node_up(node);
 
   const std::size_t revived =
       board_.revive_stalled_for(node, queue_.now());

@@ -34,6 +34,7 @@
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/injector.h"
+#include "sim/migration.h"
 #include "sim/overhead.h"
 #include "sim/rereplication.h"
 #include "sim/scheduler.h"
@@ -87,6 +88,15 @@ struct JobResult {
     std::uint32_t task = 0;
   };
   std::vector<LostBlock> lost_blocks;
+
+  // -- online rebalancing (all zero with the loop off) ---------------
+  std::uint64_t rebalance_triggers = 0;    // drift-tripped passes
+  std::uint64_t migrations_submitted = 0;
+  std::uint64_t migrations_committed = 0;
+  std::uint64_t migration_retries = 0;
+  std::uint64_t migration_giveups = 0;
+  std::uint64_t migration_redraws = 0;
+  std::uint64_t migration_bytes = 0;
 };
 
 // Simulates the map phase of `file` (already placed in `namenode`) on
@@ -142,6 +152,16 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
   void on_block_replicated(hdfs::BlockId block, cluster::NodeIndex dst);
   // Map task of `block` (nullopt for blocks of other files).
   std::optional<TaskId> task_of(hdfs::BlockId block) const;
+
+  // -- online rebalancing --------------------------------------------
+  // Drift alarms fired this sample: re-estimate, refresh the policies,
+  // and submit migrations for replicas whose holder's E[T] quote
+  // degraded past the hysteresis threshold (cooldown-gated).
+  void maybe_rebalance(std::uint32_t alarm_count);
+  // MigrationDriver callback: a move committed — the replica left
+  // `from` and is now readable (and local) at `to`.
+  void on_migration_committed(hdfs::BlockId block, cluster::NodeIndex from,
+                              cluster::NodeIndex to);
 
   // -- time-series sampling & calibration ----------------------------
   // Fires every config_.sample_dt simulated seconds: snapshots the
@@ -248,6 +268,12 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
   hdfs::NameNode* mutable_namenode_ = nullptr;
   std::optional<cluster::HeartbeatCollector> collector_;
   std::optional<ReReplicator> rereplicator_;
+  std::optional<MigrationDriver> migration_;
+  // The policy refresh_policy last built, shared with the drivers; the
+  // rebalance pass draws its migration targets from it.
+  placement::PolicyPtr rebalance_policy_;
+  common::Rng rebalance_rng_;
+  common::Seconds last_rebalance_at_ = -1.0;  // cooldown gate, < 0 = never
   std::vector<EventQueue::Handle> dead_check_;  // armed per down node
   std::vector<bool> declared_dead_;
   std::vector<bool> task_lost_;

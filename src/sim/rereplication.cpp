@@ -178,13 +178,11 @@ bool ReReplicator::start_repair(std::size_t pending_index) {
   if (!have_src) return false;  // raced with an outage; pump again later
 
   // Destination: active policy over up, non-dead, non-holder nodes with
-  // space. Start from the NameNode's incrementally maintained mask
-  // (space && alive) and only consult the node_up_ callback for nodes
-  // that pass it.
-  cluster::NodeMask eligible = namenode_.placement_mask();
-  for (const cluster::NodeIndex holder : info.replicas) {
-    eligible.reset(holder);
-  }
+  // space that aren't already receiving the block as a pending-move
+  // target. The NameNode builds that mask incrementally; only nodes
+  // that pass it consult the node_up_ callback.
+  cluster::NodeMask eligible =
+      namenode_.eligibility_for_new_replica(rep.block);
   eligible.for_each_set([&](std::uint32_t n) {
     if (!node_up_(static_cast<cluster::NodeIndex>(n))) eligible.reset(n);
   });
@@ -241,7 +239,11 @@ void ReReplicator::on_transfer_done(std::uint64_t ticket) {
   in_flight_.pop_back();
 
   network_.on_transfer_complete(block_bytes_);
-  namenode_.add_replica(t.block, t.dst);
+  // A migration commit can beat this transfer to the same destination;
+  // the replica is then already registered there.
+  if (!namenode_.block(t.block).hosted_on(t.dst)) {
+    namenode_.add_replica(t.block, t.dst);
+  }
   ++stats_.completed;
   stats_.bytes_moved += block_bytes_;
   if (metrics_ != nullptr) {

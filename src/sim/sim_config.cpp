@@ -64,6 +64,20 @@ void check_dead_timeout(common::Seconds value) {
   }
 }
 
+void check_hysteresis(double value) {
+  if (!(value >= 1.0) || !std::isfinite(value)) {
+    throw ConfigError("rebalance.hysteresis",
+                      "must be >= 1 and finite (a quote at the median "
+                      "must never trigger a move)");
+  }
+}
+
+void check_cooldown(common::Seconds value) {
+  if (value < 0 || !std::isfinite(value)) {
+    throw ConfigError("rebalance.cooldown", "must be >= 0 and finite");
+  }
+}
+
 }  // namespace
 
 void SimJobConfig::validate() const {
@@ -83,6 +97,24 @@ void SimJobConfig::validate() const {
     check_heartbeat_interval(churn.heartbeat_interval);
     check_heartbeat_miss_threshold(churn.heartbeat_miss_threshold);
     check_dead_timeout(churn.dead_timeout);
+  }
+  if (rebalance.enabled) {
+    if (!churn.enabled) {
+      throw ConfigError("rebalance.enabled",
+                        "requires churn (drift alarms need the heartbeat "
+                        "estimator)");
+    }
+    check_hysteresis(rebalance.hysteresis);
+    check_cooldown(rebalance.cooldown);
+    if (rebalance.migration.max_concurrent < 1) {
+      throw ConfigError("rebalance.migration.max_concurrent",
+                        "must be >= 1");
+    }
+    if (rebalance.migration.budget_bytes_per_s < 0 ||
+        !std::isfinite(rebalance.migration.budget_bytes_per_s)) {
+      throw ConfigError("rebalance.migration.budget_bytes_per_s",
+                        "must be >= 0 and finite (0 = unlimited)");
+    }
   }
 }
 
@@ -159,6 +191,18 @@ SimJobConfig::Builder& SimJobConfig::Builder::dead_timeout(
     common::Seconds value) {
   check_dead_timeout(value);
   config_.churn.dead_timeout = value;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::rebalance(
+    bool enabled, double hysteresis, common::Seconds cooldown) {
+  if (enabled) {
+    check_hysteresis(hysteresis);
+    check_cooldown(cooldown);
+  }
+  config_.rebalance.enabled = enabled;
+  config_.rebalance.hysteresis = hysteresis;
+  config_.rebalance.cooldown = cooldown;
   return *this;
 }
 

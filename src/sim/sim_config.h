@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "placement/policy.h"
+#include "sim/migration.h"
 #include "sim/rereplication.h"
 
 namespace adapt::sim {
@@ -110,6 +111,23 @@ struct SimJobConfig {
         policy_factory;
   };
   ChurnConfig churn;
+  // -- online rebalancing -------------------------------------------
+  // Close the drift→rebalance loop: predictor-drift alarms trigger a
+  // policy refresh and incremental migration of replicas whose
+  // placement quality degraded past the hysteresis threshold. Requires
+  // churn and calibration (the alarms come from the CUSUM detector).
+  struct RebalanceConfig {
+    bool enabled = false;
+    // Migrate a replica only when its holder's E[T] quote exceeds
+    // hysteresis * the cluster median quote — small estimate wobbles
+    // must not thrash data around.
+    double hysteresis = 2.0;
+    // Minimum spacing between rebalance passes.
+    common::Seconds cooldown = 120.0;
+    // Transfer pipeline throttles (concurrency cap + bytes/s share).
+    MigrationDriver::Config migration;
+  };
+  RebalanceConfig rebalance;
   // Optional observability sinks, owned by the caller; null = off. Each
   // instrumented site is a single null check on the disabled path.
   obs::EventTracer* tracer = nullptr;
@@ -159,6 +177,8 @@ class SimJobConfig::Builder {
   Builder& burst(common::Seconds at, double fraction);
   Builder& heartbeat(common::Seconds interval, int miss_threshold);
   Builder& dead_timeout(common::Seconds value);
+  Builder& rebalance(bool enabled, double hysteresis = 2.0,
+                     common::Seconds cooldown = 120.0);
 
   // Final cross-field validation, then the finished config.
   SimJobConfig build() const;

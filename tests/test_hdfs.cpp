@@ -209,17 +209,22 @@ TEST(NameNode, RebalanceMovesTowardAdaptDistribution) {
   const auto adapt_policy = placement::make_adapt_policy(et, 300);
   const auto before = nn.file_distribution(id);
   const auto moves = nn.rebalance_file(id, adapt_policy, rng);
-  const auto after = nn.file_distribution(id);
   EXPECT_FALSE(moves.empty());
+  // The plan is *pending*: metadata doesn't flip until each move's
+  // bytes have landed and the caller commits it.
+  EXPECT_EQ(nn.file_distribution(id), before);
+  EXPECT_EQ(nn.pending_moves().size(), moves.size());
+  for (const ReplicaMove& move : moves) {
+    EXPECT_NE(move.from, move.to);
+    nn.commit_move(move.block, move.from, move.to);
+  }
+  const auto after = nn.file_distribution(id);
   EXPECT_GT(after[0], before[0]);
+  EXPECT_TRUE(nn.pending_moves().empty());
   // Replica counts conserved.
   std::uint64_t total = 0;
   for (const std::uint64_t c : after) total += c;
   EXPECT_EQ(total, 300u);
-  // Every reported move is consistent with the final metadata.
-  for (const ReplicaMove& move : moves) {
-    EXPECT_NE(move.from, move.to);
-  }
 }
 
 TEST(NameNode, RebalanceKeepsReplicasDistinct) {
@@ -228,7 +233,11 @@ TEST(NameNode, RebalanceKeepsReplicasDistinct) {
   const FileId id = nn.create_file("f", 50, 2,
                                    placement::make_random_policy(4), rng);
   std::vector<double> et = {1.0, 1.0, 50.0, 50.0};
-  nn.rebalance_file(id, placement::make_adapt_policy(et, 50), rng);
+  const auto moves =
+      nn.rebalance_file(id, placement::make_adapt_policy(et, 50), rng);
+  for (const ReplicaMove& move : moves) {
+    nn.commit_move(move.block, move.from, move.to);
+  }
   for (const BlockId b : nn.file(id).blocks) {
     const BlockInfo& info = nn.block(b);
     const std::set<cluster::NodeIndex> distinct(info.replicas.begin(),

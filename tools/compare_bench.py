@@ -1,14 +1,24 @@
 #!/usr/bin/env python3
-"""Compare a bench_hotpath JSON report against the committed baseline.
+"""Compare a bench JSON report against the committed baseline.
 
 Warn-only by design: perf on shared CI runners is noisy, so a regression
 past the threshold prints a ::warning:: annotation (picked up by GitHub
 Actions) and the script still exits 0. Pass --strict to exit 1 instead,
 for local use on quiet reference hardware.
 
-Metrics are matched by name. Each metric's "better" field says which
-direction is a regression: "lower" (timings), "higher" (throughput), or
-"info" (reported, never compared).
+Two report schemas are understood:
+
+- bench_hotpath's flat {"bench": "hotpath", "metrics": [...]} report.
+  Metrics are matched by name; each metric's "better" field says which
+  direction is a regression: "lower" (timings), "higher" (throughput),
+  or "info" (reported, never compared).
+- runner::Report sweeps ({"bench": ..., "rows": [...]}, e.g.
+  bench_rebalance): rows flatten to "point/series/metric" names.
+  Simulated-time metrics are deterministic for a fixed seed, so any
+  drift there is a behavioral change, not runner noise. Makespan/elapsed
+  means compare as "lower"; count-like loop metrics (triggers,
+  migrations committed, bytes) compare as "higher" so a silently
+  dead loop shows up; the rest are informational.
 
 Usage:
   tools/compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
@@ -20,14 +30,37 @@ import json
 import sys
 
 
+# Direction for flattened runner::Report row metrics (suffix match).
+_ROW_LOWER = ("makespan_mean", "elapsed_mean")
+_ROW_HIGHER = ("rebalance_triggers", "migrations_committed",
+               "migration_bytes")
+
+
+def _row_direction(metric):
+    if metric in _ROW_LOWER:
+        return "lower"
+    if metric in _ROW_HIGHER:
+        return "higher"
+    return "info"
+
+
 def load_metrics(path):
     with open(path) as f:
         report = json.load(f)
-    if report.get("bench") != "hotpath":
-        raise SystemExit(f"{path}: not a bench_hotpath report")
-    return report.get("mode", "?"), {
-        m["name"]: m for m in report.get("metrics", [])
-    }
+    if report.get("bench") == "hotpath":
+        return report.get("mode", "?"), {
+            m["name"]: m for m in report.get("metrics", [])
+        }
+    if "rows" in report:
+        metrics = {}
+        for row in report["rows"]:
+            for metric, value in row.get("metrics", {}).items():
+                name = f"{row['point']}/{row['series']}/{metric}"
+                metrics[name] = {"name": name, "value": value,
+                                 "better": _row_direction(metric)}
+        return report.get("bench", "?"), metrics
+    raise SystemExit(f"{path}: neither a bench_hotpath report nor a "
+                     "runner sweep report")
 
 
 def main():
