@@ -45,9 +45,10 @@ struct ChurnSeries {
   core::PolicyKind policy;
   int replication;
   bool pipeline;
+  bool anti_affinity = false;
   std::string label() const {
-    return core::to_string(policy) + " r" + std::to_string(replication) +
-           (pipeline ? " +rr" : " -rr");
+    return core::to_string(policy) + (anti_affinity ? "+aa" : "") + " r" +
+           std::to_string(replication) + (pipeline ? " +rr" : " -rr");
   }
 };
 
@@ -56,6 +57,9 @@ struct Point {
   double departure_rate;
   double burst_at;
   double burst_fraction;
+  // When > 0, the burst takes down this many whole racks instead of a
+  // uniform node fraction (needs a cluster built with a DomainLayout).
+  std::uint32_t domain_burst = 0;
 };
 
 void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
@@ -63,9 +67,11 @@ void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
                const std::string& column, const std::vector<Point>& points,
                const std::vector<ChurnSeries>& series, std::size_t nodes,
                int runs, std::uint64_t seed, double dead_timeout,
-               int rr_concurrency) {
+               int rr_concurrency,
+               cluster::DomainLayout layout = {}) {
   const auto params = draw_population(nodes, seed);
   cluster::TraceClusterConfig tc;
+  tc.domains = layout;
   const auto cl = std::make_shared<const cluster::Cluster>(
       cluster::model_cluster(params, tc));
   workload::Workload w = workload::simulation_workload();
@@ -81,13 +87,19 @@ void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
     config.obs = sink.options.obs;
     config.job.churn.enabled = true;
     config.job.churn.departure_rate = point.departure_rate;
-    config.job.churn.burst_at = point.burst_at;
-    config.job.churn.burst_fraction = point.burst_fraction;
+    if (point.domain_burst > 0) {
+      config.job.churn.domain_burst_at = point.burst_at;
+      config.job.churn.domain_burst_count = point.domain_burst;
+    } else {
+      config.job.churn.burst_at = point.burst_at;
+      config.job.churn.burst_fraction = point.burst_fraction;
+    }
     config.job.churn.dead_timeout = dead_timeout;
     config.job.churn.rereplication.max_concurrent = rr_concurrency;
     for (const ChurnSeries& s : series) {
       config.policy = s.policy;
       config.replication = s.replication;
+      config.domain_anti_affinity = s.anti_affinity;
       config.job.churn.rereplication.enabled = s.pipeline;
       cells.push_back({cl, config, runs});
     }
@@ -96,8 +108,8 @@ void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
       exec.run_sweep(cells, sink.collector());
 
   common::Table table({column, "series", "elapsed (s)", "failed",
-                       "departed", "dead", "tasks lost", "re-repl",
-                       "give-ups", "moved"});
+                       "departed", "dead", "blocks lost", "tasks lost",
+                       "re-repl", "give-ups", "moved"});
   std::size_t cell = 0;
   for (const Point& point : points) {
     for (const ChurnSeries& s : series) {
@@ -108,6 +120,7 @@ void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
            std::to_string(r.failed_runs) + "/" + std::to_string(runs),
            std::to_string(r.nodes_departed),
            std::to_string(r.nodes_dead),
+           std::to_string(r.blocks_lost),
            std::to_string(r.tasks_lost),
            std::to_string(r.rereplications),
            std::to_string(r.rereplication_giveups),
@@ -181,6 +194,38 @@ int main(int argc, char** argv) {
     run_sweep(exec, report, sink, "Churn (b): correlated burst at 300 s",
               "burst", points, series, nodes, runs, seed + 1, dead_timeout,
               rr_concurrency);
+  }
+  {
+    // Correlated rack bursts: the cluster gets a 4-site x 2-rack
+    // hierarchy (8 racks, 16 nodes each at the default scale) and the
+    // burst takes whole racks down at t = 300 s. Racks this size are
+    // where availability-weighted concentration actually co-locates
+    // replicas, so this is the loss mode plain ADAPT is weakest
+    // against; the +aa series places replicas anti-affine across racks
+    // and the jump series hashes over the domain-major order. The
+    // "hazard 1/1h" point is the independent-loss baseline on the same
+    // layered cluster.
+    const cluster::DomainLayout layout = {4, 2};
+    const std::vector<ChurnSeries> domain_series = {
+        {core::PolicyKind::kRandom, 2, true},
+        {core::PolicyKind::kAdapt, 2, true},
+        {core::PolicyKind::kAdapt, 2, true, /*anti_affinity=*/true},
+        {core::PolicyKind::kJump, 2, true},
+        {core::PolicyKind::kRandom, 3, true},
+        {core::PolicyKind::kAdapt, 3, true},
+        {core::PolicyKind::kAdapt, 3, true, /*anti_affinity=*/true},
+        {core::PolicyKind::kJump, 3, true},
+    };
+    std::vector<Point> points = {
+        {"hazard 1/1h", 1.0 / 3600.0, -1.0, 0.0, 0},
+        {"1 rack", 0.0, 300.0, 0.0, 1},
+        {"2 racks", 0.0, 300.0, 0.0, 2},
+        {"4 racks", 0.0, 300.0, 0.0, 4},
+    };
+    run_sweep(exec, report, sink,
+              "Churn (c): rack bursts at 300 s (4 sites x 2 racks)",
+              "loss mode", points, domain_series, nodes, runs, seed + 2,
+              dead_timeout, rr_concurrency, layout);
   }
   if (options.obs.calibration.enabled) {
     // Aggregate the CUSUM drift detections across every run: how long

@@ -37,6 +37,7 @@
 #include "common/rng.h"
 #include "hdfs/namenode.h"
 #include "placement/adapt_policy.h"
+#include "placement/jump_hash_policy.h"
 #include "trace/generator.h"
 #include "workload/terasort.h"
 
@@ -93,6 +94,40 @@ void bench_placement_micro(std::vector<Metric>& metrics, bool quick) {
                 static_cast<unsigned long long>(sink));
     metrics.push_back({"placement_micro/nodes=" + std::to_string(nodes),
                        ns, "ns/draw", "lower"});
+  }
+}
+
+// 1b. Jump-consistent-hash draw cost: the keyed O(ln n) bucket walk plus
+// the ring probe, against a fully eligible mask (zero probing in the
+// common case). No rng, no hash table — this is the policy the churn
+// bench credits with O(1/n) remap; its draw must stay competitive.
+void bench_jump_micro(std::vector<Metric>& metrics, bool quick) {
+  const std::uint64_t iterations = quick ? 1'000'000 : 2'000'000;
+  std::printf("\n--- jump placement micro (%llu draws per size) ---\n",
+              static_cast<unsigned long long>(iterations));
+  for (const std::size_t nodes : {std::size_t{128}, std::size_t{1024},
+                                  std::size_t{8192}}) {
+    std::vector<cluster::NodeIndex> order(nodes);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      order[i] = static_cast<cluster::NodeIndex>(i);
+    }
+    const placement::JumpHashPolicy policy(std::move(order));
+    const cluster::NodeMask eligible(nodes, true);
+    common::Rng rng(23);  // untouched by the keyed path
+    std::uint64_t sink = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+      sink += policy
+                  .choose_keyed(i, static_cast<std::uint32_t>(i & 1),
+                                eligible, rng)
+                  .value_or(0);
+    }
+    const double ns = seconds_since(t0) * 1e9 /
+                      static_cast<double>(iterations);
+    std::printf("nodes=%5zu  %7.1f ns/draw  (checksum %llu)\n", nodes, ns,
+                static_cast<unsigned long long>(sink));
+    metrics.push_back({"jump_micro/nodes=" + std::to_string(nodes), ns,
+                       "ns/draw", "lower"});
   }
 }
 
@@ -265,6 +300,7 @@ int main(int argc, char** argv) {
 
   std::vector<Metric> metrics;
   bench_placement_micro(metrics, quick);
+  bench_jump_micro(metrics, quick);
   bench_create_file(metrics);
   bench_simulation(metrics, runs, obs);
   bench_churn_recovery(metrics, runs, seed, obs);

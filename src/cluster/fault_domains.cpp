@@ -1,0 +1,115 @@
+#include "cluster/fault_domains.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "cluster/topology.h"
+
+namespace adapt::cluster {
+
+FaultDomains::FaultDomains(std::vector<std::uint32_t> rack_of,
+                           std::vector<std::uint32_t> site_of_rack)
+    : rack_of_(std::move(rack_of)), site_of_rack_(std::move(site_of_rack)) {
+  if (rack_of_.empty()) {
+    throw std::invalid_argument("fault domains: no nodes");
+  }
+  std::uint32_t max_rack = 0;
+  for (const std::uint32_t rack : rack_of_) {
+    max_rack = std::max(max_rack, rack);
+  }
+  const std::size_t racks = static_cast<std::size_t>(max_rack) + 1;
+  if (site_of_rack_.empty()) {
+    site_of_rack_.assign(racks, 0);
+  }
+  if (site_of_rack_.size() < racks) {
+    throw std::invalid_argument("fault domains: rack without a site");
+  }
+  domain_masks_.assign(racks, NodeMask(rack_of_.size()));
+  for (std::size_t i = 0; i < rack_of_.size(); ++i) {
+    domain_masks_[rack_of_[i]].set(i);
+  }
+}
+
+FaultDomains FaultDomains::from_cluster(const Cluster& cluster) {
+  if (cluster.domains.sites == 0) return {};
+  std::vector<std::uint32_t> rack_of;
+  std::vector<std::uint32_t> site_of_rack;
+  rack_of.reserve(cluster.nodes.size());
+  for (const NodeSpec& node : cluster.nodes) {
+    rack_of.push_back(node.rack);
+    if (node.rack >= site_of_rack.size()) {
+      site_of_rack.resize(node.rack + 1, 0);
+    }
+    site_of_rack[node.rack] = node.site;
+  }
+  return FaultDomains(std::move(rack_of), std::move(site_of_rack));
+}
+
+void FaultDomains::restrict_anti_affine(
+    NodeMask& eligible, const std::vector<NodeIndex>& holders) const {
+  if (empty() || holders.empty() || eligible.none()) return;
+
+  // Count holder replicas per domain; small vectors, so a linear scan
+  // per holder beats allocating a full per-domain count array only when
+  // the hierarchy is tiny — and it never is, so count directly.
+  std::vector<std::uint32_t> held(domain_masks_.size(), 0);
+  NodeMask strict = eligible;
+  for (const NodeIndex holder : holders) {
+    const std::uint32_t d = rack_of_.at(holder);
+    if (held[d]++ == 0) strict.and_not(domain_masks_[d]);
+  }
+  if (strict.any()) {
+    eligible = std::move(strict);
+    return;
+  }
+
+  // Every eligible node is co-located with a holder (fewer live domains
+  // than the replication factor wants). Keep the eligible domains with
+  // the fewest holder-replicas, so extra copies spread as evenly as the
+  // hierarchy allows.
+  std::uint32_t fewest = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t d = 0; d < domain_masks_.size(); ++d) {
+    if (!eligible.intersects(domain_masks_[d])) continue;
+    fewest = std::min(fewest, held[d]);
+  }
+  NodeMask keep(eligible.size());
+  for (std::uint32_t d = 0; d < domain_masks_.size(); ++d) {
+    if (held[d] != fewest) continue;
+    if (!eligible.intersects(domain_masks_[d])) continue;
+    keep |= domain_masks_[d];
+  }
+  eligible &= keep;
+}
+
+bool FaultDomains::distinct_domains(
+    const std::vector<NodeIndex>& holders) const {
+  if (empty()) return true;
+  std::vector<bool> seen(domain_masks_.size(), false);
+  for (const NodeIndex holder : holders) {
+    const std::uint32_t d = rack_of_.at(holder);
+    if (seen[d]) return false;
+    seen[d] = true;
+  }
+  return true;
+}
+
+std::vector<NodeIndex> FaultDomains::domain_major_order() const {
+  std::vector<NodeIndex> order(rack_of_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<NodeIndex>(i);
+  }
+  if (empty()) return order;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](NodeIndex a, NodeIndex b) {
+                     const std::uint32_t ra = rack_of_[a];
+                     const std::uint32_t rb = rack_of_[b];
+                     if (site_of_rack_[ra] != site_of_rack_[rb]) {
+                       return site_of_rack_[ra] < site_of_rack_[rb];
+                     }
+                     return ra < rb;  // stable: node order within a rack
+                   });
+  return order;
+}
+
+}  // namespace adapt::cluster

@@ -1,0 +1,81 @@
+// Site/rack/node fault-domain hierarchy and the anti-affine eligibility
+// step (DAOS-style hierarchical pool map).
+//
+// A fault domain is the unit of correlated failure: a rack losing power
+// takes every node in it down at once. Replica placement that ignores
+// domains can put all copies of a block behind one failure — exactly the
+// correlated-loss weakness bench_churn measured for ADAPT's
+// availability-weighted concentration. The fix is eligibility algebra,
+// not a new policy: before a draw, intersect the eligible mask with
+// "nodes in domains not yet holding a replica of this block", so the
+// policy stays availability-weighted *within* the surviving domains but
+// anti-affine *across* them. When fewer distinct domains remain than the
+// replication factor asks for, fall back to the domains currently
+// holding the fewest replicas (even spread, never an empty mask).
+//
+// The leaf domain is the rack; sites group racks so the domain-major
+// node ordering (site, rack, node) gives consistent-hash placement maps
+// a stable, hierarchy-aware bucket order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/node_mask.h"
+
+namespace adapt::cluster {
+
+struct Cluster;
+
+class FaultDomains {
+ public:
+  // Flat topology: no hierarchy, every restriction is a no-op.
+  FaultDomains() = default;
+
+  // Build from per-node leaf-domain (rack) ids; sites_of[i] groups rack
+  // i into a site for the domain-major ordering (empty = one site).
+  FaultDomains(std::vector<std::uint32_t> rack_of,
+               std::vector<std::uint32_t> site_of_rack);
+
+  // Reads the NodeSpec site/rack fields filled by the cluster builders;
+  // returns a flat (empty) hierarchy when the cluster has no layout.
+  static FaultDomains from_cluster(const Cluster& cluster);
+
+  bool empty() const { return domain_masks_.empty(); }
+  std::size_t node_count() const { return rack_of_.size(); }
+  std::size_t domain_count() const { return domain_masks_.size(); }
+
+  std::uint32_t domain_of(NodeIndex node) const { return rack_of_.at(node); }
+  const std::vector<std::uint32_t>& domains_of_nodes() const {
+    return rack_of_;
+  }
+  const NodeMask& domain_mask(std::uint32_t domain) const {
+    return domain_masks_.at(domain);
+  }
+
+  // The anti-affine eligibility step. Removes every holder's domain from
+  // `eligible`; if that empties the mask (domains < replication, or the
+  // survivors are all co-located with holders), falls back to keeping
+  // only the domains with the fewest holder-replicas among those that
+  // still intersect the original mask. Never turns a non-empty mask
+  // empty. No-op on a flat hierarchy.
+  void restrict_anti_affine(NodeMask& eligible,
+                            const std::vector<NodeIndex>& holders) const;
+
+  // True when no two of `holders` share a leaf domain (vacuously true on
+  // a flat hierarchy).
+  bool distinct_domains(const std::vector<NodeIndex>& holders) const;
+
+  // Nodes ordered by (site, rack, node index) — the bucket order for
+  // jump-consistent-hash placement, stable under node joins appended at
+  // the tail of their rack's range.
+  std::vector<NodeIndex> domain_major_order() const;
+
+ private:
+  std::vector<std::uint32_t> rack_of_;       // node -> leaf domain
+  std::vector<std::uint32_t> site_of_rack_;  // leaf domain -> site
+  std::vector<NodeMask> domain_masks_;       // leaf domain -> members
+};
+
+}  // namespace adapt::cluster

@@ -67,6 +67,12 @@ struct NodeSpec {
   // Storage capacity in blocks; 0 means unbounded.
   std::uint64_t capacity_blocks = 0;
 
+  // Fault-domain path (site ⊃ rack ⊃ node). Racks are globally numbered
+  // (the leaf fault domain); all zero on clusters built without a
+  // DomainLayout, which FaultDomains::from_cluster treats as flat.
+  std::uint32_t site = 0;
+  std::uint32_t rack = 0;
+
   bool interruptible() const { return mode != AvailabilityMode::kAlwaysUp; }
 };
 

@@ -96,6 +96,17 @@ class NodeMask {
     for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
     return *this;
   }
+  // Word-parallel "do the two sets share a node" test — the fault-domain
+  // eligibility step asks this per domain, so it must not materialize
+  // the intersection.
+  bool intersects(const NodeMask& other) const {
+    check_size(other);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if ((words_[w] & other.words_[w]) != 0) return true;
+    }
+    return false;
+  }
+
   // this &= ~other; the word-parallel "remove these nodes" combine.
   NodeMask& and_not(const NodeMask& other) {
     check_size(other);

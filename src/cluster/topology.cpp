@@ -6,6 +6,27 @@
 
 namespace adapt::cluster {
 
+void assign_domains(std::vector<NodeSpec>& nodes,
+                    const DomainLayout& layout) {
+  if (!layout.enabled()) return;
+  if (layout.racks_per_site == 0) {
+    throw std::invalid_argument("assign_domains: racks_per_site must be > 0");
+  }
+  const std::uint32_t racks = layout.rack_count();
+  if (racks > nodes.size()) {
+    throw std::invalid_argument("assign_domains: more racks than nodes");
+  }
+  // Contiguous split: rack r holds nodes [r*n/R, (r+1)*n/R), so every
+  // rack gets floor(n/R) or ceil(n/R) members.
+  const std::size_t n = nodes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto rack = static_cast<std::uint32_t>(
+        (i * racks) / n);
+    nodes[i].rack = rack;
+    nodes[i].site = rack / layout.racks_per_site;
+  }
+}
+
 std::vector<avail::InterruptionParams> Cluster::params() const {
   std::vector<avail::InterruptionParams> out;
   out.reserve(nodes.size());
@@ -63,6 +84,8 @@ Cluster emulated_cluster(const EmulationConfig& config) {
       node.mode = AvailabilityMode::kAlwaysUp;
     }
   }
+  cluster.domains = config.domains;
+  assign_domains(cluster.nodes, cluster.domains);
   return cluster;
 }
 
@@ -94,6 +117,8 @@ Cluster trace_cluster(const trace::Trace& trace,
       node.down_intervals = std::move(intervals[i]);
     }
   }
+  cluster.domains = config.domains;
+  assign_domains(cluster.nodes, cluster.domains);
   return cluster;
 }
 
@@ -120,6 +145,8 @@ Cluster model_cluster(const std::vector<avail::InterruptionParams>& params,
       node.mode = AvailabilityMode::kAlwaysUp;
     }
   }
+  cluster.domains = config.domains;
+  assign_domains(cluster.nodes, cluster.domains);
   return cluster;
 }
 

@@ -18,6 +18,23 @@
 
 namespace adapt::cluster {
 
+// Fault-domain assignment the cluster builders apply: nodes are split
+// into sites * racks_per_site racks (the leaf fault domain) in
+// contiguous index ranges, as evenly as the division allows. sites == 0
+// means no hierarchy — every domain-aware mechanism stays inert and the
+// cluster behaves exactly as before the hierarchy existed.
+struct DomainLayout {
+  std::uint32_t sites = 0;
+  std::uint32_t racks_per_site = 1;
+
+  bool enabled() const { return sites > 0; }
+  std::uint32_t rack_count() const { return sites * racks_per_site; }
+};
+
+// Fill NodeSpec::site/rack for an already-built node list.
+void assign_domains(std::vector<NodeSpec>& nodes,
+                    const DomainLayout& layout);
+
 struct Cluster {
   std::vector<NodeSpec> nodes;
   double origin_uplink_bps = 0.0;  // data source for loads / last-resort
@@ -29,6 +46,9 @@ struct Cluster {
   common::Seconds replay_horizon = 0.0;
   // Uplink sharing model (see cluster::Network::Config::fifo_admission).
   bool fifo_uplinks = true;
+  // Fault-domain hierarchy the nodes were assigned under (disabled =
+  // flat; NodeSpec::site/rack are all zero).
+  DomainLayout domains;
 
   std::size_t size() const { return nodes.size(); }
   // Wall-clock-observable interruption parameters, node-indexed — what a
@@ -57,6 +77,9 @@ struct EmulationConfig {
   // strict-M/G/1 ablation.
   bool absolute_arrival_clock = false;
   int slots_per_node = 1;
+  // Optional fault-domain hierarchy (disabled = flat, the historical
+  // behavior).
+  DomainLayout domains;
 };
 
 Cluster emulated_cluster(const EmulationConfig& config);
@@ -69,6 +92,9 @@ struct TraceClusterConfig {
   // paper's Figure 5 bandwidth sensitivity is consistent with no
   // per-uplink queueing).
   bool fifo_uplinks = false;
+  // Optional fault-domain hierarchy (disabled = flat, the historical
+  // behavior).
+  DomainLayout domains;
 };
 
 Cluster trace_cluster(const trace::Trace& trace,

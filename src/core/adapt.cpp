@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "placement/adapt_policy.h"
+#include "placement/jump_hash_policy.h"
 #include "placement/naive_policy.h"
 #include "placement/random_policy.h"
 #include "sim/injector.h"
@@ -19,6 +20,8 @@ std::string to_string(PolicyKind kind) {
       return "adapt";
     case PolicyKind::kNaive:
       return "naive";
+    case PolicyKind::kJump:
+      return "jump";
   }
   return "?";
 }
@@ -27,7 +30,7 @@ placement::PolicyPtr make_policy(
     PolicyKind kind, const std::vector<avail::InterruptionParams>& params,
     double gamma, std::uint64_t blocks, placement::ChainWeighting weighting,
     avail::TaskTimeCache* task_times, obs::SpanProfiler* spans,
-    common::Seconds now) {
+    common::Seconds now, const cluster::FaultDomains* domains) {
   switch (kind) {
     case PolicyKind::kRandom:
       return placement::make_random_policy(params.size());
@@ -50,6 +53,18 @@ placement::PolicyPtr make_policy(
     }
     case PolicyKind::kNaive:
       return placement::make_naive_policy(params, blocks, weighting);
+    case PolicyKind::kJump: {
+      std::vector<cluster::NodeIndex> order;
+      if (domains != nullptr && !domains->empty()) {
+        order = domains->domain_major_order();
+      } else {
+        order.resize(params.size());
+        for (std::size_t i = 0; i < params.size(); ++i) {
+          order[i] = static_cast<cluster::NodeIndex>(i);
+        }
+      }
+      return placement::make_jump_hash_policy(std::move(order));
+    }
   }
   throw std::invalid_argument("make_policy: unknown kind");
 }
@@ -96,6 +111,12 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
           ? observe_cluster(cluster, config.observation_window, config.seed)
           : cluster.params();
 
+  // Fault-domain hierarchy shared by the policy builder (jump ring
+  // order), the NameNode (anti-affinity, revive trim) and the injector
+  // (domain bursts). Empty on flat clusters — everything stays inert.
+  const auto domains = std::make_shared<const cluster::FaultDomains>(
+      cluster::FaultDomains::from_cluster(cluster));
+
   // One observability sink of each kind per run, owned here;
   // single-threaded by design, so runs parallelized by the
   // ExperimentRunner never share state.
@@ -110,7 +131,8 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
   if (spans) spans->begin("policy_build", 0.0);
   const placement::PolicyPtr policy = make_policy(
       config.policy, params, config.job.gamma, config.blocks,
-      config.weighting, /*task_times=*/nullptr, spans.get(), 0.0);
+      config.weighting, /*task_times=*/nullptr, spans.get(), 0.0,
+      domains.get());
   const placement::PolicyPtr random =
       placement::make_random_policy(cluster.size());
   if (spans) spans->end(0.0);
@@ -129,6 +151,9 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
   hdfs::NameNode::Options options;
   options.fidelity_cap = config.fidelity_cap;
   hdfs::NameNode namenode(cluster.size(), options);
+  if (!domains->empty()) {
+    namenode.set_fault_domains(domains, config.domain_anti_affinity);
+  }
 
   cluster::Network::Config net_config;
   for (const cluster::NodeSpec& node : cluster.nodes) {
@@ -203,6 +228,11 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
     };
   }
   if (job_config.churn.enabled) {
+    // The injector's per-domain burst needs the node -> domain map; fill
+    // it from the cluster layout unless the caller supplied one.
+    if (job_config.churn.domain_of.empty() && !domains->empty()) {
+      job_config.churn.domain_of = domains->domains_of_nodes();
+    }
     // A late joiner is absent at load time: copyFromLocal cannot write
     // to it.
     if (!job_config.churn.join_at.empty()) {
@@ -227,10 +257,11 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
       // the cache instead of re-running Eq. 5.
       const auto task_times = std::make_shared<avail::TaskTimeCache>();
       job_config.churn.policy_factory =
-          [kind, gamma, blocks, weighting, task_times](
+          [kind, gamma, blocks, weighting, task_times, domains](
               const std::vector<avail::InterruptionParams>& estimates) {
             return make_policy(kind, estimates, gamma, blocks, weighting,
-                               task_times.get());
+                               task_times.get(), /*spans=*/nullptr,
+                               /*now=*/0.0, domains.get());
           };
     }
   }

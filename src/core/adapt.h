@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "availability/predictor.h"
+#include "cluster/fault_domains.h"
 #include "cluster/heartbeat.h"
 #include "cluster/topology.h"
 #include "common/stats.h"
@@ -31,7 +32,7 @@
 
 namespace adapt::core {
 
-enum class PolicyKind { kRandom, kAdapt, kNaive };
+enum class PolicyKind { kRandom, kAdapt, kNaive, kJump };
 
 std::string to_string(PolicyKind kind);
 
@@ -45,18 +46,29 @@ std::string to_string(PolicyKind kind);
 // hash-table construction ("hash_table_build") are profiled as nested
 // spans stamped with `now` (setup runs between sim events, so its
 // simulated duration is zero; host time carries the real cost).
+// `domains` (optional) supplies the fault-domain hierarchy: kJump
+// orders its consistent-hash ring domain-major with it so consecutive
+// ring positions straddle racks; the availability-driven kinds ignore it
+// (anti-affinity is applied by the NameNode's eligibility mask, not the
+// policy).
 placement::PolicyPtr make_policy(
     PolicyKind kind, const std::vector<avail::InterruptionParams>& params,
     double gamma, std::uint64_t blocks,
     placement::ChainWeighting weighting = placement::ChainWeighting::kPaper,
     avail::TaskTimeCache* task_times = nullptr,
-    obs::SpanProfiler* spans = nullptr, common::Seconds now = 0.0);
+    obs::SpanProfiler* spans = nullptr, common::Seconds now = 0.0,
+    const cluster::FaultDomains* domains = nullptr);
 
 struct ExperimentConfig {
   PolicyKind policy = PolicyKind::kAdapt;
   int replication = 1;
   std::uint32_t blocks = 0;  // m; must be set
   bool fidelity_cap = true;  // Section IV-C threshold m(k+1)/n
+  // Cross-domain anti-affinity: when the cluster has a DomainLayout,
+  // every replica draw (load, re-replication, migration, rebalance)
+  // excludes domains already holding a copy of the block. Inert on flat
+  // clusters (sites == 0), keeping their runs byte-identical.
+  bool domain_anti_affinity = false;
   placement::ChainWeighting weighting = placement::ChainWeighting::kPaper;
   sim::SimJobConfig job;
 

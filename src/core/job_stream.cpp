@@ -55,10 +55,13 @@ JobStreamResult run_job_stream(const cluster::Cluster& initial,
 
   // Load once, at t = 0, under the initial regime's beliefs.
   const std::vector<avail::InterruptionParams> params = initial.params();
+  const auto domains = std::make_shared<const cluster::FaultDomains>(
+      cluster::FaultDomains::from_cluster(initial));
   if (spans) spans->begin("policy_build", 0.0);
   const placement::PolicyPtr policy =
       make_policy(config.policy, params, config.job.gamma, config.blocks,
-                  config.weighting, /*task_times=*/nullptr, spans.get(), 0.0);
+                  config.weighting, /*task_times=*/nullptr, spans.get(), 0.0,
+                  domains.get());
   const placement::PolicyPtr random =
       placement::make_random_policy(initial.size());
   if (spans) spans->end(0.0);
@@ -74,6 +77,9 @@ JobStreamResult run_job_stream(const cluster::Cluster& initial,
   hdfs::NameNode::Options options;
   options.fidelity_cap = config.fidelity_cap;
   hdfs::NameNode namenode(initial.size(), options);
+  if (!domains->empty()) {
+    namenode.set_fault_domains(domains, config.domain_anti_affinity);
+  }
 
   cluster::Network::Config net_config;
   for (const cluster::NodeSpec& node : initial.nodes) {
@@ -112,6 +118,10 @@ JobStreamResult run_job_stream(const cluster::Cluster& initial,
   // regime shifts these stay pinned to the initial truth, the heartbeat
   // estimates walk away from them, and the CUSUM trips.
   if (calibration) job_template.truth_params = params;
+  if (job_template.churn.enabled &&
+      job_template.churn.domain_of.empty() && !domains->empty()) {
+    job_template.churn.domain_of = domains->domains_of_nodes();
+  }
   if (job_template.churn.enabled && !job_template.churn.policy_factory) {
     const PolicyKind kind = config.policy;
     const double gamma = config.job.gamma;
@@ -119,10 +129,11 @@ JobStreamResult run_job_stream(const cluster::Cluster& initial,
     const placement::ChainWeighting weighting = config.weighting;
     const auto task_times = std::make_shared<avail::TaskTimeCache>();
     job_template.churn.policy_factory =
-        [kind, gamma, blocks, weighting, task_times](
+        [kind, gamma, blocks, weighting, task_times, domains](
             const std::vector<avail::InterruptionParams>& estimates) {
           return make_policy(kind, estimates, gamma, blocks, weighting,
-                             task_times.get());
+                             task_times.get(), /*spans=*/nullptr,
+                             /*now=*/0.0, domains.get());
         };
   }
 
@@ -133,8 +144,10 @@ JobStreamResult run_job_stream(const cluster::Cluster& initial,
     const cluster::Cluster& regime =
         (shifts && j >= config.shift_at_job) ? shifted : initial;
     // Membership refresh between jobs: a volunteer machine declared dead
-    // during the previous job rejoins the pool (its data stayed written
-    // off — loss is permanent, eligibility is not).
+    // during the previous job rejoins the pool. Its disk survived the
+    // (false) declaration, so the revive acts as a block report — copies
+    // still under target are re-registered, refilled blocks shed the
+    // excess replica (NameNode::revive_node).
     for (std::size_t n = 0; n < namenode.node_count(); ++n) {
       const auto node = static_cast<cluster::NodeIndex>(n);
       if (namenode.is_dead(node)) namenode.revive_node(node);

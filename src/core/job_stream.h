@@ -32,6 +32,9 @@ struct JobStreamConfig {
   int replication = 2;
   std::uint32_t blocks = 0;  // m; must be set
   bool fidelity_cap = true;
+  // Cross-domain anti-affinity (see ExperimentConfig); inert on flat
+  // clusters.
+  bool domain_anti_affinity = false;
   placement::ChainWeighting weighting = placement::ChainWeighting::kPaper;
 
   // Template for every job in the stream (gamma, churn, rebalance, ...).

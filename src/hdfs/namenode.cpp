@@ -12,7 +12,8 @@ NameNode::NameNode(std::size_t node_count, Options options)
     : options_(options),
       nodes_(node_count),
       dead_(node_count, false),
-      placeable_(node_count) {
+      placeable_(node_count),
+      written_off_(node_count) {
   for (std::size_t i = 0; i < node_count; ++i) {
     sync_placeable(static_cast<cluster::NodeIndex>(i));
   }
@@ -22,10 +23,21 @@ NameNode::NameNode(std::vector<std::uint64_t> capacity_blocks, Options options)
     : options_(options),
       nodes_(std::move(capacity_blocks)),
       dead_(nodes_.node_count(), false),
-      placeable_(nodes_.node_count()) {
+      placeable_(nodes_.node_count()),
+      written_off_(nodes_.node_count()) {
   for (std::size_t i = 0; i < nodes_.node_count(); ++i) {
     sync_placeable(static_cast<cluster::NodeIndex>(i));
   }
+}
+
+void NameNode::set_fault_domains(
+    std::shared_ptr<const cluster::FaultDomains> domains, bool anti_affine) {
+  if (domains && !domains->empty() &&
+      domains->node_count() != node_count()) {
+    throw std::invalid_argument("set_fault_domains: node count mismatch");
+  }
+  domains_ = std::move(domains);
+  anti_affine_ = anti_affine && domains_ && !domains_->empty();
 }
 
 void NameNode::sync_placeable(cluster::NodeIndex node) {
@@ -58,6 +70,17 @@ cluster::NodeMask NameNode::eligibility(
       if (move.block == *block_id) eligible.reset(move.to);
     }
   }
+  if (anti_affine_) {
+    // Cross-domain anti-affinity: a pending-move target will hold a
+    // copy too, so its domain is as taken as a holder's.
+    std::vector<cluster::NodeIndex> taken = info.replicas;
+    if (block_id) {
+      for (const ReplicaMove& move : pending_moves_) {
+        if (move.block == *block_id) taken.push_back(move.to);
+      }
+    }
+    domains_->restrict_anti_affine(eligible, taken);
+  }
   return eligible;
 }
 
@@ -68,16 +91,18 @@ cluster::NodeMask NameNode::eligibility_for_new_replica(BlockId block) const {
 std::optional<cluster::NodeIndex> NameNode::place_replica(
     const BlockInfo& info, const placement::PlacementPolicy& policy,
     placement::CappedPolicy* cap, common::Rng& rng,
-    const cluster::NodeMask* filter_mask) {
+    const cluster::NodeMask* filter_mask, std::uint64_t key,
+    std::uint32_t ordinal) {
   const cluster::NodeMask eligible =
       eligibility(info, filter_mask, std::nullopt);
   std::optional<cluster::NodeIndex> node =
-      cap ? cap->choose(eligible, rng) : policy.choose(eligible, rng);
+      cap ? cap->choose_keyed(key, ordinal, eligible, rng)
+          : policy.choose_keyed(key, ordinal, eligible, rng);
   if (!node && cap) {
     // Every under-cap node is ineligible; the paper's threshold is a
     // fidelity knob, not a correctness constraint, so overflow past it
     // rather than fail the load.
-    node = policy.choose(eligible, rng);
+    node = policy.choose_keyed(key, ordinal, eligible, rng);
   }
   if (node && cap) cap->record_placement(*node);
   return node;
@@ -144,7 +169,8 @@ FileId NameNode::create_file(const std::string& name,
     info.index = b;
     for (int r = 0; r < replication; ++r) {
       const auto node =
-          place_replica(info, *policy, cap.get(), rng, filter_ptr);
+          place_replica(info, *policy, cap.get(), rng, filter_ptr, block_id,
+                        static_cast<std::uint32_t>(r));
       if (!node) {
         rollback(info);
         throw std::runtime_error(
@@ -194,12 +220,15 @@ std::vector<ReplicaMove> NameNode::rebalance_file(
     // the caller commits the transfer.
     const std::vector<cluster::NodeIndex> old_replicas =
         blocks_.at(block_id).replicas;
-    for (const cluster::NodeIndex old_node : old_replicas) {
+    for (std::size_t r = 0; r < old_replicas.size(); ++r) {
+      const cluster::NodeIndex old_node = old_replicas[r];
+      const auto ordinal = static_cast<std::uint32_t>(r);
       cluster::NodeMask eligible =
           eligibility(blocks_.at(block_id), filter_ptr, block_id);
       eligible.set(old_node);  // staying put is always allowed
-      auto target = cap ? cap->choose(eligible, rng)
-                        : policy->choose(eligible, rng);
+      auto target = cap ? cap->choose_keyed(block_id, ordinal, eligible, rng)
+                        : policy->choose_keyed(block_id, ordinal, eligible,
+                                               rng);
       if (!target) target = old_node;  // over-cap everywhere: keep
       if (cap) cap->record_placement(*target);
       if (*target != old_node) {
@@ -260,6 +289,7 @@ void NameNode::commit_move(BlockId block, cluster::NodeIndex from,
     // Another pipeline (re-replication) landed its own copy at `to`
     // while this move was on the wire. The replica is already real;
     // release the reservation and keep the source copy in place.
+    ++stats_.duplicate_replica_inserts;
     nodes_.remove_replica(to);
     sync_placeable(to);
     return;
@@ -315,7 +345,11 @@ std::vector<std::uint64_t> NameNode::file_distribution(FileId id) const {
 void NameNode::add_replica(BlockId block, cluster::NodeIndex node) {
   BlockInfo& info = blocks_.at(block);
   if (info.hosted_on(node)) {
-    throw std::logic_error("add_replica: node already holds block");
+    // Dedupe on insert: racing pipelines (re-replication vs migration
+    // commit) may both try to register the same holder. Count it and
+    // keep the metadata single-entry.
+    ++stats_.duplicate_replica_inserts;
+    return;
   }
   info.replicas.push_back(node);
   nodes_.add_replica(node);
@@ -359,15 +393,84 @@ std::vector<BlockId> NameNode::mark_node_dead(cluster::NodeIndex node) {
       affected.push_back(b);
     }
   }
+  // The disk still holds these copies; revive_node restores from this
+  // ledger if the death turns out to have been a false declaration.
+  written_off_[node] = affected;
   return affected;
 }
 
-void NameNode::revive_node(cluster::NodeIndex node) {
+NameNode::ReviveReport NameNode::revive_node(cluster::NodeIndex node) {
   if (node >= node_count()) {
     throw std::out_of_range("revive_node: bad node");
   }
+  ReviveReport report;
+  if (!dead_[node]) return report;
   dead_[node] = false;
   sync_placeable(node);
+
+  // Block report: everything written off at death is still on disk.
+  const std::vector<BlockId> ledger = std::move(written_off_[node]);
+  written_off_[node].clear();
+  for (const BlockId b : ledger) {
+    BlockInfo& info = blocks_.at(b);
+    if (info.hosted_on(node)) {
+      // Should be impossible (the node was dead and thus unplaceable),
+      // but a double-registered holder must never happen.
+      ++stats_.duplicate_replica_inserts;
+      continue;
+    }
+    const auto target =
+        static_cast<std::size_t>(files_.at(info.file).replication);
+    if (info.replicas.size() < target) {
+      if (!nodes_.has_space(node)) {
+        // Disk copy exists but the directory has no room to account
+        // for it (should not happen: death freed the space). Treat the
+        // copy as discarded.
+        report.trimmed.push_back({b, node});
+        continue;
+      }
+      info.replicas.push_back(node);
+      nodes_.add_replica(node);
+      sync_placeable(node);
+      ++stats_.replicas_restored;
+      report.restored.push_back(b);
+      continue;
+    }
+    // Re-replication already brought the block back to target: the
+    // disk copy is excess. Reclaim it — but if some current holder's
+    // domain already has two copies while the revived node's domain
+    // has none, swap: the restore then *improves* domain spread.
+    ++stats_.over_replicated_trimmed;
+    const std::optional<cluster::NodeIndex> victim = trim_victim(info, node);
+    if (victim && nodes_.has_space(node)) {
+      remove_replica(b, *victim);
+      info.replicas.push_back(node);
+      nodes_.add_replica(node);
+      sync_placeable(node);
+      ++stats_.replicas_restored;
+      report.restored.push_back(b);
+      report.trimmed.push_back({b, *victim});
+    } else {
+      report.trimmed.push_back({b, node});
+    }
+  }
+  return report;
+}
+
+std::optional<cluster::NodeIndex> NameNode::trim_victim(
+    const BlockInfo& info, cluster::NodeIndex node) const {
+  if (!domains_ || domains_->empty()) return std::nullopt;
+  const std::uint32_t my_domain = domains_->domain_of(node);
+  std::vector<std::uint32_t> held(domains_->domain_count(), 0);
+  for (const cluster::NodeIndex holder : info.replicas) {
+    const std::uint32_t d = domains_->domain_of(holder);
+    if (d == my_domain) return std::nullopt;  // disk copy is the dup
+    ++held[d];
+  }
+  for (const cluster::NodeIndex holder : info.replicas) {
+    if (held[domains_->domain_of(holder)] >= 2) return holder;
+  }
+  return std::nullopt;
 }
 
 }  // namespace adapt::hdfs

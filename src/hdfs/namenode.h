@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/fault_domains.h"
 #include "cluster/node_mask.h"
 #include "common/rng.h"
 #include "hdfs/block.h"
@@ -46,11 +47,34 @@ class NameNode {
     std::uint64_t cap_override = 0;
   };
 
+  // Defensive-accounting counters (dedupe guards, revive reclaim);
+  // monotonic over the NameNode's lifetime.
+  struct Stats {
+    std::uint64_t duplicate_replica_inserts = 0;
+    std::uint64_t over_replicated_trimmed = 0;
+    std::uint64_t replicas_restored = 0;
+  };
+
   explicit NameNode(std::size_t node_count);
   NameNode(std::size_t node_count, Options options);
   NameNode(std::vector<std::uint64_t> capacity_blocks, Options options);
 
   std::size_t node_count() const { return nodes_.node_count(); }
+
+  // Install the cluster's fault-domain hierarchy. With `anti_affine`
+  // set, every eligibility mask additionally excludes domains already
+  // holding (or about to receive) a replica of the block, falling back
+  // to the fewest-replicas-per-domain rule when every live domain holds
+  // one (see FaultDomains::restrict_anti_affine). The hierarchy also
+  // steers the excess-replica trim on revive regardless of the flag.
+  void set_fault_domains(
+      std::shared_ptr<const cluster::FaultDomains> domains,
+      bool anti_affine);
+  const cluster::FaultDomains* fault_domains() const {
+    return domains_.get();
+  }
+
+  const Stats& stats() const { return stats_; }
 
   // Extra eligibility the environment imposes (e.g. only up nodes can
   // receive data during a load). Null = everything eligible.
@@ -113,7 +137,11 @@ class NameNode {
   const Options& options() const { return options_; }
 
   // Replica-level mutation, used by rebalance internally and available
-  // for failure-injection tests.
+  // for failure-injection tests. add_replica dedupes on insert: asking
+  // to register a holder already present is counted
+  // (stats().duplicate_replica_inserts) and ignored, so a policy or
+  // migration bug can never double-count a holder in locality or loss
+  // accounting.
   void add_replica(BlockId block, cluster::NodeIndex node);
   void remove_replica(BlockId block, cluster::NodeIndex node);
 
@@ -127,9 +155,28 @@ class NameNode {
   // second call returns nothing.
   std::vector<BlockId> mark_node_dead(cluster::NodeIndex node);
 
-  // A dead node came back. It rejoins with no replicas (its data was
-  // already written off) but becomes eligible for placement again.
-  void revive_node(cluster::NodeIndex node);
+  // What revive_node did: the blocks whose disk copy was re-registered
+  // on the revived node, and the excess replicas reclaimed (block +
+  // the holder whose copy was dropped — the revived node itself when
+  // its disk copy was the redundant one).
+  struct ReplicaDrop {
+    BlockId block = 0;
+    cluster::NodeIndex node = 0;
+  };
+  struct ReviveReport {
+    std::vector<BlockId> restored;
+    std::vector<ReplicaDrop> trimmed;
+  };
+
+  // A dead node came back. Its disk still holds every replica written
+  // off at death (a false dead declaration deletes metadata, not
+  // bytes), so the revive acts as an HDFS block report: each surviving
+  // copy is re-registered, and any block the restore pushes past its
+  // target replication is trimmed back — preferring to drop a holder
+  // whose domain holds a duplicate, so the reclaim improves domain
+  // spread rather than fighting it. Counted in
+  // stats().replicas_restored / stats().over_replicated_trimmed.
+  ReviveReport revive_node(cluster::NodeIndex node);
 
   bool is_dead(cluster::NodeIndex node) const { return dead_.at(node); }
 
@@ -140,13 +187,16 @@ class NameNode {
   const cluster::NodeMask& placement_mask() const { return placeable_; }
 
  private:
-  // One replica draw honoring distinctness/space/filter; updates the cap
-  // counter on success. `filter_mask` is the caller filter materialized
-  // once per create/rebalance call (null = no filter).
+  // One replica draw honoring distinctness/space/filter/anti-affinity;
+  // updates the cap counter on success. `filter_mask` is the caller
+  // filter materialized once per create/rebalance call (null = no
+  // filter). (key, ordinal) identify the draw for consistent-hash
+  // policies (block id, replica index).
   std::optional<cluster::NodeIndex> place_replica(
       const BlockInfo& info, const placement::PlacementPolicy& policy,
       placement::CappedPolicy* cap, common::Rng& rng,
-      const cluster::NodeMask* filter_mask);
+      const cluster::NodeMask* filter_mask, std::uint64_t key,
+      std::uint32_t ordinal);
 
   // Per-draw eligibility. `block_id`, when known, additionally
   // excludes the block's pending-move targets (create_file passes
@@ -168,6 +218,13 @@ class NameNode {
   // Recompute the placeable_ bit for one node after a mutation.
   void sync_placeable(cluster::NodeIndex node);
 
+  // Trim victim when restoring `node`'s disk copy of an over-replicated
+  // block: an existing holder sharing a domain with another holder
+  // (swapping it for the disk copy improves spread), or nullopt when the
+  // disk copy itself is the redundant one.
+  std::optional<cluster::NodeIndex> trim_victim(
+      const BlockInfo& info, cluster::NodeIndex node) const;
+
   Options options_;
   DataNodeDirectory nodes_;
   std::vector<FileInfo> files_;
@@ -176,6 +233,12 @@ class NameNode {
   std::vector<bool> dead_;
   cluster::NodeMask placeable_;
   std::vector<ReplicaMove> pending_moves_;
+  // Blocks whose replica on node i was written off by mark_node_dead —
+  // the "what is still on its disk" ledger revive_node restores from.
+  std::vector<std::vector<BlockId>> written_off_;
+  std::shared_ptr<const cluster::FaultDomains> domains_;
+  bool anti_affine_ = false;
+  Stats stats_;
 };
 
 }  // namespace adapt::hdfs

@@ -39,6 +39,19 @@ std::optional<cluster::NodeIndex> CappedPolicy::choose(
   return inner_->choose(masked, rng);
 }
 
+std::optional<cluster::NodeIndex> CappedPolicy::choose_keyed(
+    std::uint64_t key, std::uint32_t ordinal,
+    const cluster::NodeMask& eligible, common::Rng& rng) const {
+  if (eligible.size() != placed_.size()) {
+    throw std::invalid_argument("choose: eligibility mask size mismatch");
+  }
+  if (cap_ == 0) return inner_->choose_keyed(key, ordinal, eligible, rng);
+  cluster::NodeMask masked = eligible;
+  masked.and_not(over_cap_);
+  if (masked.none()) return std::nullopt;
+  return inner_->choose_keyed(key, ordinal, masked, rng);
+}
+
 std::string CappedPolicy::name() const {
   return cap_ == 0 ? inner_->name() : inner_->name() + "+cap";
 }

@@ -26,6 +26,11 @@ class CappedPolicy : public PlacementPolicy {
   using PlacementPolicy::choose;
   std::optional<cluster::NodeIndex> choose(const cluster::NodeMask& eligible,
                                            common::Rng& rng) const override;
+  // Masks capped-out nodes, then forwards the key so a consistent-hash
+  // inner policy keeps its remap guarantee under the cap.
+  std::optional<cluster::NodeIndex> choose_keyed(
+      std::uint64_t key, std::uint32_t ordinal,
+      const cluster::NodeMask& eligible, common::Rng& rng) const override;
   std::string name() const override;
   std::vector<double> target_shares() const override {
     return inner_->target_shares();

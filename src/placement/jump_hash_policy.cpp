@@ -1,0 +1,90 @@
+#include "placement/jump_hash_policy.h"
+
+#include <stdexcept>
+
+namespace adapt::placement {
+
+std::uint32_t jump_consistent_hash(std::uint64_t key,
+                                   std::uint32_t buckets) {
+  if (buckets == 0) throw std::invalid_argument("jump hash: no buckets");
+  std::int64_t b = -1;
+  std::int64_t j = 0;
+  while (j < static_cast<std::int64_t>(buckets)) {
+    b = j;
+    key = key * 2862933555777941757ull + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(std::int64_t{1} << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<std::uint32_t>(b);
+}
+
+namespace {
+
+// splitmix64 finalizer: decorrelates (key, ordinal) pairs before the
+// jump hash walks its multiplicative sequence, so replica 0 and
+// replica 1 of one block start from unrelated buckets.
+std::uint64_t mix(std::uint64_t key, std::uint32_t ordinal) {
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ull * (ordinal + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+JumpHashPolicy::JumpHashPolicy(std::vector<cluster::NodeIndex> order)
+    : order_(std::move(order)) {
+  if (order_.empty()) {
+    throw std::invalid_argument("jump policy: empty node order");
+  }
+  std::vector<bool> seen(order_.size(), false);
+  for (const cluster::NodeIndex node : order_) {
+    if (node >= order_.size() || seen[node]) {
+      throw std::invalid_argument("jump policy: order is not a permutation");
+    }
+    seen[node] = true;
+  }
+}
+
+std::optional<cluster::NodeIndex> JumpHashPolicy::choose(
+    const cluster::NodeMask& eligible, common::Rng& rng) const {
+  if (eligible.size() != order_.size()) {
+    throw std::invalid_argument("choose: eligibility mask size mismatch");
+  }
+  const std::size_t candidates = eligible.count();
+  if (candidates == 0) return std::nullopt;
+  return static_cast<cluster::NodeIndex>(
+      eligible.nth_set(rng.uniform_index(candidates)));
+}
+
+std::optional<cluster::NodeIndex> JumpHashPolicy::choose_keyed(
+    std::uint64_t key, std::uint32_t ordinal,
+    const cluster::NodeMask& eligible, common::Rng& rng) const {
+  (void)rng;
+  if (eligible.size() != order_.size()) {
+    throw std::invalid_argument("choose: eligibility mask size mismatch");
+  }
+  if (eligible.none()) return std::nullopt;
+  const std::uint32_t n = static_cast<std::uint32_t>(order_.size());
+  const std::uint32_t start = jump_consistent_hash(mix(key, ordinal), n);
+  // Probe forward in ring order past ineligible nodes; bounded by n, and
+  // eligible.any() guarantees a hit.
+  for (std::uint32_t step = 0; step < n; ++step) {
+    const cluster::NodeIndex node = order_[(start + step) % n];
+    if (eligible.test(node)) return node;
+  }
+  return std::nullopt;  // unreachable
+}
+
+std::vector<double> JumpHashPolicy::target_shares() const {
+  return std::vector<double>(order_.size(),
+                             1.0 / static_cast<double>(order_.size()));
+}
+
+PolicyPtr make_jump_hash_policy(std::vector<cluster::NodeIndex> order) {
+  return std::make_shared<JumpHashPolicy>(std::move(order));
+}
+
+}  // namespace adapt::placement

@@ -1,0 +1,62 @@
+// Jump-consistent-hash placement (Lamping & Veach) over a domain-major
+// node ordering — the DAOS "jump placement map" idea adapted to block
+// replicas.
+//
+// Algorithm 1 rebuilds an m-entry weighted hash table whenever the node
+// set or the weights change, and every rebuild remaps an arbitrary
+// fraction of blocks. jump_consistent_hash(key, n) moves exactly the
+// keys whose bucket is the one added or removed: growing from n to n+1
+// buckets remaps a 1/(n+1) fraction, so a node join or leave touches
+// O(1/n) of blocks instead of all of them.
+//
+// Buckets map to nodes through a fixed domain-major ordering
+// (site, rack, node), so consecutive replica ordinals of one block —
+// which start from differently-mixed keys — land across the hierarchy
+// rather than in one rack's index range. Ineligible nodes (down, full,
+// already holding the block, anti-affine domains) are skipped by probing
+// forward in ring order from the hashed bucket: a masked node only
+// displaces its own keys, one step each, preserving the O(1/n) remap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "placement/policy.h"
+
+namespace adapt::placement {
+
+// The Lamping–Veach jump consistent hash: maps key uniformly onto
+// [0, buckets) such that going from n to n+1 buckets remaps only the
+// keys landing in the new bucket.
+std::uint32_t jump_consistent_hash(std::uint64_t key, std::uint32_t buckets);
+
+class JumpHashPolicy : public PlacementPolicy {
+ public:
+  // `order` is the bucket -> node table (a permutation of [0, n));
+  // domain-major from FaultDomains::domain_major_order(), or identity
+  // on flat clusters.
+  explicit JumpHashPolicy(std::vector<cluster::NodeIndex> order);
+
+  using PlacementPolicy::choose;
+  // Unkeyed entry point (legacy callers): uniform draw over the mask —
+  // there is no key to be consistent about.
+  std::optional<cluster::NodeIndex> choose(const cluster::NodeMask& eligible,
+                                           common::Rng& rng) const override;
+  // The real draw: pure function of (key, ordinal, order, mask); the
+  // rng is untouched.
+  std::optional<cluster::NodeIndex> choose_keyed(
+      std::uint64_t key, std::uint32_t ordinal,
+      const cluster::NodeMask& eligible, common::Rng& rng) const override;
+
+  std::string name() const override { return "jump"; }
+  std::vector<double> target_shares() const override;
+
+  const std::vector<cluster::NodeIndex>& order() const { return order_; }
+
+ private:
+  std::vector<cluster::NodeIndex> order_;
+};
+
+PolicyPtr make_jump_hash_policy(std::vector<cluster::NodeIndex> order);
+
+}  // namespace adapt::placement

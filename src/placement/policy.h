@@ -32,6 +32,22 @@ class PlacementPolicy {
   virtual std::optional<cluster::NodeIndex> choose(
       const cluster::NodeMask& eligible, common::Rng& rng) const = 0;
 
+  // Keyed variant: `key` identifies the object being placed (block id)
+  // and `ordinal` which replica of it this draw is. Consistent-hash
+  // policies use the pair to make the draw a pure function of
+  // (key, ordinal, membership) so node join/leave remaps O(1/n) of
+  // placements; sampling policies ignore both and fall through to
+  // choose(), consuming the rng stream identically — callers may switch
+  // to the keyed entry point without perturbing existing byte-exact
+  // runs.
+  virtual std::optional<cluster::NodeIndex> choose_keyed(
+      std::uint64_t key, std::uint32_t ordinal,
+      const cluster::NodeMask& eligible, common::Rng& rng) const {
+    (void)key;
+    (void)ordinal;
+    return choose(eligible, rng);
+  }
+
   // One-release adapter for external callers still holding a
   // std::vector<bool> mask (pre-NodeMask API). Converts and forwards;
   // scheduled for removal next release — migrate to the NodeMask

@@ -141,6 +141,36 @@ void InterruptionInjector::start() {
       }
     });
   }
+
+  if (config_.domain_burst_at >= 0.0 && config_.domain_burst_count > 0) {
+    if (config_.domain_of.size() != nodes_.size()) {
+      throw std::invalid_argument(
+          "injector: domain burst needs domain_of for every node");
+    }
+    queue_.schedule(config_.domain_burst_at, [this] {
+      // Draw domain_burst_count distinct domains without replacement
+      // (partial Fisher-Yates), then kill every survivor inside them.
+      std::uint32_t domain_count = 0;
+      for (const std::uint32_t d : config_.domain_of) {
+        domain_count = std::max(domain_count, d + 1);
+      }
+      std::vector<std::uint32_t> pool(domain_count);
+      for (std::uint32_t d = 0; d < domain_count; ++d) pool[d] = d;
+      const std::uint32_t picks =
+          std::min(config_.domain_burst_count, domain_count);
+      std::vector<bool> hit(domain_count, false);
+      for (std::uint32_t k = 0; k < picks; ++k) {
+        const std::size_t j =
+            k + rng_.uniform_index(pool.size() - k);
+        std::swap(pool[k], pool[j]);
+        hit[pool[k]] = true;
+      }
+      for (cluster::NodeIndex i = 0; i < nodes_.size(); ++i) {
+        if (departed_[i]) continue;
+        if (hit[config_.domain_of[i]]) depart(i);
+      }
+    });
+  }
 }
 
 double InterruptionInjector::departure_rate_for(

@@ -62,6 +62,13 @@ class InterruptionInjector {
     // departs independently with probability burst_fraction.
     common::Seconds burst_at = -1.0;
     double burst_fraction = 0.0;
+    // Per-domain correlated burst: at domain_burst_at (>= 0), pick
+    // domain_burst_count distinct fault domains uniformly at random and
+    // depart *every* not-yet-departed node in them — a rack switch dying,
+    // a site-wide power cut. Requires domain_of (node -> leaf domain id).
+    common::Seconds domain_burst_at = -1.0;
+    std::uint32_t domain_burst_count = 0;
+    std::vector<std::uint32_t> domain_of;
     // Node arrivals: join_at[i] > 0 means node i is absent (down, not
     // departed) until that time, then joins and starts its availability
     // process. Empty = everyone present from t = 0.

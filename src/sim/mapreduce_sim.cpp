@@ -23,6 +23,9 @@ InterruptionInjector::Config injector_config(const SimJobConfig& config) {
     c.departure_rates = config.churn.departure_rates;
     c.burst_at = config.churn.burst_at;
     c.burst_fraction = config.churn.burst_fraction;
+    c.domain_burst_at = config.churn.domain_burst_at;
+    c.domain_burst_count = config.churn.domain_burst_count;
+    c.domain_of = config.churn.domain_of;
     c.join_at = config.churn.join_at;
   }
   return c;
@@ -392,6 +395,19 @@ void MapReduceSimulation::maybe_rebalance(std::uint32_t alarm_count) {
     std::sort(live_quotes.begin(), live_quotes.end());
     const double median = live_quotes[live_quotes.size() / 2];
     const double threshold = config_.rebalance.hysteresis * median;
+    // The loop is symmetric: nodes whose refreshed quote dropped below
+    // the live median are *preferred* destinations for the redraw, so
+    // improved nodes attract data instead of merely no longer repelling
+    // it. Falls back to the full eligible mask when no improved node is
+    // eligible for a given block.
+    cluster::NodeMask improved(node_state_.size());
+    for (std::size_t i = 0; i < quote.size() && i < node_state_.size();
+         ++i) {
+      if (node_state_[i].up && !declared_dead_[i] &&
+          std::isfinite(quote[i]) && quote[i] < median) {
+        improved.set(i);
+      }
+    }
     const hdfs::FileInfo& info = namenode_.file(file_);
     for (const hdfs::BlockId block : info.blocks) {
       const std::optional<TaskId> task = task_of(block);
@@ -409,7 +425,8 @@ void MapReduceSimulation::maybe_rebalance(std::uint32_t alarm_count) {
       if (block_pending) continue;
       const std::vector<cluster::NodeIndex> holders =
           namenode_.block(block).replicas;
-      for (const cluster::NodeIndex holder : holders) {
+      for (std::size_t r = 0; r < holders.size(); ++r) {
+        const cluster::NodeIndex holder = holders[r];
         const bool degraded =
             std::isfinite(quote[holder])
                 ? quote[holder] > threshold
@@ -420,9 +437,12 @@ void MapReduceSimulation::maybe_rebalance(std::uint32_t alarm_count) {
         eligible.for_each_set([&](std::uint32_t n) {
           if (!node_state_[n].up) eligible.reset(n);
         });
+        if (eligible.intersects(improved)) eligible &= improved;
         std::optional<cluster::NodeIndex> dst;
         if (eligible.any()) {
-          dst = rebalance_policy_->choose(eligible, rebalance_rng_);
+          dst = rebalance_policy_->choose_keyed(
+              block, static_cast<std::uint32_t>(r), eligible,
+              rebalance_rng_);
         }
         if (!dst) continue;  // nowhere better to put it right now
         mutable_namenode_->begin_move(block, holder, *dst);
@@ -611,6 +631,10 @@ JobResult MapReduceSimulation::run() {
   result_.network_bytes = network_.bytes_transferred();
   if (collector_) {
     result_.nodes_departed = injector_.departures();
+    const hdfs::NameNode::Stats& hs = mutable_namenode_->stats();
+    result_.replicas_restored = hs.replicas_restored;
+    result_.over_replicated_trimmed = hs.over_replicated_trimmed;
+    result_.duplicate_replica_inserts = hs.duplicate_replica_inserts;
     const ReReplicator::Stats& rs = rereplicator_->stats();
     result_.rereplications = rs.completed;
     result_.rereplication_retries = rs.retries;
@@ -717,6 +741,12 @@ JobResult MapReduceSimulation::run() {
           static_cast<double>(result_.replicas_dropped));
       add("sim.blocks_lost", static_cast<double>(result_.blocks_lost));
       add("sim.tasks_lost", static_cast<double>(result_.tasks_lost));
+      add("hdfs.replicas_restored",
+          static_cast<double>(result_.replicas_restored));
+      add("hdfs.over_replicated_trimmed",
+          static_cast<double>(result_.over_replicated_trimmed));
+      add("hdfs.duplicate_replica_inserts",
+          static_cast<double>(result_.duplicate_replica_inserts));
     }
     // Rebalance counters appear only with the loop on, so loop-off
     // metric output stays byte-identical to before.
@@ -1352,11 +1382,53 @@ void MapReduceSimulation::on_node_up(cluster::NodeIndex node) {
     collector_->notify_up(node, queue_.now());
     dead_check_[node].cancel();
     if (resurrected) {
-      // Declared dead, then heard from again: the node rejoins with no
-      // replicas (they were written off) but takes placements again.
+      // Declared dead, then heard from again: the death was a false
+      // declaration, so the node's disk still holds every written-off
+      // replica. revive_node acts as a block report — copies of blocks
+      // still under target are re-registered; blocks re-replication
+      // already refilled shed their excess copy (preferring a holder
+      // whose domain held a duplicate).
       declared_dead_[node] = false;
       ++result_.nodes_resurrected;
-      mutable_namenode_->revive_node(node);
+      const hdfs::NameNode::ReviveReport report =
+          mutable_namenode_->revive_node(node);
+      const common::Seconds now = queue_.now();
+      for (const hdfs::BlockId block : report.restored) {
+        const std::optional<TaskId> task = task_of(block);
+        if (!task || board_.status(*task) == TaskStatus::kDone) continue;
+        if (!board_.is_local_to(*task, node)) {
+          board_.add_home(*task, node);
+          ++ns.undone_home;
+        }
+        if (task_lost_[*task]) {
+          // The block was unrecoverable; its returned disk copy makes
+          // the task runnable again.
+          task_lost_[*task] = false;
+          --tasks_lost_;
+          auto& lost = result_.lost_blocks;
+          lost.erase(std::remove_if(lost.begin(), lost.end(),
+                                    [&](const JobResult::LostBlock& lb) {
+                                      return lb.block == block;
+                                    }),
+                     lost.end());
+        }
+      }
+      for (const hdfs::NameNode::ReplicaDrop& drop : report.trimmed) {
+        // drop.node == node means the disk copy itself was discarded:
+        // it never reached the board, nothing to unwind.
+        if (drop.node == node) continue;
+        const std::optional<TaskId> task = task_of(drop.block);
+        if (!task || board_.status(*task) == TaskStatus::kDone) continue;
+        if (!board_.is_local_to(*task, drop.node)) continue;
+        board_.remove_home(*task, drop.node);
+        NodeState& vs = node_state_[drop.node];
+        if (vs.undone_home > 0 && --vs.undone_home == 0 &&
+            vs.recovery_open >= 0.0) {
+          result_.overhead.recovery +=
+              (now - vs.recovery_open) * cluster_.nodes[drop.node].slots;
+          vs.recovery_open = -1.0;
+        }
+      }
       refresh_policy();
     }
   }

@@ -77,6 +77,13 @@ struct JobResult {
   std::uint64_t blocks_lost = 0;        // blocks that hit 0 live replicas
   std::uint64_t tasks_lost = 0;         // tasks failed by data loss
   std::uint64_t rereplications = 0;     // replicas restored
+  // Revive-as-block-report accounting (NameNode::revive_node): disk
+  // copies re-registered after a false dead declaration, and excess
+  // replicas reclaimed when re-replication had already refilled the
+  // block.
+  std::uint64_t replicas_restored = 0;
+  std::uint64_t over_replicated_trimmed = 0;
+  std::uint64_t duplicate_replica_inserts = 0;
   std::uint64_t rereplication_retries = 0;
   std::uint64_t rereplication_giveups = 0;
   std::uint64_t rereplication_bytes = 0;

@@ -173,7 +173,13 @@ bool MigrationDriver::start_move(std::size_t index) {
       if (!node_up_(static_cast<cluster::NodeIndex>(n))) eligible.reset(n);
     });
     std::optional<cluster::NodeIndex> dst;
-    if (eligible.any()) dst = policy_->choose(eligible, rng_);
+    if (eligible.any()) {
+      // Keyed on (block, replica count): consistent-hash policies land
+      // the redraw on their stable bucket for this block.
+      dst = policy_->choose_keyed(
+          move.block, static_cast<std::uint32_t>(info.replicas.size()),
+          eligible, rng_);
+    }
     if (!dst) {
       // No landing spot right now: gate behind a flat delay without
       // consuming the retry budget — a full cluster is not a failure.

@@ -118,10 +118,13 @@ void ReReplicator::pump() {
 }
 
 void ReReplicator::drain() {
+  // The scan below erases entries as it goes, so "no candidate" needs a
+  // sentinel that can never collide with a shrunken pending_.size().
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
   while (static_cast<int>(in_flight_.size()) < config_.max_concurrent) {
     // Pick the ready block with the fewest live replicas (ties by id).
     const common::Seconds now = queue_.now();
-    std::size_t best = pending_.size();
+    std::size_t best = kNone;
     std::size_t best_replicas = std::numeric_limits<std::size_t>::max();
     for (std::size_t i = 0; i < pending_.size();) {
       const Repair& rep = pending_[i];
@@ -151,8 +154,8 @@ void ReReplicator::drain() {
       }
       ++i;
     }
-    if (best == pending_.size()) return;  // nothing ready
-    if (!start_repair(best)) return;      // no destination available now
+    if (best == kNone) return;        // nothing ready
+    if (!start_repair(best)) return;  // no destination available now
   }
 }
 
@@ -187,7 +190,14 @@ bool ReReplicator::start_repair(std::size_t pending_index) {
     if (!node_up_(static_cast<cluster::NodeIndex>(n))) eligible.reset(n);
   });
   std::optional<cluster::NodeIndex> dst;
-  if (eligible.any()) dst = policy_->choose(eligible, rng_);
+  if (eligible.any()) {
+    // Keyed draw (block, replica ordinal being recreated): consistent-
+    // hash policies recover their original bucket; sampling policies
+    // consume the rng exactly as before.
+    dst = policy_->choose_keyed(
+        rep.block, static_cast<std::uint32_t>(info.replicas.size()),
+        eligible, rng_);
+  }
   if (!dst) {
     // No landing spot right now (everything up is full or a holder).
     // Gate this block behind a flat delay and let the pump move on; the
@@ -239,10 +249,19 @@ void ReReplicator::on_transfer_done(std::uint64_t ticket) {
   in_flight_.pop_back();
 
   network_.on_transfer_complete(block_bytes_);
-  // A migration commit can beat this transfer to the same destination;
-  // the replica is then already registered there.
-  if (!namenode_.block(t.block).hosted_on(t.dst)) {
-    namenode_.add_replica(t.block, t.dst);
+  // A migration commit can beat this transfer to the same destination
+  // (the replica is then already registered there), and a revive block
+  // report can refill the block mid-transfer — never push the replica
+  // count past target, and only announce a copy that actually landed.
+  bool added = false;
+  {
+    const hdfs::BlockInfo& pre = namenode_.block(t.block);
+    if (!pre.hosted_on(t.dst) &&
+        static_cast<int>(pre.replicas.size()) <
+            target_replication(t.block)) {
+      namenode_.add_replica(t.block, t.dst);
+      added = true;
+    }
   }
   ++stats_.completed;
   stats_.bytes_moved += block_bytes_;
@@ -265,7 +284,7 @@ void ReReplicator::on_transfer_done(std::uint64_t ticket) {
   } else {
     finish_block(t.block);
   }
-  if (on_replicated_) on_replicated_(t.block, t.dst);
+  if (added && on_replicated_) on_replicated_(t.block, t.dst);
   pump();
 }
 

@@ -94,6 +94,12 @@ void SimJobConfig::validate() const {
       check_departure_rate(rate);
     }
     check_burst_fraction(churn.burst_fraction);
+    if (churn.domain_burst_at >= 0.0 && churn.domain_burst_count > 0 &&
+        churn.domain_of.empty()) {
+      throw ConfigError("churn.domain_of",
+                        "domain burst needs a node -> domain map (give the "
+                        "cluster a DomainLayout)");
+    }
     check_heartbeat_interval(churn.heartbeat_interval);
     check_heartbeat_miss_threshold(churn.heartbeat_miss_threshold);
     check_dead_timeout(churn.dead_timeout);
@@ -175,6 +181,13 @@ SimJobConfig::Builder& SimJobConfig::Builder::burst(common::Seconds at,
   check_burst_fraction(fraction);
   config_.churn.burst_at = at;
   config_.churn.burst_fraction = fraction;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::domain_burst(
+    common::Seconds at, std::uint32_t count) {
+  config_.churn.domain_burst_at = at;
+  config_.churn.domain_burst_count = count;
   return *this;
 }
 

@@ -93,6 +93,13 @@ struct SimJobConfig {
     std::vector<double> departure_rates;
     common::Seconds burst_at = -1.0;
     double burst_fraction = 0.0;
+    // Per-domain correlated burst: at domain_burst_at, domain_burst_count
+    // random fault domains lose every surviving node at once. domain_of
+    // maps node -> leaf domain id (filled automatically by
+    // run_experiment when the cluster has a domain layout).
+    common::Seconds domain_burst_at = -1.0;
+    std::uint32_t domain_burst_count = 0;
+    std::vector<std::uint32_t> domain_of;
     std::vector<common::Seconds> join_at;
     // Dead declaration: heartbeat cadence and how long a node must stay
     // believed-down past detection before its replicas are written off.
@@ -175,6 +182,7 @@ class SimJobConfig::Builder {
   Builder& churn(bool enabled);
   Builder& departure_rate(double value);
   Builder& burst(common::Seconds at, double fraction);
+  Builder& domain_burst(common::Seconds at, std::uint32_t count);
   Builder& heartbeat(common::Seconds interval, int miss_threshold);
   Builder& dead_timeout(common::Seconds value);
   Builder& rebalance(bool enabled, double hysteresis = 2.0,

@@ -1,0 +1,448 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cluster/fault_domains.h"
+#include "cluster/node.h"
+#include "cluster/node_mask.h"
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "hdfs/namenode.h"
+#include "placement/random_policy.h"
+
+namespace {
+
+using namespace adapt;
+using namespace adapt::cluster;
+using adapt::common::Rng;
+using adapt::hdfs::BlockId;
+using adapt::hdfs::BlockInfo;
+using adapt::hdfs::FileId;
+using adapt::hdfs::NameNode;
+
+// n nodes split into sites * racks_per_site contiguous racks, the same
+// way the cluster builders do it.
+std::shared_ptr<const FaultDomains> layered(std::size_t n,
+                                            std::uint32_t sites,
+                                            std::uint32_t racks_per_site) {
+  std::vector<NodeSpec> specs(n);
+  assign_domains(specs, {sites, racks_per_site});
+  Cluster cluster;
+  cluster.nodes = std::move(specs);
+  cluster.domains = {sites, racks_per_site};
+  return std::make_shared<const FaultDomains>(
+      FaultDomains::from_cluster(cluster));
+}
+
+TEST(AssignDomains, ContiguousEvenSplit) {
+  std::vector<NodeSpec> nodes(8);
+  assign_domains(nodes, {2, 2});  // 4 racks, 2 nodes each
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i].rack, i / 2);
+    EXPECT_EQ(nodes[i].site, i / 4);
+  }
+}
+
+TEST(AssignDomains, UnevenSplitCoversEveryRack) {
+  std::vector<NodeSpec> nodes(10);
+  assign_domains(nodes, {1, 3});  // 3 racks over 10 nodes
+  std::vector<int> per_rack(3, 0);
+  std::uint32_t last = 0;
+  for (const NodeSpec& node : nodes) {
+    ASSERT_LT(node.rack, 3u);
+    EXPECT_GE(node.rack, last);  // contiguous index ranges
+    last = node.rack;
+    ++per_rack[node.rack];
+  }
+  for (const int count : per_rack) {
+    EXPECT_GE(count, 3);  // floor(10/3)
+    EXPECT_LE(count, 4);  // ceil(10/3)
+  }
+}
+
+TEST(AssignDomains, DisabledLayoutLeavesNodesFlat) {
+  std::vector<NodeSpec> nodes(4);
+  assign_domains(nodes, {0, 7});
+  for (const NodeSpec& node : nodes) {
+    EXPECT_EQ(node.rack, 0u);
+    EXPECT_EQ(node.site, 0u);
+  }
+}
+
+TEST(AssignDomains, Validation) {
+  std::vector<NodeSpec> nodes(4);
+  EXPECT_THROW(assign_domains(nodes, {2, 0}), std::invalid_argument);
+  EXPECT_THROW(assign_domains(nodes, {5, 1}), std::invalid_argument);
+}
+
+TEST(FaultDomains, FlatHierarchyIsInert) {
+  const FaultDomains flat;
+  EXPECT_TRUE(flat.empty());
+  NodeMask eligible(8, true);
+  flat.restrict_anti_affine(eligible, {0, 1, 2});
+  EXPECT_EQ(eligible.count(), 8u);  // no-op
+  EXPECT_TRUE(flat.distinct_domains({0, 1, 2}));  // vacuously
+
+  Cluster cluster;
+  cluster.nodes.resize(4);
+  EXPECT_TRUE(FaultDomains::from_cluster(cluster).empty());
+}
+
+TEST(FaultDomains, FromClusterMatchesNodeSpecs) {
+  const auto domains = layered(8, 2, 2);
+  ASSERT_FALSE(domains->empty());
+  EXPECT_EQ(domains->node_count(), 8u);
+  EXPECT_EQ(domains->domain_count(), 4u);
+  for (NodeIndex i = 0; i < 8; ++i) {
+    EXPECT_EQ(domains->domain_of(i), i / 2);
+    EXPECT_TRUE(domains->domain_mask(i / 2).test(i));
+  }
+  EXPECT_EQ(domains->domains_of_nodes().size(), 8u);
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(domains->domain_mask(d).count(), 2u);
+  }
+}
+
+TEST(FaultDomains, CtorValidation) {
+  EXPECT_THROW(FaultDomains({}, {}), std::invalid_argument);
+  // Rack 2 exists but site_of_rack only covers racks 0..1.
+  EXPECT_THROW(FaultDomains({0, 1, 2}, {0, 0}), std::invalid_argument);
+  // Empty site list defaults every rack to site 0.
+  const FaultDomains one_site({0, 1, 1}, {});
+  EXPECT_EQ(one_site.domain_count(), 2u);
+}
+
+TEST(FaultDomains, StrictExclusionRemovesHolderDomains) {
+  const auto domains = layered(8, 4, 1);  // racks {0,1},{2,3},{4,5},{6,7}
+  NodeMask eligible(8, true);
+  domains->restrict_anti_affine(eligible, {0});
+  EXPECT_EQ(eligible.count(), 6u);
+  EXPECT_FALSE(eligible.test(0));
+  EXPECT_FALSE(eligible.test(1));  // rack-mate excluded too
+  for (NodeIndex i = 2; i < 8; ++i) EXPECT_TRUE(eligible.test(i));
+}
+
+TEST(FaultDomains, FallbackKeepsFewestHeldDomains) {
+  // 2 racks: {0,1} and {2,3}. Holders 0, 2, 3: every domain holds at
+  // least one, so strict exclusion would empty the mask; the fallback
+  // keeps rack 0 (one holder) over rack 1 (two holders).
+  const auto domains = layered(4, 2, 1);
+  NodeMask eligible(4, true);
+  domains->restrict_anti_affine(eligible, {0, 2, 3});
+  EXPECT_EQ(eligible.count(), 2u);
+  EXPECT_TRUE(eligible.test(0));
+  EXPECT_TRUE(eligible.test(1));
+}
+
+TEST(FaultDomains, FallbackNeverEmptiesNonEmptyMask) {
+  // One holder in every rack; eligibility reduced to a single node that
+  // is co-located with a holder. The mask must survive.
+  const auto domains = layered(6, 3, 1);
+  NodeMask eligible(6);
+  eligible.set(5);
+  domains->restrict_anti_affine(eligible, {0, 2, 4});
+  EXPECT_EQ(eligible.count(), 1u);
+  EXPECT_TRUE(eligible.test(5));
+}
+
+TEST(FaultDomains, FallbackIgnoresDomainsOutsideEligibility) {
+  // Rack 0 holds nothing but is entirely ineligible; rack 1 holds one,
+  // rack 2 holds two. The fallback must pick rack 1, not resurrect
+  // rack 0.
+  const FaultDomains domains({0, 0, 1, 1, 2, 2}, {});
+  NodeMask eligible(6, true);
+  eligible.reset(0);
+  eligible.reset(1);
+  domains.restrict_anti_affine(eligible, {2, 4, 5});
+  EXPECT_EQ(eligible.count(), 2u);
+  EXPECT_TRUE(eligible.test(2));
+  EXPECT_TRUE(eligible.test(3));
+}
+
+// Domains straddling the 64-bit word boundary exercise the word-parallel
+// and_not / intersects paths of NodeMask.
+TEST(FaultDomains, WordBoundaryMasks) {
+  const std::size_t n = 130;
+  std::vector<std::uint32_t> rack_of(n);
+  for (std::size_t i = 0; i < n; ++i) rack_of[i] = i < 65 ? 0 : 1;
+  const FaultDomains domains(rack_of, {});
+  EXPECT_EQ(domains.domain_mask(0).count(), 65u);
+  EXPECT_EQ(domains.domain_mask(1).count(), 65u);
+
+  NodeMask eligible(n, true);
+  domains.restrict_anti_affine(eligible, {64});  // holder in word 1
+  EXPECT_EQ(eligible.count(), 65u);
+  EXPECT_FALSE(eligible.test(0));
+  EXPECT_FALSE(eligible.test(63));
+  EXPECT_FALSE(eligible.test(64));
+  EXPECT_TRUE(eligible.test(65));
+  EXPECT_TRUE(eligible.test(129));
+
+  // Fallback across the boundary: both domains hold, eligibility is one
+  // node from each, the fewest-held tie keeps both.
+  NodeMask narrow(n);
+  narrow.set(63);
+  narrow.set(70);
+  domains.restrict_anti_affine(narrow, {0, 129});
+  EXPECT_EQ(narrow.count(), 2u);
+}
+
+TEST(FaultDomains, DistinctDomains) {
+  const auto domains = layered(8, 2, 2);  // racks of 2
+  EXPECT_TRUE(domains->distinct_domains({}));
+  EXPECT_TRUE(domains->distinct_domains({0, 2, 4}));
+  EXPECT_FALSE(domains->distinct_domains({0, 1}));
+  EXPECT_FALSE(domains->distinct_domains({2, 6, 3}));
+}
+
+TEST(FaultDomains, DomainMajorOrderSortsBySiteThenRack) {
+  // rack_of: nodes 0,1 -> rack 3; 2,3 -> rack 0; 4,5 -> rack 2;
+  // 6,7 -> rack 1. Sites: racks {1,3} -> site 0, racks {0,2} -> site 1.
+  const FaultDomains domains({3, 3, 0, 0, 2, 2, 1, 1}, {1, 0, 1, 0});
+  const std::vector<NodeIndex> expected = {6, 7, 0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(domains.domain_major_order(), expected);
+
+  const FaultDomains flat;
+  // Flat hierarchy: identity (but rack_of_ is empty, so order is empty).
+  EXPECT_TRUE(flat.domain_major_order().empty());
+
+  const auto contiguous = layered(6, 3, 1);
+  const std::vector<NodeIndex> identity = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(contiguous->domain_major_order(), identity);
+}
+
+// -- Anti-affinity through the NameNode ------------------------------
+
+TEST(AntiAffinePlacement, CreateFileSpreadsAcrossDomains) {
+  const auto domains = layered(16, 4, 1);  // 4 racks of 4
+  for (const int replication : {2, 3, 4}) {
+    NameNode nn(16);
+    nn.set_fault_domains(domains, /*anti_affine=*/true);
+    const auto policy = placement::make_random_policy(16);
+    Rng rng(1234 + replication);
+    const FileId file =
+        nn.create_file("input", /*num_blocks=*/64, replication, policy, rng);
+    for (const BlockId b : nn.file(file).blocks) {
+      const BlockInfo& info = nn.block(b);
+      ASSERT_EQ(info.replicas.size(), static_cast<std::size_t>(replication));
+      EXPECT_TRUE(domains->distinct_domains(info.replicas))
+          << "replication " << replication << " block " << b;
+    }
+  }
+}
+
+TEST(AntiAffinePlacement, FallbackWhenDomainsScarce) {
+  // 2 racks but replication 3: strict anti-affinity is unsatisfiable;
+  // the fallback must still place all 3 replicas, at most 2 per rack.
+  const auto domains = layered(8, 2, 1);
+  NameNode nn(8);
+  nn.set_fault_domains(domains, true);
+  const auto policy = placement::make_random_policy(8);
+  Rng rng(99);
+  const FileId file = nn.create_file("input", 32, 3, policy, rng);
+  for (const BlockId b : nn.file(file).blocks) {
+    const BlockInfo& info = nn.block(b);
+    ASSERT_EQ(info.replicas.size(), 3u);
+    std::vector<int> per_rack(2, 0);
+    for (const NodeIndex r : info.replicas) {
+      ++per_rack[domains->domain_of(r)];
+    }
+    EXPECT_LE(per_rack[0], 2);
+    EXPECT_LE(per_rack[1], 2);
+    EXPECT_GE(per_rack[0], 1);  // both domains covered
+    EXPECT_GE(per_rack[1], 1);
+  }
+}
+
+TEST(AntiAffinePlacement, ReReplicationInheritsAntiAffinity) {
+  const auto domains = layered(12, 4, 1);  // 4 racks of 3
+  NameNode nn(12);
+  nn.set_fault_domains(domains, true);
+  const auto policy = placement::make_random_policy(12);
+  Rng rng(7);
+  nn.create_file("input", 40, 2, policy, rng);
+
+  const NodeIndex dead = 5;
+  const std::vector<BlockId> affected = nn.mark_node_dead(dead);
+  ASSERT_FALSE(affected.empty());
+  for (const BlockId b : affected) {
+    const BlockInfo& info = nn.block(b);
+    ASSERT_EQ(info.replicas.size(), 1u);  // the surviving copy
+    const NodeMask eligible = nn.eligibility_for_new_replica(b);
+    ASSERT_TRUE(eligible.any());
+    // Every eligible destination avoids the survivor's domain.
+    eligible.for_each_set([&](std::uint32_t node) {
+      EXPECT_NE(domains->domain_of(node),
+                domains->domain_of(info.replicas[0]));
+    });
+    // Completing the repair through the mask keeps the spread.
+    nn.add_replica(b, static_cast<NodeIndex>(eligible.nth_set(0)));
+    EXPECT_TRUE(domains->distinct_domains(nn.block(b).replicas));
+  }
+}
+
+TEST(AntiAffinePlacement, RebalanceKeepsDistinctDomains) {
+  const auto domains = layered(16, 2, 2);  // 4 racks of 4
+  NameNode nn(16);
+  nn.set_fault_domains(domains, true);
+  const auto policy = placement::make_random_policy(16);
+  Rng rng(21);
+  const FileId file = nn.create_file("input", 48, 2, policy, rng);
+
+  Rng rebalance_rng(22);
+  const std::vector<hdfs::ReplicaMove> moves =
+      nn.rebalance_file(file, policy, rebalance_rng);
+  for (const hdfs::ReplicaMove& move : moves) {
+    nn.commit_move(move.block, move.from, move.to);
+  }
+  EXPECT_TRUE(nn.pending_moves().empty());
+  for (const BlockId b : nn.file(file).blocks) {
+    EXPECT_TRUE(domains->distinct_domains(nn.block(b).replicas));
+  }
+}
+
+TEST(AntiAffinePlacement, PendingMoveTargetsCountAsHolders) {
+  // Eligibility for a new replica must treat an in-flight move's
+  // destination domain as occupied.
+  const auto domains = layered(8, 4, 1);  // racks {0,1},{2,3},{4,5},{6,7}
+  NameNode nn(8);
+  nn.set_fault_domains(domains, true);
+  const auto policy = placement::make_random_policy(8);
+  Rng rng(3);
+  // Pin the block onto nodes 0 and 2 (racks 0 and 1).
+  const FileId file = nn.create_file(
+      "input", 1, 2, policy, rng,
+      [](NodeIndex node) { return node == 0 || node == 2; });
+  const BlockId b = nn.file(file).blocks[0];
+  nn.begin_move(b, 2, 4);  // replica migrating into rack 2
+  const NodeMask eligible = nn.eligibility_for_new_replica(b);
+  ASSERT_TRUE(eligible.any());
+  eligible.for_each_set([&](std::uint32_t node) {
+    EXPECT_EQ(domains->domain_of(node), 3u);  // only rack 3 is free
+  });
+  nn.abort_move(b, 2, 4);
+}
+
+// -- Revive-as-block-report reclaim ----------------------------------
+
+TEST(ReviveReclaim, RestoresWrittenOffCopies) {
+  const auto domains = layered(6, 3, 1);
+  NameNode nn(6);
+  nn.set_fault_domains(domains, false);
+  const auto policy = placement::make_random_policy(6);
+  Rng rng(11);
+  const FileId file = nn.create_file("input", 10, 2, policy, rng);
+
+  const NodeIndex dead = nn.block(nn.file(file).blocks[0]).replicas[0];
+  const std::vector<BlockId> affected = nn.mark_node_dead(dead);
+  ASSERT_FALSE(affected.empty());
+  for (const BlockId b : affected) {
+    EXPECT_EQ(nn.block(b).replicas.size(), 1u);
+  }
+
+  // No re-replication happened: every written-off copy is restored.
+  const NameNode::ReviveReport report = nn.revive_node(dead);
+  EXPECT_EQ(report.restored.size(), affected.size());
+  EXPECT_TRUE(report.trimmed.empty());
+  EXPECT_EQ(nn.stats().replicas_restored, affected.size());
+  EXPECT_EQ(nn.stats().over_replicated_trimmed, 0u);
+  for (const BlockId b : affected) {
+    EXPECT_EQ(nn.block(b).replicas.size(), 2u);
+    EXPECT_TRUE(nn.block(b).hosted_on(dead));
+  }
+
+  // Reviving a live node is a no-op.
+  const NameNode::ReviveReport again = nn.revive_node(dead);
+  EXPECT_TRUE(again.restored.empty());
+  EXPECT_TRUE(again.trimmed.empty());
+}
+
+TEST(ReviveReclaim, TrimPrefersDomainDuplicateVictim) {
+  // Racks {0,1}, {2,3}, {4,5}. Block lives on 0 (rack 0) and 2 (rack 1).
+  // Node 2 dies; the repair lands on node 1 — rack 0 again, a domain
+  // duplicate. When node 2 revives, its disk copy pushes the block over
+  // target, and the reclaim must drop a rack-0 holder (improving
+  // spread), not the revived copy.
+  const auto domains = layered(6, 3, 1);
+  NameNode nn(6);
+  nn.set_fault_domains(domains, false);
+  const auto policy = placement::make_random_policy(6);
+  Rng rng(5);
+  const FileId file = nn.create_file(
+      "input", 1, 2, policy, rng,
+      [](NodeIndex node) { return node == 0 || node == 2; });
+  const BlockId b = nn.file(file).blocks[0];
+
+  ASSERT_EQ(nn.mark_node_dead(2).size(), 1u);
+  nn.add_replica(b, 1);  // botched repair: co-located with node 0
+
+  const NameNode::ReviveReport report = nn.revive_node(2);
+  ASSERT_EQ(report.restored.size(), 1u);
+  ASSERT_EQ(report.trimmed.size(), 1u);
+  EXPECT_EQ(report.trimmed[0].block, b);
+  EXPECT_EQ(domains->domain_of(report.trimmed[0].node), 0u);
+  EXPECT_EQ(nn.stats().over_replicated_trimmed, 1u);
+  EXPECT_EQ(nn.stats().replicas_restored, 1u);
+
+  const BlockInfo& info = nn.block(b);
+  ASSERT_EQ(info.replicas.size(), 2u);
+  EXPECT_TRUE(info.hosted_on(2));
+  EXPECT_TRUE(domains->distinct_domains(info.replicas));
+}
+
+TEST(ReviveReclaim, TrimDropsDiskCopyWhenItIsTheDuplicate) {
+  // Block on nodes 0 (rack 0) and 2 (rack 1). Node 2 dies, repair lands
+  // on node 3 — also rack 1. The revived disk copy is the redundant
+  // one: it must be discarded, holders stay {0, 3}.
+  const auto domains = layered(6, 3, 1);
+  NameNode nn(6);
+  nn.set_fault_domains(domains, false);
+  const auto policy = placement::make_random_policy(6);
+  Rng rng(5);
+  const FileId file = nn.create_file(
+      "input", 1, 2, policy, rng,
+      [](NodeIndex node) { return node == 0 || node == 2; });
+  const BlockId b = nn.file(file).blocks[0];
+
+  ASSERT_EQ(nn.mark_node_dead(2).size(), 1u);
+  nn.add_replica(b, 3);
+
+  const NameNode::ReviveReport report = nn.revive_node(2);
+  EXPECT_TRUE(report.restored.empty());
+  ASSERT_EQ(report.trimmed.size(), 1u);
+  EXPECT_EQ(report.trimmed[0].node, 2u);
+  EXPECT_EQ(nn.stats().over_replicated_trimmed, 1u);
+  EXPECT_EQ(nn.stats().replicas_restored, 0u);
+
+  const BlockInfo& info = nn.block(b);
+  ASSERT_EQ(info.replicas.size(), 2u);
+  EXPECT_FALSE(info.hosted_on(2));
+  EXPECT_TRUE(info.hosted_on(0));
+  EXPECT_TRUE(info.hosted_on(3));
+}
+
+TEST(ReviveReclaim, FlatClusterTrimsRevivedCopy) {
+  // Without a hierarchy there is no spread to improve: the excess disk
+  // copy is simply discarded.
+  NameNode nn(4);
+  const auto policy = placement::make_random_policy(4);
+  Rng rng(2);
+  const FileId file = nn.create_file(
+      "input", 1, 2, policy, rng,
+      [](NodeIndex node) { return node == 0 || node == 1; });
+  const BlockId b = nn.file(file).blocks[0];
+  ASSERT_EQ(nn.mark_node_dead(1).size(), 1u);
+  nn.add_replica(b, 2);
+
+  const NameNode::ReviveReport report = nn.revive_node(1);
+  EXPECT_TRUE(report.restored.empty());
+  ASSERT_EQ(report.trimmed.size(), 1u);
+  EXPECT_EQ(report.trimmed[0].node, 1u);
+  EXPECT_FALSE(nn.block(b).hosted_on(1));
+}
+
+}  // namespace

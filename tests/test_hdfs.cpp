@@ -192,7 +192,10 @@ TEST(NameNode, ReplicaMutation) {
   const cluster::NodeIndex other = holder == 0 ? 1 : 0;
   nn.add_replica(block, other);
   EXPECT_EQ(nn.block(block).replicas.size(), 2u);
-  EXPECT_THROW(nn.add_replica(block, other), std::logic_error);
+  // Duplicate insert dedupes (counted), never double-registers a holder.
+  nn.add_replica(block, other);
+  EXPECT_EQ(nn.block(block).replicas.size(), 2u);
+  EXPECT_EQ(nn.stats().duplicate_replica_inserts, 1u);
   nn.remove_replica(block, holder);
   EXPECT_EQ(nn.block(block).replicas.size(), 1u);
   EXPECT_THROW(nn.remove_replica(block, holder), std::logic_error);

@@ -244,6 +244,66 @@ TEST(Injector, BurstDepartsExpectedFraction) {
   }
 }
 
+TEST(Injector, DomainBurstTakesWholeDomainsDown) {
+  // 12 dedicated nodes in 4 racks of 3; a 2-rack burst at t = 50 must
+  // depart exactly two complete racks, all at the same instant.
+  std::vector<NodeSpec> nodes(12);
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector::Config config;
+  config.domain_burst_at = 50.0;
+  config.domain_burst_count = 2;
+  config.domain_of = {0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3};
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(31),
+                                config);
+  injector.start();
+  queue.run_until([&] { return queue.now() >= 60.0; });
+  EXPECT_EQ(injector.departures(), 6u);
+  for (const auto& e : recorder.events) {
+    EXPECT_FALSE(e.up);
+    EXPECT_DOUBLE_EQ(e.when, 50.0);
+  }
+  // Correlated by construction: a rack is all-down or all-up.
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    int departed = 0;
+    for (cluster::NodeIndex i = 0; i < nodes.size(); ++i) {
+      if (config.domain_of[i] == d && injector.is_departed(i)) ++departed;
+    }
+    EXPECT_TRUE(departed == 0 || departed == 3)
+        << "rack " << d << " partially departed";
+  }
+}
+
+TEST(Injector, DomainBurstCountClampsToDomainCount) {
+  std::vector<NodeSpec> nodes(6);
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector::Config config;
+  config.domain_burst_at = 10.0;
+  config.domain_burst_count = 99;  // more than the 3 racks that exist
+  config.domain_of = {0, 0, 1, 1, 2, 2};
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(2),
+                                config);
+  injector.start();
+  queue.run_until([&] { return queue.now() >= 20.0; });
+  EXPECT_EQ(injector.departures(), 6u);  // every domain hit once
+}
+
+TEST(Injector, DomainBurstRequiresDomainMap) {
+  std::vector<NodeSpec> nodes(4);
+  EventQueue queue;
+  Recorder recorder;
+  recorder.queue = &queue;
+  InterruptionInjector::Config config;
+  config.domain_burst_at = 10.0;
+  config.domain_burst_count = 1;  // armed, but domain_of left empty
+  InterruptionInjector injector(queue, nodes, recorder, common::Rng(2),
+                                config);
+  EXPECT_THROW(injector.start(), std::invalid_argument);
+}
+
 TEST(Injector, LateJoinerStartsAbsentThenJoins) {
   std::vector<NodeSpec> nodes(2);
   EventQueue queue;

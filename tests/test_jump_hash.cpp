@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "cluster/node_mask.h"
+#include "common/rng.h"
+#include "placement/jump_hash_policy.h"
+
+namespace {
+
+using namespace adapt;
+using adapt::cluster::NodeIndex;
+using adapt::cluster::NodeMask;
+using adapt::common::Rng;
+using adapt::placement::JumpHashPolicy;
+using adapt::placement::jump_consistent_hash;
+
+std::vector<NodeIndex> identity_order(std::size_t n) {
+  std::vector<NodeIndex> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  return order;
+}
+
+TEST(JumpConsistentHash, StaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t key = rng();
+    EXPECT_EQ(jump_consistent_hash(key, 1), 0u);
+    EXPECT_LT(jump_consistent_hash(key, 7), 7u);
+    EXPECT_LT(jump_consistent_hash(key, 1000), 1000u);
+  }
+  EXPECT_THROW(jump_consistent_hash(42, 0), std::invalid_argument);
+}
+
+// The defining property: growing from n to n+1 buckets moves only the
+// keys that land in the new bucket — an expected 1/(n+1) fraction — and
+// every moved key moves *to* bucket n.
+TEST(JumpConsistentHash, GrowthRemapsOnlyToTheNewBucket) {
+  const int keys = 20000;
+  for (const std::uint32_t n : {10u, 100u}) {
+    Rng rng(n);
+    int moved = 0;
+    for (int i = 0; i < keys; ++i) {
+      const std::uint64_t key = rng();
+      const std::uint32_t before = jump_consistent_hash(key, n);
+      const std::uint32_t after = jump_consistent_hash(key, n + 1);
+      if (before != after) {
+        EXPECT_EQ(after, n);
+        ++moved;
+      }
+    }
+    const double fraction = static_cast<double>(moved) / keys;
+    EXPECT_LE(fraction, 2.0 / (n + 1));
+    EXPECT_GT(fraction, 0.25 / (n + 1));
+  }
+}
+
+TEST(JumpConsistentHash, RoughlyUniform) {
+  const std::uint32_t buckets = 16;
+  const int keys = 32000;
+  std::vector<int> counts(buckets, 0);
+  Rng rng(9);
+  for (int i = 0; i < keys; ++i) {
+    ++counts[jump_consistent_hash(rng(), buckets)];
+  }
+  const double expected = static_cast<double>(keys) / buckets;
+  for (const int count : counts) {
+    EXPECT_NEAR(count, expected, 0.15 * expected);
+  }
+}
+
+TEST(JumpHashPolicy, ValidatesPermutation) {
+  EXPECT_THROW(JumpHashPolicy({}), std::invalid_argument);
+  EXPECT_THROW(JumpHashPolicy({0, 0}), std::invalid_argument);   // dup
+  EXPECT_THROW(JumpHashPolicy({0, 2}), std::invalid_argument);   // gap
+  EXPECT_NO_THROW(JumpHashPolicy({1, 0, 2}));
+}
+
+TEST(JumpHashPolicy, ChooseKeyedIsPureAndDeterministic) {
+  const JumpHashPolicy policy(identity_order(16));
+  const NodeMask all(16, true);
+  Rng used(42);
+  Rng untouched(42);
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    const auto first = policy.choose_keyed(key, 0, all, used);
+    const auto second = policy.choose_keyed(key, 0, all, used);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(*first, *second);
+  }
+  // The keyed draw never consumed the generator.
+  EXPECT_EQ(used(), untouched());
+}
+
+TEST(JumpHashPolicy, HonorsMask) {
+  const JumpHashPolicy policy(identity_order(32));
+  NodeMask eligible(32);
+  eligible.set(3);
+  eligible.set(17);
+  eligible.set(31);
+  Rng rng(5);
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    const auto node = policy.choose_keyed(key, 1, eligible, rng);
+    ASSERT_TRUE(node.has_value());
+    EXPECT_TRUE(eligible.test(*node));
+  }
+  const NodeMask empty(32);
+  EXPECT_FALSE(policy.choose_keyed(7, 0, empty, rng).has_value());
+  const NodeMask wrong_size(8, true);
+  EXPECT_THROW(policy.choose_keyed(7, 0, wrong_size, rng),
+               std::invalid_argument);
+}
+
+// Masking one node out displaces only the keys that hashed onto it, and
+// each displaced key probes exactly one step to the ring successor.
+TEST(JumpHashPolicy, MaskedNodeDisplacesOnlyItsOwnKeys) {
+  const std::uint32_t n = 32;
+  const JumpHashPolicy policy(identity_order(n));
+  const NodeMask all(n, true);
+  NodeMask without(n, true);
+  const NodeIndex gone = 13;
+  without.reset(gone);
+  Rng rng(3);
+  Rng keys(77);
+  int moved = 0;
+  const int trials = 8000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t key = keys();
+    const auto before = policy.choose_keyed(key, 0, all, rng);
+    const auto after = policy.choose_keyed(key, 0, without, rng);
+    ASSERT_TRUE(before.has_value());
+    ASSERT_TRUE(after.has_value());
+    if (*before != *after) {
+      EXPECT_EQ(*before, gone);
+      EXPECT_EQ(*after, (gone + 1) % n);  // ring successor in order_
+      ++moved;
+    }
+  }
+  // A leave touches ~1/n of keys; assert the O(1/n) remap bound.
+  EXPECT_LE(static_cast<double>(moved) / trials, 2.0 / n);
+}
+
+// A node join (order grows by one bucket at the tail) remaps at most a
+// ~1/(n+1) fraction of keys, all onto the new node.
+TEST(JumpHashPolicy, JoinRemapsSmallFraction) {
+  const std::uint32_t n = 24;
+  const JumpHashPolicy small(identity_order(n));
+  const JumpHashPolicy grown(identity_order(n + 1));
+  const NodeMask all_small(n, true);
+  const NodeMask all_grown(n + 1, true);
+  Rng rng(3);
+  Rng keys(123);
+  int moved = 0;
+  const int trials = 8000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t key = keys();
+    const auto before = small.choose_keyed(key, 0, all_small, rng);
+    const auto after = grown.choose_keyed(key, 0, all_grown, rng);
+    if (*before != *after) {
+      EXPECT_EQ(*after, n);  // moved keys land on the joiner
+      ++moved;
+    }
+  }
+  EXPECT_LE(static_cast<double>(moved) / trials, 2.0 / (n + 1));
+  EXPECT_GT(moved, 0);
+}
+
+// Replica ordinals of one block must start from decorrelated buckets —
+// otherwise replica 1 would always sit next to replica 0 in ring order.
+TEST(JumpHashPolicy, OrdinalsDecorrelate) {
+  const std::uint32_t n = 32;
+  const JumpHashPolicy policy(identity_order(n));
+  const NodeMask all(n, true);
+  Rng rng(3);
+  Rng keys(55);
+  int same = 0;
+  int successor = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    const std::uint64_t key = keys();
+    const auto r0 = policy.choose_keyed(key, 0, all, rng);
+    const auto r1 = policy.choose_keyed(key, 1, all, rng);
+    if (*r0 == *r1) ++same;
+    if ((*r0 + 1) % n == *r1) ++successor;
+  }
+  // Independent uniform draws collide ~1/n of the time.
+  EXPECT_LE(same, trials / 8);
+  EXPECT_LE(successor, trials / 8);
+}
+
+// The policy respects a non-identity (domain-major) order: probing past
+// a masked node follows the order table, not index order.
+TEST(JumpHashPolicy, ProbesInOrderTableSequence) {
+  // order: bucket i -> node (reversed).
+  std::vector<NodeIndex> order = {3, 2, 1, 0};
+  const JumpHashPolicy policy(order);
+  NodeMask only_zero(4);
+  only_zero.set(0);
+  Rng rng(1);
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    // Whatever bucket the key hits, probing must end on node 0.
+    EXPECT_EQ(*policy.choose_keyed(key, 0, only_zero, rng), 0u);
+  }
+}
+
+TEST(JumpHashPolicy, UnkeyedChooseIsUniformOverMask) {
+  const JumpHashPolicy policy(identity_order(8));
+  NodeMask eligible(8);
+  eligible.set(2);
+  eligible.set(5);
+  Rng rng(17);
+  int low = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto node = policy.choose(eligible, rng);
+    ASSERT_TRUE(node.has_value());
+    ASSERT_TRUE(*node == 2 || *node == 5);
+    if (*node == 2) ++low;
+  }
+  EXPECT_NEAR(low, 1000, 150);
+  const NodeMask empty(8);
+  EXPECT_FALSE(policy.choose(empty, rng).has_value());
+}
+
+TEST(JumpHashPolicy, UniformTargetShares) {
+  const JumpHashPolicy policy(identity_order(5));
+  const std::vector<double> shares = policy.target_shares();
+  ASSERT_EQ(shares.size(), 5u);
+  for (const double share : shares) EXPECT_DOUBLE_EQ(share, 0.2);
+  EXPECT_EQ(policy.name(), "jump");
+}
+
+}  // namespace
