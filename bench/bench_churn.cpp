@@ -9,10 +9,16 @@
 //                 [--dead-timeout SEC] [--threads T] [--json PATH]
 //                 [--trace PATH] [--metrics] [--calibrate]
 //                 [--sample-dt S] [--timeseries PATH] [--spans PATH]
+//                 [--gray]
 //
 // With --calibrate, prints a CUSUM drift-detection summary: how long
 // after each permanent departure the heartbeat estimator's drift was
 // flagged, plus the cluster calibration ratio (realized / predicted).
+//
+// With --gray, appends sweep (d): gray failures — per-beat heartbeat
+// loss crossed with a timed control-plane partition, with bitrot, the
+// block scanner and NameNode safe mode enabled — reporting the
+// detector's false dead declarations and checksum catches per policy.
 #include <cstdio>
 #include <memory>
 
@@ -132,6 +138,107 @@ void run_sweep(runner::ExperimentRunner& exec, runner::Report& report,
   std::fflush(stdout);
 }
 
+// Gray-failure sweep: per-beat heartbeat loss crossed with a timed
+// partition of a quarter of the pool, on top of mild crash churn.
+// Bitrot + scanner + safe mode run in every cell so the detection
+// machinery (not just the injection) is exercised at bench scale. A
+// short dead timeout makes lossy detection actually misfire.
+struct GrayPoint {
+  std::string label;
+  double loss;
+  bool partition;
+};
+
+void run_gray_sweep(runner::ExperimentRunner& exec, runner::Report& report,
+                    bench::ObsSink& sink, const std::vector<GrayPoint>& points,
+                    const std::vector<ChurnSeries>& series, std::size_t nodes,
+                    int runs, std::uint64_t seed, int rr_concurrency) {
+  const auto params = draw_population(nodes, seed);
+  const auto cl = std::make_shared<const cluster::Cluster>(
+      cluster::model_cluster(params, {}));
+  workload::Workload w = workload::simulation_workload();
+
+  std::vector<runner::ExperimentRunner::SweepCell> cells;
+  cells.reserve(points.size() * series.size());
+  for (const GrayPoint& point : points) {
+    core::ExperimentConfig config;
+    config.blocks = w.blocks_for(nodes);
+    config.job.gamma = w.gamma();
+    config.job.allow_origin_fetch = false;
+    config.seed = seed;
+    config.obs = sink.options.obs;
+    auto& churn = config.job.churn;
+    churn.enabled = true;
+    churn.departure_rate = 1.0 / 7200.0;
+    churn.dead_timeout = 30.0;
+    churn.heartbeat_loss_prob = point.loss;
+    if (point.partition) {
+      sim::SimJobConfig::ChurnConfig::Partition part;
+      part.at = 120.0;
+      part.heal_at = 240.0;
+      for (std::uint32_t n = 0; n < nodes / 4; ++n) part.nodes.push_back(n);
+      churn.partitions.push_back(part);
+    }
+    churn.bitrot_rate = 1.0 / 300.0;
+    churn.scan_interval = 60.0;
+    churn.scan_blocks_per_sweep = 16;
+    churn.safe_mode_threshold = 0.2;
+    churn.safe_mode_hold = 60.0;
+    churn.rereplication.max_concurrent = rr_concurrency;
+    for (const ChurnSeries& s : series) {
+      config.policy = s.policy;
+      config.replication = s.replication;
+      config.job.churn.rereplication.enabled = s.pipeline;
+      cells.push_back({cl, config, runs});
+    }
+  }
+  const std::vector<core::RepeatedResult> results =
+      exec.run_sweep(cells, sink.collector());
+
+  common::Table table({"gray mode", "series", "elapsed (s)", "failed",
+                       "lost beats", "false dead", "dead", "corrupt",
+                       "caught", "safe", "blocks lost", "re-repl"});
+  std::size_t cell = 0;
+  for (const GrayPoint& point : points) {
+    for (const ChurnSeries& s : series) {
+      const core::RepeatedResult& r = results[cell++];
+      table.add_row(
+          {point.label, s.label(),
+           common::format_double(r.elapsed.mean, 0),
+           std::to_string(r.failed_runs) + "/" + std::to_string(runs),
+           std::to_string(r.heartbeats_lost),
+           std::to_string(r.false_dead_declarations),
+           std::to_string(r.nodes_dead),
+           std::to_string(r.replicas_corrupted),
+           std::to_string(r.corrupt_reads),
+           std::to_string(r.safe_mode_entries),
+           std::to_string(r.blocks_lost),
+           std::to_string(r.rereplications)});
+      // Gray metrics ride a dedicated row so add_result's fixed metric
+      // list (and every existing report consumer) stays untouched.
+      report.add_row(
+          "Churn (d): gray failures", point.label, s.label(),
+          {{"elapsed_mean", r.elapsed.mean},
+           {"failed_runs", static_cast<double>(r.failed_runs)},
+           {"gray_heartbeats_lost",
+            static_cast<double>(r.heartbeats_lost)},
+           {"gray_false_dead_declarations",
+            static_cast<double>(r.false_dead_declarations)},
+           {"gray_replicas_corrupted",
+            static_cast<double>(r.replicas_corrupted)},
+           {"gray_corrupt_reads", static_cast<double>(r.corrupt_reads)},
+           {"gray_safe_mode_entries",
+            static_cast<double>(r.safe_mode_entries)},
+           {"nodes_dead", static_cast<double>(r.nodes_dead)},
+           {"blocks_lost", static_cast<double>(r.blocks_lost)},
+           {"rereplications", static_cast<double>(r.rereplications)}});
+    }
+  }
+  std::printf("\n--- Churn (d): gray failures (loss x partition) ---\n%s",
+              table.to_string().c_str());
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,6 +252,7 @@ int main(int argc, char** argv) {
   const double dead_timeout = flags.get_double("dead-timeout", 120.0);
   const int rr_concurrency =
       static_cast<int>(flags.get_int("rr-concurrency", 8));
+  const bool gray = flags.get_bool("gray", false);
   const bench::RunnerOptions& options = common_opts.runner;
   bench::abort_on_unused_flags(flags);
 
@@ -226,6 +334,24 @@ int main(int argc, char** argv) {
               "Churn (c): rack bursts at 300 s (4 sites x 2 racks)",
               "loss mode", points, domain_series, nodes, runs, seed + 2,
               dead_timeout, rr_concurrency, layout);
+  }
+  if (gray) {
+    // Gray failures: the detector sees lossy beats and a partitioned
+    // quarter of the pool while every node keeps computing.
+    const std::vector<ChurnSeries> gray_series = {
+        {core::PolicyKind::kRandom, 2, true},
+        {core::PolicyKind::kAdapt, 2, true},
+        {core::PolicyKind::kAdapt, 3, true},
+    };
+    std::vector<GrayPoint> points = {
+        {"clean", 0.0, false},
+        {"loss 10%", 0.10, false},
+        {"loss 25%", 0.25, false},
+        {"partition", 0.0, true},
+        {"loss 10% + part", 0.10, true},
+    };
+    run_gray_sweep(exec, report, sink, points, gray_series, nodes, runs,
+                   seed + 3, rr_concurrency);
   }
   if (options.obs.calibration.enabled) {
     // Aggregate the CUSUM drift detections across every run: how long

@@ -91,6 +91,37 @@ void print_run(std::uint64_t run_index, const obs::RunObservations& run,
     std::printf("\nchurn & recovery:\n%s", recovery.to_string().c_str());
   }
 
+  // Failure audit: only shown when the trace carries gray-failure
+  // activity — false-positive dead declarations (nodes revived by a
+  // later beat), checksum catches and their recovery path, safe-mode
+  // entries/exits, and re-replication give-ups (repairs abandoned).
+  if (summary.false_dead_declarations > 0 || summary.corrupt_reads > 0 ||
+      summary.replicas_corrupted > 0 || summary.safe_mode_entries > 0 ||
+      summary.partitions_started > 0 || summary.stragglers_started > 0) {
+    common::Table audit({"false dead", "revived repl", "corrupt",
+                         "caught reads", "by scan", "safe in/out",
+                         "deferred w/o", "give-ups"});
+    audit.add_row(
+        {std::to_string(summary.false_dead_declarations),
+         std::to_string(summary.revived_replicas_restored) + "+" +
+             std::to_string(summary.revived_replicas_trimmed) + "t",
+         std::to_string(summary.replicas_corrupted),
+         std::to_string(summary.corrupt_reads),
+         std::to_string(summary.corrupt_reads_scan),
+         std::to_string(summary.safe_mode_entries) + "/" +
+             std::to_string(summary.safe_mode_exits),
+         std::to_string(summary.safe_mode_writeoffs),
+         std::to_string(summary.rereplication_giveups)});
+    std::printf("\nfailure audit:\n%s", audit.to_string().c_str());
+    if (summary.partitions_started > 0 || summary.stragglers_started > 0) {
+      std::printf("injected: %llu partition(s) (%llu healed), "
+                  "%llu straggler(s)\n",
+                  static_cast<unsigned long long>(summary.partitions_started),
+                  static_cast<unsigned long long>(summary.partitions_healed),
+                  static_cast<unsigned long long>(summary.stragglers_started));
+    }
+  }
+
   // Online rebalancing: only shown when the drift→rebalance loop ran.
   if (summary.rebalance_triggers > 0 || summary.migrations_committed > 0 ||
       summary.migration_retries > 0 || summary.migration_giveups > 0) {

@@ -145,6 +145,12 @@ struct RepeatedResult {
   std::uint64_t rereplications = 0;
   std::uint64_t rereplication_giveups = 0;
   std::uint64_t rereplication_bytes = 0;
+  // Gray-failure totals across runs (all zero with the gray knobs off).
+  std::uint64_t heartbeats_lost = 0;
+  std::uint64_t false_dead_declarations = 0;
+  std::uint64_t replicas_corrupted = 0;
+  std::uint64_t corrupt_reads = 0;
+  std::uint64_t safe_mode_entries = 0;
 };
 
 RepeatedResult run_repeated(const cluster::Cluster& cluster,

@@ -171,6 +171,35 @@ ReplaySummary replay(const std::vector<TraceRecord>& records) {
       case EventType::kMigrationGiveup:
         ++out.migration_giveups;
         break;
+      case EventType::kPartitionStart:
+        ++out.partitions_started;
+        break;
+      case EventType::kPartitionHeal:
+        ++out.partitions_healed;
+        break;
+      case EventType::kStragglerStart:
+        ++out.stragglers_started;
+        break;
+      case EventType::kReplicaCorrupt:
+        ++out.replicas_corrupted;
+        break;
+      case EventType::kCorruptRead:
+        ++out.corrupt_reads;
+        if (r.aux == 2) ++out.corrupt_reads_scan;
+        break;
+      case EventType::kSafeModeEnter:
+        ++out.safe_mode_entries;
+        break;
+      case EventType::kSafeModeExit:
+        ++out.safe_mode_exits;
+        if (r.aux != 0) ++out.safe_mode_healed;
+        out.safe_mode_writeoffs += r.task;
+        break;
+      case EventType::kNodeRevived:
+        ++out.false_dead_declarations;
+        out.revived_replicas_restored += r.task;
+        out.revived_replicas_trimmed += r.aux;
+        break;
       default:
         break;
     }
@@ -280,7 +309,8 @@ EventType event_from_name(const std::string& name, std::size_t line_no) {
 TraceReason reason_from_name(const std::string& name) {
   for (const auto reason :
        {TraceReason::kNone, TraceReason::kNodeDown,
-        TraceReason::kSourceTimeout, TraceReason::kRedundant}) {
+        TraceReason::kSourceTimeout, TraceReason::kRedundant,
+        TraceReason::kChecksum}) {
     if (name == to_string(reason)) return reason;
   }
   return TraceReason::kNone;
@@ -435,6 +465,42 @@ std::vector<RunObservations> parse_jsonl(const std::string& text) {
         break;
       case EventType::kMigrationGiveup:
         if (const auto* v = get("attempts")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        break;
+      case EventType::kPartitionStart:
+      case EventType::kPartitionHeal:
+        if (const auto* v = get("nodes")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        break;
+      case EventType::kStragglerStart:
+        if (const auto* v = get("slow")) r.v0 = as_double(*v);
+        break;
+      case EventType::kCorruptRead:
+        if (const auto* v = get("path")) {
+          r.aux = *v == "local" ? 0u : *v == "remote" ? 1u : 2u;
+        }
+        break;
+      case EventType::kSafeModeEnter:
+        if (const auto* v = get("deferred")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        if (const auto* v = get("fraction")) r.v0 = as_double(*v);
+        break;
+      case EventType::kSafeModeExit:
+        if (const auto* v = get("writeoffs")) {
+          r.task = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        if (const auto* v = get("healed")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        break;
+      case EventType::kNodeRevived:
+        if (const auto* v = get("restored")) {
+          r.task = static_cast<std::uint32_t>(as_u64(*v));
+        }
+        if (const auto* v = get("trimmed")) {
           r.aux = static_cast<std::uint32_t>(as_u64(*v));
         }
         break;

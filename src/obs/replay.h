@@ -60,6 +60,21 @@ struct ReplaySummary {
   std::uint64_t migration_giveups = 0;
   double migration_bytes = 0.0;             // bytes moved by rebalancing
 
+  // Gray-failure accounting (zero on crash-stop-only traces).
+  std::uint64_t partitions_started = 0;
+  std::uint64_t partitions_healed = 0;
+  std::uint64_t stragglers_started = 0;
+  std::uint64_t replicas_corrupted = 0;     // bitrot injections
+  std::uint64_t corrupt_reads = 0;          // checksum catches (all paths)
+  std::uint64_t corrupt_reads_scan = 0;     // ... caught by the scanner
+  std::uint64_t safe_mode_entries = 0;
+  std::uint64_t safe_mode_exits = 0;
+  std::uint64_t safe_mode_healed = 0;       // exits with no write-off
+  std::uint64_t safe_mode_writeoffs = 0;    // deferred write-offs applied
+  std::uint64_t false_dead_declarations = 0;  // node_revived events
+  std::uint64_t revived_replicas_restored = 0;
+  std::uint64_t revived_replicas_trimmed = 0;
+
   std::uint64_t count(EventType type) const {
     return event_counts[static_cast<std::size_t>(type)];
   }

@@ -77,6 +77,24 @@ const char* to_string(EventType type) {
       return "migration_retry";
     case EventType::kMigrationGiveup:
       return "migration_giveup";
+    case EventType::kPartitionStart:
+      return "partition_start";
+    case EventType::kPartitionHeal:
+      return "partition_heal";
+    case EventType::kStragglerStart:
+      return "straggler_start";
+    case EventType::kStragglerEnd:
+      return "straggler_end";
+    case EventType::kReplicaCorrupt:
+      return "replica_corrupt";
+    case EventType::kCorruptRead:
+      return "corrupt_read";
+    case EventType::kSafeModeEnter:
+      return "safe_mode_enter";
+    case EventType::kSafeModeExit:
+      return "safe_mode_exit";
+    case EventType::kNodeRevived:
+      return "node_revived";
   }
   return "?";
 }
@@ -91,6 +109,8 @@ const char* to_string(TraceReason reason) {
       return "source_timeout";
     case TraceReason::kRedundant:
       return "redundant";
+    case TraceReason::kChecksum:
+      return "checksum";
   }
   return "?";
 }
@@ -266,6 +286,40 @@ void append_jsonl(std::string& out, std::uint64_t run_index,
     case EventType::kMigrationGiveup:
       out += ", \"block\": " + std::to_string(r.task) +
              ", \"attempts\": " + std::to_string(r.aux);
+      break;
+    case EventType::kPartitionStart:
+    case EventType::kPartitionHeal:
+      out += ", \"nodes\": " + std::to_string(r.aux);
+      break;
+    case EventType::kStragglerStart:
+      out += ", \"node\": " + std::to_string(r.node) +
+             ", \"slow\": " + json_number(r.v0);
+      break;
+    case EventType::kStragglerEnd:
+      out += ", \"node\": " + std::to_string(r.node);
+      break;
+    case EventType::kReplicaCorrupt:
+      out += ", \"block\": " + std::to_string(r.task) +
+             ", \"node\": " + std::to_string(r.node);
+      break;
+    case EventType::kCorruptRead:
+      out += ", \"block\": " + std::to_string(r.task) +
+             ", \"node\": " + std::to_string(r.node) + ", \"path\": \"" +
+             (r.aux == 0 ? "local" : r.aux == 1 ? "remote" : "scan") +
+             "\"";
+      break;
+    case EventType::kSafeModeEnter:
+      out += ", \"deferred\": " + std::to_string(r.aux) +
+             ", \"fraction\": " + json_number(r.v0);
+      break;
+    case EventType::kSafeModeExit:
+      out += ", \"writeoffs\": " + std::to_string(r.task) +
+             ", \"healed\": " + std::to_string(r.aux);
+      break;
+    case EventType::kNodeRevived:
+      out += ", \"node\": " + std::to_string(r.node) +
+             ", \"restored\": " + std::to_string(r.task) +
+             ", \"trimmed\": " + std::to_string(r.aux);
       break;
   }
   out += "}";

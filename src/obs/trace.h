@@ -57,8 +57,23 @@ enum class EventType : std::uint8_t {
   kMigrationCommit,     // migration landed; metadata flipped (v0 = bytes)
   kMigrationRetry,      // migration failed; backing off (v0 = next try)
   kMigrationGiveup,     // migration retry budget exhausted (aux = attempts)
+  // -- gray failures --
+  kPartitionStart,      // control-plane partition begins (aux = nodes cut)
+  kPartitionHeal,       // partition heals (aux = nodes restored)
+  kStragglerStart,      // degraded mode begins (v0 = slow factor)
+  kStragglerEnd,        // degraded mode ends
+  kReplicaCorrupt,      // bitrot: replica silently corrupted (task = block)
+  kCorruptRead,         // checksum caught a corrupt replica (aux = path:
+                        // 0 local read, 1 remote fetch, 2 scanner)
+  kSafeModeEnter,       // mass-death heuristic tripped (aux = deferred,
+                        // v0 = believed-dead fraction)
+  kSafeModeExit,        // hold expired or healed (task = write-offs
+                        // applied, aux = 1 when healed with no write-off)
+  kNodeRevived,         // false-positive dead declaration undone by a
+                        // heartbeat (task = replicas restored,
+                        // aux = stale replicas trimmed)
 };
-inline constexpr std::size_t kEventTypeCount = 26;
+inline constexpr std::size_t kEventTypeCount = 35;
 
 // Why an attempt/transfer was killed; mirrors the simulator's kill paths.
 enum class TraceReason : std::uint8_t {
@@ -66,6 +81,7 @@ enum class TraceReason : std::uint8_t {
   kNodeDown,        // hosting node went down
   kSourceTimeout,   // source outage outlived the stall timeout
   kRedundant,       // another attempt won the task
+  kChecksum,        // read returned corrupt data (bitrot caught)
 };
 
 const char* to_string(EventType type);

@@ -43,6 +43,11 @@ core::RepeatedResult merge_results(
     out.rereplications += result.job.rereplications;
     out.rereplication_giveups += result.job.rereplication_giveups;
     out.rereplication_bytes += result.job.rereplication_bytes;
+    out.heartbeats_lost += result.job.heartbeats_lost;
+    out.false_dead_declarations += result.job.false_dead_declarations;
+    out.replicas_corrupted += result.job.replicas_corrupted;
+    out.corrupt_reads += result.job.corrupt_reads;
+    out.safe_mode_entries += result.job.safe_mode_entries;
   }
   const double n = static_cast<double>(results.size());
   out.rework_ratio /= n;

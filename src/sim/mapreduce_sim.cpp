@@ -217,6 +217,7 @@ void MapReduceSimulation::init_churn() {
     rebalance_rng_ = common::Rng(config_.seed).fork(0x0b1e);
   }
   refresh_policy();
+  if (churn.gray_enabled()) init_gray();
 }
 
 void MapReduceSimulation::refresh_policy() {
@@ -257,19 +258,29 @@ void MapReduceSimulation::declare_dead(cluster::NodeIndex node) {
   ++result_.nodes_dead;
   const common::Seconds now = queue_.now();
 
-  // The DFS client gives up the moment the NameNode declares the source
-  // dead: abort transfers still stalled on it (they would otherwise wait
-  // out the full client timeout for a node that is not coming back).
-  const std::vector<AttemptId> outgoing = ns.outgoing_fetches;
-  for (const AttemptId id : outgoing) {
-    const Attempt& a = attempts_[id];
-    if (!a.alive) continue;
-    const cluster::NodeIndex dst = a.node;
-    kill_attempt(id, KillReason::kSourceTimeout);
-    dispatch(dst);
+  // Message-level detection can be wrong: a node behind a partition or a
+  // lossy link is declared dead while it keeps running. Only the
+  // NameNode's metadata is written off — the node's attempts (and the
+  // transfers it is serving) continue and may still win.
+  if (ns.up) {
+    ++result_.false_dead_declarations;
+    if (!false_declared_.empty()) false_declared_[node] = true;
+  } else {
+    // The DFS client gives up the moment the NameNode declares the
+    // source dead: abort transfers still stalled on it (they would
+    // otherwise wait out the full client timeout for a node that is not
+    // coming back).
+    const std::vector<AttemptId> outgoing = ns.outgoing_fetches;
+    for (const AttemptId id : outgoing) {
+      const Attempt& a = attempts_[id];
+      if (!a.alive) continue;
+      const cluster::NodeIndex dst = a.node;
+      kill_attempt(id, KillReason::kSourceTimeout);
+      dispatch(dst);
+    }
+    ns.stall_timeout_event.cancel();
+    network_.reset_uplink(node, now);
   }
-  ns.stall_timeout_event.cancel();
-  network_.reset_uplink(node, now);
 
   // Its downtime can no longer delay the job once the replicas are
   // written off and the tasks re-homed; stop charging recovery.
@@ -329,6 +340,9 @@ void MapReduceSimulation::maybe_mark_lost(TaskId task) {
 
 void MapReduceSimulation::on_block_replicated(hdfs::BlockId block,
                                               cluster::NodeIndex dst) {
+  // A restored copy is streamed from a verified survivor: fresh bytes
+  // overwrite any rot the destination disk previously held.
+  clear_corrupt(block, dst);
   const std::optional<TaskId> task = task_of(block);
   if (!task) return;
   if (board_.status(*task) == TaskStatus::kDone) return;
@@ -350,6 +364,445 @@ void MapReduceSimulation::on_block_replicated(hdfs::BlockId block,
     dispatch(dst);
   } else {
     wake_for_task(*task);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Gray failures
+// ---------------------------------------------------------------------
+
+void MapReduceSimulation::init_gray() {
+  const SimJobConfig::ChurnConfig& churn = config_.churn;
+  gray_ = true;
+  message_mode_ = churn.message_level();
+  hb_rng_ = common::Rng(config_.seed).fork(0xb347);
+  corrupt_rng_ = common::Rng(config_.seed).fork(0xb17f);
+  slow_factor_.assign(node_state_.size(), 1.0);
+
+  if (message_mode_) {
+    partition_count_.assign(node_state_.size(), 0);
+    deferred_dead_.assign(node_state_.size(), false);
+    false_declared_.assign(node_state_.size(), false);
+    partition_nodes_.resize(churn.partitions.size());
+    for (std::size_t p = 0; p < churn.partitions.size(); ++p) {
+      const SimJobConfig::ChurnConfig::Partition& part = churn.partitions[p];
+      std::vector<cluster::NodeIndex>& members = partition_nodes_[p];
+      if (part.domain >= 0) {
+        if (churn.domain_of.empty()) {
+          throw std::invalid_argument(
+              "simulation: domain partition requires churn.domain_of");
+        }
+        for (cluster::NodeIndex n = 0; n < node_state_.size(); ++n) {
+          if (n < churn.domain_of.size() &&
+              churn.domain_of[n] == static_cast<std::uint32_t>(part.domain)) {
+            members.push_back(n);
+          }
+        }
+      } else {
+        for (const std::uint32_t n : part.nodes) {
+          if (n >= node_state_.size()) {
+            throw std::invalid_argument(
+                "simulation: partition node out of range");
+          }
+          members.push_back(n);
+        }
+      }
+      queue_.schedule(part.at, [this, p] { start_partition(p); });
+      queue_.schedule(part.heal_at, [this, p] { heal_partition(p); });
+    }
+    // Round 0 doubles as registration (see on_heartbeat_round).
+    queue_.schedule(0.0, [this] { on_heartbeat_round(); });
+  }
+
+  for (std::size_t s = 0; s < churn.stragglers.size(); ++s) {
+    const SimJobConfig::ChurnConfig::Straggler& st = churn.stragglers[s];
+    if (st.node >= node_state_.size()) {
+      throw std::invalid_argument("simulation: straggler node out of range");
+    }
+    queue_.schedule(st.at, [this, s] { start_straggler(s); });
+    queue_.schedule(st.until, [this, s] { end_straggler(s); });
+  }
+
+  for (const SimJobConfig::ChurnConfig::Corruption& c : churn.corruptions) {
+    if (c.block >= board_.task_count()) {
+      throw std::invalid_argument("simulation: corruption block out of range");
+    }
+    const hdfs::BlockId block = first_block_ + c.block;
+    const std::int64_t hint = c.node;
+    queue_.schedule(c.at, [this, block, hint] {
+      inject_corruption(block, hint);
+    });
+  }
+  if (churn.bitrot_rate > 0.0) {
+    queue_.schedule(corrupt_rng_.exponential(churn.bitrot_rate),
+                    [this] { on_bitrot(); });
+  }
+  if (churn.scan_interval > 0.0) {
+    queue_.schedule(churn.scan_interval, [this] { on_scan(); });
+  }
+}
+
+void MapReduceSimulation::on_heartbeat_round() {
+  const common::Seconds now = queue_.now();
+  for (cluster::NodeIndex i = 0; i < node_state_.size(); ++i) {
+    bool delivered = false;
+    if (node_state_[i].up && !is_partitioned(i)) {
+      bool lost = false;
+      if (config_.churn.heartbeat_loss_prob > 0.0) {
+        lost = hb_rng_.uniform() < config_.churn.heartbeat_loss_prob;
+      }
+      if (lost) {
+        ++result_.heartbeats_lost;
+      } else {
+        delivered = true;
+      }
+    }
+    if (delivered) {
+      const bool was_declared = declared_dead_[i];
+      const bool was_deferred = deferred_dead_[i];
+      collector_->observe_heartbeat(i, now);
+      if (was_declared) {
+        const auto [restored, trimmed] = revive_declared_dead(i);
+        if (false_declared_[i]) {
+          false_declared_[i] = false;
+          obs::TraceRecord r;
+          r.type = obs::EventType::kNodeRevived;
+          r.node = i;
+          r.task = restored;
+          r.aux = trimmed;
+          trace(r);
+        }
+        // Restored homes may unpark tasks whose every other holder was
+        // written off; the node is up (it just beat), so let it pull.
+        board_.revive_stalled_for(i, now);
+        if (node_state_[i].free_slots > 0) dispatch(i);
+      } else if (was_deferred) {
+        rescue_deferred(i);
+      }
+    } else if (!hb_registered_) {
+      // Registration round: a node silent at t = 0 would otherwise stay
+      // in the collector's transition-mode default (believed up forever)
+      // since only delivered beats flip a node to message mode. Arm
+      // transition-style detection so a permanently absent node is still
+      // declared eventually.
+      collector_->notify_down(i, now);
+    }
+  }
+  hb_registered_ = true;
+  sweep_believed_dead();
+  // Keep beating unless the whole pool permanently departed — then the
+  // queue must drain so run() can declare no_live_nodes.
+  if (!(injector_.departures() >= node_state_.size())) {
+    queue_.schedule(now + config_.churn.heartbeat_interval,
+                    [this] { on_heartbeat_round(); });
+  }
+}
+
+void MapReduceSimulation::sweep_believed_dead() {
+  const common::Seconds now = queue_.now();
+  for (cluster::NodeIndex i = 0; i < node_state_.size(); ++i) {
+    if (declared_dead_[i] || deferred_dead_[i]) continue;
+    if (!collector_->believed_dead(i, now)) continue;
+    note_believed_dead(i);
+  }
+}
+
+void MapReduceSimulation::note_believed_dead(cluster::NodeIndex node) {
+  const common::Seconds now = queue_.now();
+  if (config_.churn.safe_mode_threshold > 0.0) {
+    // A mass of believed-dead declarations inside one detection window
+    // smells like a partition, not real deaths: hold the write-offs.
+    const common::Seconds window = collector_->detection_latency();
+    auto& times = recent_dead_times_;
+    times.erase(
+        std::remove_if(times.begin(), times.end(),
+                       [&](common::Seconds t) { return now - t > window; }),
+        times.end());
+    times.push_back(now);
+    if (!safe_mode_) {
+      std::size_t fleet = 0;
+      for (cluster::NodeIndex i = 0; i < node_state_.size(); ++i) {
+        if (!declared_dead_[i]) ++fleet;
+      }
+      const double fraction =
+          fleet > 0 ? static_cast<double>(times.size()) /
+                          static_cast<double>(fleet)
+                    : 1.0;
+      if (fraction >= config_.churn.safe_mode_threshold) {
+        safe_mode_ = true;
+        ++result_.safe_mode_entries;
+        obs::TraceRecord r;
+        r.type = obs::EventType::kSafeModeEnter;
+        r.aux = static_cast<std::uint32_t>(times.size());
+        r.v0 = fraction;
+        trace(r);
+        safe_mode_event_.cancel();
+        safe_mode_event_ = queue_.schedule(
+            now + config_.churn.safe_mode_hold,
+            [this] { on_safe_mode_expire(); });
+      }
+    }
+    if (safe_mode_) {
+      deferred_dead_[node] = true;
+      ++deferred_count_;
+      ++result_.safe_mode_deferrals;
+      return;
+    }
+  }
+  declare_dead(node);
+}
+
+void MapReduceSimulation::on_safe_mode_expire() {
+  if (!safe_mode_) return;
+  safe_mode_ = false;
+  std::uint32_t applied = 0;
+  for (cluster::NodeIndex i = 0; i < node_state_.size(); ++i) {
+    if (!deferred_dead_[i]) continue;
+    deferred_dead_[i] = false;
+    ++applied;
+    declare_dead(i);
+  }
+  deferred_count_ = 0;
+  obs::TraceRecord r;
+  r.type = obs::EventType::kSafeModeExit;
+  r.task = applied;
+  r.aux = applied == 0 ? 1 : 0;
+  trace(r);
+}
+
+void MapReduceSimulation::rescue_deferred(cluster::NodeIndex node) {
+  deferred_dead_[node] = false;
+  if (deferred_count_ > 0) --deferred_count_;
+  ++result_.safe_mode_rescues;
+  if (safe_mode_ && deferred_count_ == 0) {
+    // Everyone the window suspected has reported back: heal out early
+    // with no write-off at all.
+    safe_mode_ = false;
+    safe_mode_event_.cancel();
+    obs::TraceRecord r;
+    r.type = obs::EventType::kSafeModeExit;
+    r.task = 0;
+    r.aux = 1;
+    trace(r);
+  }
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+MapReduceSimulation::revive_declared_dead(cluster::NodeIndex node) {
+  // Declared dead, then heard from again: the node's disk still holds
+  // every written-off replica. revive_node acts as a block report —
+  // copies of blocks still under target are re-registered; blocks
+  // re-replication already refilled shed their excess copy (preferring a
+  // holder whose domain held a duplicate).
+  NodeState& ns = node_state_[node];
+  declared_dead_[node] = false;
+  ++result_.nodes_resurrected;
+  const hdfs::NameNode::ReviveReport report =
+      mutable_namenode_->revive_node(node);
+  const common::Seconds now = queue_.now();
+  for (const hdfs::BlockId block : report.restored) {
+    const std::optional<TaskId> task = task_of(block);
+    if (!task || board_.status(*task) == TaskStatus::kDone) continue;
+    if (!board_.is_local_to(*task, node)) {
+      board_.add_home(*task, node);
+      ++ns.undone_home;
+    }
+    if (task_lost_[*task]) {
+      // The block was unrecoverable; its returned disk copy makes
+      // the task runnable again.
+      task_lost_[*task] = false;
+      --tasks_lost_;
+      auto& lost = result_.lost_blocks;
+      lost.erase(std::remove_if(lost.begin(), lost.end(),
+                                [&](const JobResult::LostBlock& lb) {
+                                  return lb.block == block;
+                                }),
+                 lost.end());
+    }
+  }
+  for (const hdfs::NameNode::ReplicaDrop& drop : report.trimmed) {
+    // Trimming deletes the physical copy, and any rot on it.
+    clear_corrupt(drop.block, drop.node);
+    // drop.node == node means the disk copy itself was discarded:
+    // it never reached the board, nothing to unwind.
+    if (drop.node == node) continue;
+    const std::optional<TaskId> task = task_of(drop.block);
+    if (!task || board_.status(*task) == TaskStatus::kDone) continue;
+    if (!board_.is_local_to(*task, drop.node)) continue;
+    board_.remove_home(*task, drop.node);
+    NodeState& vs = node_state_[drop.node];
+    if (vs.undone_home > 0 && --vs.undone_home == 0 &&
+        vs.recovery_open >= 0.0) {
+      result_.overhead.recovery +=
+          (now - vs.recovery_open) * cluster_.nodes[drop.node].slots;
+      vs.recovery_open = -1.0;
+    }
+  }
+  refresh_policy();
+  return {static_cast<std::uint32_t>(report.restored.size()),
+          static_cast<std::uint32_t>(report.trimmed.size())};
+}
+
+void MapReduceSimulation::start_partition(std::size_t index) {
+  for (const cluster::NodeIndex n : partition_nodes_[index]) {
+    ++partition_count_[n];
+  }
+  obs::TraceRecord r;
+  r.type = obs::EventType::kPartitionStart;
+  r.aux = static_cast<std::uint32_t>(partition_nodes_[index].size());
+  trace(r);
+}
+
+void MapReduceSimulation::heal_partition(std::size_t index) {
+  for (const cluster::NodeIndex n : partition_nodes_[index]) {
+    --partition_count_[n];
+  }
+  obs::TraceRecord r;
+  r.type = obs::EventType::kPartitionHeal;
+  r.aux = static_cast<std::uint32_t>(partition_nodes_[index].size());
+  trace(r);
+}
+
+void MapReduceSimulation::start_straggler(std::size_t index) {
+  const SimJobConfig::ChurnConfig::Straggler& st =
+      config_.churn.stragglers[index];
+  // Overlapping degradations: the worst factor wins until its end event.
+  slow_factor_[st.node] = std::max(slow_factor_[st.node], st.slow_factor);
+  obs::TraceRecord r;
+  r.type = obs::EventType::kStragglerStart;
+  r.node = st.node;
+  r.v0 = st.slow_factor;
+  trace(r);
+}
+
+void MapReduceSimulation::end_straggler(std::size_t index) {
+  const SimJobConfig::ChurnConfig::Straggler& st =
+      config_.churn.stragglers[index];
+  slow_factor_[st.node] = 1.0;
+  obs::TraceRecord r;
+  r.type = obs::EventType::kStragglerEnd;
+  r.node = st.node;
+  trace(r);
+}
+
+bool MapReduceSimulation::replica_corrupt(hdfs::BlockId block,
+                                          cluster::NodeIndex node) const {
+  for (const auto& [b, n] : corrupt_) {
+    if (b == block && n == node) return true;
+  }
+  return false;
+}
+
+void MapReduceSimulation::clear_corrupt(hdfs::BlockId block,
+                                        cluster::NodeIndex node) {
+  for (auto it = corrupt_.begin(); it != corrupt_.end(); ++it) {
+    if (it->first == block && it->second == node) {
+      corrupt_.erase(it);
+      return;
+    }
+  }
+}
+
+void MapReduceSimulation::inject_corruption(hdfs::BlockId block,
+                                            std::int64_t node_hint) {
+  const std::vector<cluster::NodeIndex>& replicas =
+      namenode_.block(block).replicas;
+  cluster::NodeIndex victim;
+  if (node_hint >= 0) {
+    victim = static_cast<cluster::NodeIndex>(node_hint);
+    if (std::find(replicas.begin(), replicas.end(), victim) ==
+        replicas.end()) {
+      return;  // the targeted copy no longer exists
+    }
+  } else {
+    if (replicas.empty()) return;
+    victim = replicas[corrupt_rng_.uniform_index(replicas.size())];
+  }
+  if (replica_corrupt(block, victim)) return;
+  corrupt_.push_back({block, victim});
+  ++result_.replicas_corrupted;
+  obs::TraceRecord r;
+  r.type = obs::EventType::kReplicaCorrupt;
+  r.task = block;
+  r.node = victim;
+  trace(r);
+}
+
+void MapReduceSimulation::on_bitrot() {
+  const std::size_t tasks = board_.task_count();
+  if (tasks > 0) {
+    const hdfs::BlockId block =
+        first_block_ + corrupt_rng_.uniform_index(tasks);
+    inject_corruption(block, /*node_hint=*/-1);
+  }
+  if (!(injector_.departures() >= node_state_.size())) {
+    queue_.schedule(
+        queue_.now() + corrupt_rng_.exponential(config_.churn.bitrot_rate),
+        [this] { on_bitrot(); });
+  }
+}
+
+void MapReduceSimulation::on_scan() {
+  const std::size_t tasks = board_.task_count();
+  const int budget = config_.churn.scan_blocks_per_sweep;
+  for (int k = 0; k < budget && tasks > 0; ++k) {
+    const hdfs::BlockId block = first_block_ + scan_cursor_;
+    scan_cursor_ = (scan_cursor_ + 1) % tasks;
+    ++result_.blocks_scanned;
+    if (corrupt_.empty()) continue;
+    // Copy: handle_corrupt_replica mutates the replica list.
+    const std::vector<cluster::NodeIndex> holders =
+        namenode_.block(block).replicas;
+    for (const cluster::NodeIndex n : holders) {
+      if (!node_state_[n].up) continue;  // can't read a down disk
+      if (replica_corrupt(block, n)) handle_corrupt_replica(block, n, 2);
+    }
+  }
+  if (!(injector_.departures() >= node_state_.size())) {
+    queue_.schedule(queue_.now() + config_.churn.scan_interval,
+                    [this] { on_scan(); });
+  }
+}
+
+void MapReduceSimulation::handle_corrupt_replica(hdfs::BlockId block,
+                                                 cluster::NodeIndex node,
+                                                 std::uint32_t path) {
+  clear_corrupt(block, node);
+  ++result_.corrupt_reads;
+  {
+    obs::TraceRecord r;
+    r.type = obs::EventType::kCorruptRead;
+    r.reason = obs::TraceReason::kChecksum;
+    r.task = block;
+    r.node = node;
+    r.aux = path;
+    trace(r);
+  }
+  // The copy is useless: trim it from the metadata so no later read
+  // picks it, re-home the task, and feed the block to recovery.
+  mutable_namenode_->remove_replica(block, node);
+  const std::optional<TaskId> task = task_of(block);
+  if (task && board_.is_local_to(*task, node)) {
+    board_.remove_home(*task, node);
+    NodeState& hs = node_state_[node];
+    if (hs.undone_home > 0 && --hs.undone_home == 0 &&
+        hs.recovery_open >= 0.0) {
+      result_.overhead.recovery +=
+          (queue_.now() - hs.recovery_open) * cluster_.nodes[node].slots;
+      hs.recovery_open = -1.0;
+    }
+  }
+  if (mutable_namenode_->block(block).replicas.empty()) {
+    ++result_.blocks_lost;
+    const bool recoverable = config_.allow_origin_fetch;
+    obs::TraceRecord r;
+    r.type = obs::EventType::kReplicaLost;
+    r.task = block;
+    r.aux = recoverable ? 1 : 0;
+    trace(r);
+    if (task) maybe_mark_lost(*task);
+  } else if (rereplicator_) {
+    rereplicator_->enqueue(block);
   }
 }
 
@@ -461,6 +914,10 @@ void MapReduceSimulation::maybe_rebalance(std::uint32_t alarm_count) {
 void MapReduceSimulation::on_migration_committed(hdfs::BlockId block,
                                                  cluster::NodeIndex from,
                                                  cluster::NodeIndex to) {
+  // The source copy is deleted and the destination got fresh verified
+  // bytes — any rot on either side of the move is gone.
+  clear_corrupt(block, from);
+  clear_corrupt(block, to);
   const std::optional<TaskId> task = task_of(block);
   if (!task || board_.status(*task) == TaskStatus::kDone) return;
   const common::Seconds now = queue_.now();
@@ -642,6 +1099,9 @@ JobResult MapReduceSimulation::run() {
     result_.rereplication_bytes = rs.bytes_moved;
     result_.max_under_replicated = rs.max_under_replicated;
   }
+  for (const auto& [block, node] : corrupt_) {
+    result_.corrupt_remaining.push_back({block, node});
+  }
   if (migration_) {
     // Drop moves still queued or on the wire so a NameNode that
     // outlives this job carries no orphan space reservations.
@@ -748,6 +1208,23 @@ JobResult MapReduceSimulation::run() {
       add("hdfs.duplicate_replica_inserts",
           static_cast<double>(result_.duplicate_replica_inserts));
     }
+    // Gray counters appear only when a gray knob is set, so crash-stop
+    // churn metric output stays byte-identical to before.
+    if (gray_) {
+      add("sim.heartbeats_lost", static_cast<double>(result_.heartbeats_lost));
+      add("sim.false_dead_declarations",
+          static_cast<double>(result_.false_dead_declarations));
+      add("sim.replicas_corrupted",
+          static_cast<double>(result_.replicas_corrupted));
+      add("sim.corrupt_reads", static_cast<double>(result_.corrupt_reads));
+      add("sim.blocks_scanned", static_cast<double>(result_.blocks_scanned));
+      add("sim.safe_mode_entries",
+          static_cast<double>(result_.safe_mode_entries));
+      add("sim.safe_mode_deferrals",
+          static_cast<double>(result_.safe_mode_deferrals));
+      add("sim.safe_mode_rescues",
+          static_cast<double>(result_.safe_mode_rescues));
+    }
     // Rebalance counters appear only with the loop on, so loop-off
     // metric output stays byte-identical to before.
     if (migration_) {
@@ -832,7 +1309,7 @@ bool MapReduceSimulation::try_speculate(cluster::NodeIndex node) {
                                          : config_.gamma;
     const double projected = a.fetching
                                  ? projected_fetch_end(a) + config_.gamma
-                                 : a.exec_start + config_.gamma;
+                                 : a.exec_end;
     if (projected - a.nominal_end < overdue_threshold) continue;
     const double remaining = remaining_time(a);
     if (board_.is_local_to(a.task, node)) {
@@ -956,6 +1433,23 @@ void MapReduceSimulation::start_attempt(TaskId task, cluster::NodeIndex node,
   if (!ns.up || ns.free_slots <= 0) {
     throw std::logic_error("start_attempt: node cannot take work");
   }
+  if (!corrupt_.empty() && src == node &&
+      replica_corrupt(first_block_ + task, node)) {
+    // The local read's checksum fails before any work starts: trim the
+    // rotten copy and fall back to a remote holder, then the origin.
+    handle_corrupt_replica(first_block_ + task, node, /*path=*/0);
+    std::optional<cluster::NodeIndex> alt;
+    if (config_.remote_execution) alt = usable_source(task);
+    if (alt) {
+      src = *alt;
+    } else if (config_.allow_origin_fetch) {
+      src = cluster::kOriginEndpoint;
+    } else {
+      // Nowhere to read from right now; the task stays pending and is
+      // revived by recovery (or reported lost by handle_corrupt_replica).
+      return;
+    }
+  }
   if (!speculative) {
     board_.mark_running(task);
   }
@@ -985,8 +1479,11 @@ void MapReduceSimulation::start_attempt(TaskId task, cluster::NodeIndex node,
   }
   if (a.local) {
     a.exec_start = now;
+    // A degraded host executes slower; the launch projection keeps the
+    // healthy rate so speculation sees the slippage.
+    a.exec_end = now + config_.gamma * slow_factor(node);
     a.nominal_end = now + config_.gamma;
-    a.event = queue_.schedule(now + config_.gamma,
+    a.event = queue_.schedule(a.exec_end,
                               [this, id] { on_attempt_complete(id); });
     {
       obs::TraceRecord r;
@@ -1056,9 +1553,56 @@ void MapReduceSimulation::on_fetch_done(AttemptId id) {
     attempts_[list[idx]].outgoing_index = idx;
     list.pop_back();
   }
+  if (!corrupt_.empty() && !a.from_origin &&
+      replica_corrupt(first_block_ + a.task, a.fetch_src)) {
+    // The received bytes fail their checksum: trim the rotten source
+    // copy and restart the read inside the same attempt — next live
+    // holder first, origin as the last resort. The launch projection is
+    // untouched, so the repeated fetch reads as overdue to speculation.
+    handle_corrupt_replica(first_block_ + a.task, a.fetch_src, /*path=*/1);
+    std::optional<cluster::NodeIndex> alt = usable_source(a.task);
+    cluster::NodeIndex src;
+    if (alt) {
+      src = *alt;
+    } else if (config_.allow_origin_fetch) {
+      src = cluster::kOriginEndpoint;
+    } else {
+      a.fetching = false;
+      const cluster::NodeIndex dst = a.node;
+      kill_attempt(id, KillReason::kChecksum);
+      dispatch(dst);
+      return;
+    }
+    a.from_origin = (src == cluster::kOriginEndpoint);
+    a.fetch_src = src;
+    a.fetch = network_.request(src, a.node, cluster_.block_size_bytes,
+                               queue_.now());
+    ++result_.transfers_started;
+    {
+      obs::TraceRecord r;
+      r.type = obs::EventType::kTransferRequest;
+      r.task = a.task;
+      r.node = a.node;
+      r.peer = src;
+      r.ticket = a.fetch.ticket;
+      r.v0 = a.fetch.start;
+      r.v1 = a.fetch.end;
+      trace(r);
+    }
+    if (!a.from_origin) {
+      NodeState& alt_state = node_state_[src];
+      a.outgoing_index =
+          static_cast<std::uint32_t>(alt_state.outgoing_fetches.size());
+      alt_state.outgoing_fetches.push_back(id);
+    }
+    a.event =
+        queue_.schedule(a.fetch.end, [this, id] { on_fetch_done(id); });
+    return;
+  }
   a.fetching = false;
   a.exec_start = queue_.now();
-  a.event = queue_.schedule(queue_.now() + config_.gamma,
+  a.exec_end = queue_.now() + config_.gamma * slow_factor(a.node);
+  a.event = queue_.schedule(a.exec_end,
                             [this, id] { on_attempt_complete(id); });
 }
 
@@ -1169,7 +1713,8 @@ void MapReduceSimulation::kill_attempt(AttemptId id, KillReason reason) {
       reason == KillReason::kNodeDown      ? obs::TraceReason::kNodeDown
       : reason == KillReason::kSourceTimeout
           ? obs::TraceReason::kSourceTimeout
-          : obs::TraceReason::kRedundant;
+      : reason == KillReason::kChecksum ? obs::TraceReason::kChecksum
+                                        : obs::TraceReason::kRedundant;
 
   if (a.fetching) {
     result_.overhead.migration += std::max(0.0, now - a.fetch.start);
@@ -1183,6 +1728,10 @@ void MapReduceSimulation::kill_attempt(AttemptId id, KillReason reason) {
         break;
       case KillReason::kRedundant:
         ++result_.aborts_redundant;
+        break;
+      case KillReason::kChecksum:
+        // A checksum kill never aborts a live transfer: the fetch had
+        // already completed when the corrupt bytes were detected.
         break;
     }
     const common::Seconds reclaimed = network_.abort(a.fetch, now);
@@ -1252,7 +1801,10 @@ void MapReduceSimulation::on_node_down(cluster::NodeIndex node) {
     trace(r);
   }
 
-  if (collector_) {
+  if (collector_ && !message_mode_) {
+    // Message mode never gets these oracle notifications — the collector
+    // learns about the outage from the silence that follows, and the
+    // heartbeat round sweeps believed-dead nodes into declarations.
     collector_->notify_down(node, queue_.now());
     if (!declared_dead_[node]) {
       // Arm the dead-check alarm: fires once the heartbeat protocol has
@@ -1355,7 +1907,11 @@ void MapReduceSimulation::on_stall_timeout(cluster::NodeIndex node) {
 }
 
 void MapReduceSimulation::on_node_up(cluster::NodeIndex node) {
-  const bool resurrected = collector_ && declared_dead_[node];
+  const bool was_declared = collector_ && declared_dead_[node];
+  // In message mode the NameNode cannot know the node returned until a
+  // beat arrives: the revive happens in the next heartbeat round, not
+  // here.
+  const bool resurrected = was_declared && !message_mode_;
   NodeState& ns = node_state_[node];
   if (ns.recovery_open >= 0.0) {
     result_.overhead.recovery +=
@@ -1378,62 +1934,14 @@ void MapReduceSimulation::on_node_up(cluster::NodeIndex node) {
     config_.metrics->observe(hist_outage_, outage);
   }
 
-  if (collector_) {
+  if (collector_ && !message_mode_) {
     collector_->notify_up(node, queue_.now());
     dead_check_[node].cancel();
-    if (resurrected) {
-      // Declared dead, then heard from again: the death was a false
-      // declaration, so the node's disk still holds every written-off
-      // replica. revive_node acts as a block report — copies of blocks
-      // still under target are re-registered; blocks re-replication
-      // already refilled shed their excess copy (preferring a holder
-      // whose domain held a duplicate).
-      declared_dead_[node] = false;
-      ++result_.nodes_resurrected;
-      const hdfs::NameNode::ReviveReport report =
-          mutable_namenode_->revive_node(node);
-      const common::Seconds now = queue_.now();
-      for (const hdfs::BlockId block : report.restored) {
-        const std::optional<TaskId> task = task_of(block);
-        if (!task || board_.status(*task) == TaskStatus::kDone) continue;
-        if (!board_.is_local_to(*task, node)) {
-          board_.add_home(*task, node);
-          ++ns.undone_home;
-        }
-        if (task_lost_[*task]) {
-          // The block was unrecoverable; its returned disk copy makes
-          // the task runnable again.
-          task_lost_[*task] = false;
-          --tasks_lost_;
-          auto& lost = result_.lost_blocks;
-          lost.erase(std::remove_if(lost.begin(), lost.end(),
-                                    [&](const JobResult::LostBlock& lb) {
-                                      return lb.block == block;
-                                    }),
-                     lost.end());
-        }
-      }
-      for (const hdfs::NameNode::ReplicaDrop& drop : report.trimmed) {
-        // drop.node == node means the disk copy itself was discarded:
-        // it never reached the board, nothing to unwind.
-        if (drop.node == node) continue;
-        const std::optional<TaskId> task = task_of(drop.block);
-        if (!task || board_.status(*task) == TaskStatus::kDone) continue;
-        if (!board_.is_local_to(*task, drop.node)) continue;
-        board_.remove_home(*task, drop.node);
-        NodeState& vs = node_state_[drop.node];
-        if (vs.undone_home > 0 && --vs.undone_home == 0 &&
-            vs.recovery_open >= 0.0) {
-          result_.overhead.recovery +=
-              (now - vs.recovery_open) * cluster_.nodes[drop.node].slots;
-          vs.recovery_open = -1.0;
-        }
-      }
-      refresh_policy();
-    }
+    if (resurrected) revive_declared_dead(node);
   }
 
-  if (config_.transfer_stall_timeout > 0.0 && outage > 0.0 && !resurrected) {
+  if (config_.transfer_stall_timeout > 0.0 && outage > 0.0 &&
+      !was_declared) {
     // Resume stalled transfers, shifted by the outage; the uplink's
     // admission clock shifts with them.
     network_.shift_uplink(node, outage, queue_.now());
@@ -1503,7 +2011,7 @@ std::optional<cluster::NodeIndex> MapReduceSimulation::usable_source(
 double MapReduceSimulation::estimated_cost_on(cluster::NodeIndex node,
                                               TaskId task) const {
   if (board_.is_local_to(task, node) && node_state_[node].up) {
-    return config_.gamma;
+    return config_.gamma * slow_factor(node);
   }
   double uplink = 0.0;
   common::Seconds queue_wait = 0.0;
@@ -1522,7 +2030,7 @@ double MapReduceSimulation::estimated_cost_on(cluster::NodeIndex node,
   const double rate = std::min(uplink, cluster_.nodes[node].downlink_bps);
   return queue_wait +
          common::transfer_time(cluster_.block_size_bytes, rate) +
-         config_.gamma;
+         config_.gamma * slow_factor(node);
 }
 
 common::Seconds MapReduceSimulation::projected_fetch_end(
@@ -1551,7 +2059,7 @@ double MapReduceSimulation::remaining_time(const Attempt& a) const {
     }
     return (a.fetch.end - queue_.now()) + config_.gamma;
   }
-  return std::max(0.0, a.exec_start + config_.gamma - queue_.now());
+  return std::max(0.0, a.exec_end - queue_.now());
 }
 
 }  // namespace adapt::sim

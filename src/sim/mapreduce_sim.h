@@ -23,6 +23,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/heartbeat.h"
@@ -104,6 +105,23 @@ struct JobResult {
   std::uint64_t migration_giveups = 0;
   std::uint64_t migration_redraws = 0;
   std::uint64_t migration_bytes = 0;
+
+  // -- gray failures (all zero with the gray knobs off) --------------
+  std::uint64_t heartbeats_lost = 0;        // beats dropped by loss/partition
+  std::uint64_t false_dead_declarations = 0;  // declared dead while up
+  std::uint64_t replicas_corrupted = 0;     // bitrot injections landed
+  std::uint64_t corrupt_reads = 0;          // checksum catches (all paths)
+  std::uint64_t blocks_scanned = 0;         // scanner verifications
+  std::uint64_t safe_mode_entries = 0;
+  std::uint64_t safe_mode_deferrals = 0;    // write-offs held back
+  std::uint64_t safe_mode_rescues = 0;      // deferred nodes that beat again
+  // Replicas still silently corrupt when the job ended (ground truth the
+  // chaos harness checks loss reports against).
+  struct CorruptReplica {
+    hdfs::BlockId block = 0;
+    cluster::NodeIndex node = 0;
+  };
+  std::vector<CorruptReplica> corrupt_remaining;
 };
 
 // Simulates the map phase of `file` (already placed in `namenode`) on
@@ -160,6 +178,55 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
   // Map task of `block` (nullopt for blocks of other files).
   std::optional<TaskId> task_of(hdfs::BlockId block) const;
 
+  // -- gray failures ---------------------------------------------------
+  // Arms the gray-failure machinery (message-level heartbeats, timed
+  // partitions, stragglers, bitrot, scanner, safe mode) from
+  // config_.churn; called by init_churn when any gray knob is set.
+  void init_gray();
+  // Message-level heartbeat round: every up, unpartitioned node delivers
+  // a beat unless the per-beat loss draw eats it; silence is what the
+  // collector detects. Round 0 doubles as registration — nodes silent at
+  // t=0 are armed for transition-style detection so a never-beating node
+  // is still eventually declared.
+  void on_heartbeat_round();
+  // Sweep believed-dead nodes into declarations (through the safe-mode
+  // gate) — the message-mode replacement for the per-node dead-check
+  // alarm.
+  void sweep_believed_dead();
+  // Declaration gate: defer the write-off when the believed-dead
+  // fraction within one detection window trips safe mode.
+  void note_believed_dead(cluster::NodeIndex node);
+  void on_safe_mode_expire();
+  // A deferred node beat again before the hold expired.
+  void rescue_deferred(cluster::NodeIndex node);
+  // Undo a dead declaration: re-register surviving disk copies, trim
+  // over-replication, re-home restored tasks. Returns {restored,
+  // trimmed} for the kNodeRevived trace.
+  std::pair<std::uint32_t, std::uint32_t> revive_declared_dead(
+      cluster::NodeIndex node);
+  void start_partition(std::size_t index);
+  void heal_partition(std::size_t index);
+  void start_straggler(std::size_t index);
+  void end_straggler(std::size_t index);
+  // Silently corrupt one replica of `block` (node_hint < 0 = random
+  // live holder); no-op when no eligible holder exists.
+  void inject_corruption(hdfs::BlockId block, std::int64_t node_hint);
+  void on_bitrot();   // Poisson arrival: corrupt a random replica
+  void on_scan();     // budgeted background block scanner sweep
+  bool replica_corrupt(hdfs::BlockId block, cluster::NodeIndex node) const;
+  void clear_corrupt(hdfs::BlockId block, cluster::NodeIndex node);
+  // Checksum caught a corrupt replica: trim it from the metadata, re-home
+  // the task and feed the block to recovery. path: 0 local read, 1
+  // remote fetch, 2 scanner.
+  void handle_corrupt_replica(hdfs::BlockId block, cluster::NodeIndex node,
+                              std::uint32_t path);
+  double slow_factor(cluster::NodeIndex node) const {
+    return slow_factor_.empty() ? 1.0 : slow_factor_[node];
+  }
+  bool is_partitioned(cluster::NodeIndex node) const {
+    return !partition_count_.empty() && partition_count_[node] > 0;
+  }
+
   // -- online rebalancing --------------------------------------------
   // Drift alarms fired this sample: re-estimate, refresh the policies,
   // and submit migrations for replicas whose holder's E[T] quote
@@ -190,6 +257,10 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
     bool transfer_stalled = false;  // source down; end shifts on resume
     cluster::TransferGrant fetch;
     common::Seconds exec_start = -1.0;
+    // Actual scheduled completion of the execution phase (includes a
+    // straggling host's slowdown); equals exec_start + gamma when the
+    // host is healthy.
+    common::Seconds exec_end = 0.0;
     common::Seconds nominal_end = 0.0;  // projected finish at launch
     EventQueue::Handle event;        // pending fetch-done or completion
     std::uint32_t running_index = 0; // position in running registry
@@ -230,7 +301,7 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
   void on_fetch_done(AttemptId id);
   void on_attempt_complete(AttemptId id);
   // Kill paths; kRedundant = another attempt won, the rest are failures.
-  enum class KillReason { kNodeDown, kSourceTimeout, kRedundant };
+  enum class KillReason { kNodeDown, kSourceTimeout, kRedundant, kChecksum };
   void kill_attempt(AttemptId id, KillReason reason);
   void detach_attempt(AttemptId id);
 
@@ -286,6 +357,33 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
   std::vector<bool> task_lost_;
   std::size_t tasks_lost_ = 0;
   hdfs::BlockId first_block_ = 0;  // task t <-> block first_block_ + t
+
+  // -- gray failures (engaged only when churn.gray_enabled()) ---------
+  bool gray_ = false;          // any gray knob set
+  bool message_mode_ = false;  // detection driven by observe_heartbeat
+  common::Rng hb_rng_;         // per-beat loss draws (own fork)
+  common::Rng corrupt_rng_;    // bitrot arrivals + victim picks (own fork)
+  // Per-node count of partitions currently cutting the node off from the
+  // NameNode (partitions may overlap).
+  std::vector<int> partition_count_;
+  // Resolved node sets per configured partition (domain -> members).
+  std::vector<std::vector<cluster::NodeIndex>> partition_nodes_;
+  // Per-node service-time multiplier; 1.0 = healthy, > 1 = degraded.
+  std::vector<double> slow_factor_;
+  // Ground truth of silently corrupted replicas, keyed (block, node).
+  std::vector<std::pair<hdfs::BlockId, cluster::NodeIndex>> corrupt_;
+  // Declared dead while actually up (the trace-worthy false positives).
+  std::vector<bool> false_declared_;
+  // First heartbeat round doubles as registration; done once.
+  bool hb_registered_ = false;
+  // Safe mode: write-offs deferred while a mass-death signal is in flight.
+  std::vector<bool> deferred_dead_;
+  std::size_t deferred_count_ = 0;
+  bool safe_mode_ = false;
+  EventQueue::Handle safe_mode_event_;
+  // Believed-dead declaration times inside the rolling detection window.
+  std::vector<common::Seconds> recent_dead_times_;
+  std::size_t scan_cursor_ = 0;  // round-robin scanner position
 
   // Stamps the record with the current sim time and hands it to the
   // tracer; a no-op (one branch) when tracing is off.

@@ -1,5 +1,7 @@
 #include "sim/migration.h"
 
+#include "sim/backoff.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -24,9 +26,9 @@ MigrationDriver::MigrationDriver(EventQueue& queue, hdfs::NameNode& namenode,
       !std::isfinite(config_.budget_bytes_per_s)) {
     throw std::invalid_argument("migration: bad budget_bytes_per_s");
   }
-  if (config_.max_retries < 0 || config_.backoff_base < 0 ||
-      config_.backoff_factor < 1.0 || config_.backoff_jitter < 0 ||
-      config_.backoff_jitter > 1.0) {
+  if (config_.max_retries < 0 ||
+      !backoff_params_valid({config_.backoff_base, config_.backoff_factor,
+                             config_.backoff_jitter, config_.max_backoff})) {
     throw std::invalid_argument("migration: bad backoff config");
   }
   if (!node_up_) {
@@ -304,13 +306,10 @@ void MigrationDriver::schedule_retry(Item item, obs::TraceReason reason) {
   }
   ++stats_.retries;
   if (metrics_ != nullptr) metrics_->add(ctr_retries_);
-  double delay = config_.backoff_base *
-                 std::pow(config_.backoff_factor, item.retries);
-  delay = std::min(delay, config_.max_backoff);
-  if (config_.backoff_jitter > 0.0) {
-    delay *= 1.0 - config_.backoff_jitter +
-             2.0 * config_.backoff_jitter * rng_.uniform();
-  }
+  const double delay = backoff_delay(
+      {config_.backoff_base, config_.backoff_factor, config_.backoff_jitter,
+       config_.max_backoff},
+      item.retries, rng_);
   const common::Seconds next = queue_.now() + delay;
   trace({.type = obs::EventType::kMigrationRetry,
          .reason = reason,

@@ -1,5 +1,7 @@
 #include "sim/rereplication.h"
 
+#include "sim/backoff.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -21,9 +23,9 @@ ReReplicator::ReReplicator(EventQueue& queue, hdfs::NameNode& namenode,
   if (config_.max_concurrent < 1) {
     throw std::invalid_argument("rereplication: max_concurrent must be >= 1");
   }
-  if (config_.max_retries < 0 || config_.backoff_base < 0 ||
-      config_.backoff_factor < 1.0 || config_.backoff_jitter < 0 ||
-      config_.backoff_jitter > 1.0) {
+  if (config_.max_retries < 0 ||
+      !backoff_params_valid({config_.backoff_base, config_.backoff_factor,
+                             config_.backoff_jitter, config_.max_backoff})) {
     throw std::invalid_argument("rereplication: bad backoff config");
   }
   if (!node_up_) {
@@ -312,13 +314,10 @@ void ReReplicator::schedule_retry(hdfs::BlockId block, int retries_done,
   }
   ++stats_.retries;
   if (metrics_ != nullptr) metrics_->add(ctr_retries_);
-  double delay = config_.backoff_base *
-                 std::pow(config_.backoff_factor, retries_done);
-  delay = std::min(delay, config_.max_backoff);
-  if (config_.backoff_jitter > 0.0) {
-    delay *= 1.0 - config_.backoff_jitter +
-             2.0 * config_.backoff_jitter * rng_.uniform();
-  }
+  const double delay = backoff_delay(
+      {config_.backoff_base, config_.backoff_factor, config_.backoff_jitter,
+       config_.max_backoff},
+      retries_done, rng_);
   const common::Seconds next = queue_.now() + delay;
   trace({.type = obs::EventType::kRereplicationRetry,
          .reason = reason,

@@ -64,6 +64,75 @@ void check_dead_timeout(common::Seconds value) {
   }
 }
 
+void check_heartbeat_loss_prob(double value) {
+  if (value < 0 || value >= 1 || !std::isfinite(value)) {
+    throw ConfigError("churn.heartbeat_loss_prob",
+                      "must be in [0, 1) (a node losing every beat is a "
+                      "departure, not a gray failure)");
+  }
+}
+
+void check_partition(const SimJobConfig::ChurnConfig::Partition& p,
+                     bool have_domain_of) {
+  if (p.at < 0 || !std::isfinite(p.at) || !std::isfinite(p.heal_at)) {
+    throw ConfigError("churn.partitions.at", "must be >= 0 and finite");
+  }
+  if (!(p.heal_at > p.at)) {
+    throw ConfigError("churn.partitions.heal_at",
+                      "must be strictly after the partition start");
+  }
+  if (p.domain >= 0 && !have_domain_of) {
+    throw ConfigError("churn.partitions.domain",
+                      "domain partition needs a node -> domain map (give "
+                      "the cluster a DomainLayout)");
+  }
+  if (p.domain < 0 && p.nodes.empty()) {
+    throw ConfigError("churn.partitions.nodes",
+                      "must list nodes or name a fault domain");
+  }
+}
+
+void check_straggler(const SimJobConfig::ChurnConfig::Straggler& s) {
+  if (s.at < 0 || !std::isfinite(s.at) || !std::isfinite(s.until)) {
+    throw ConfigError("churn.stragglers.at", "must be >= 0 and finite");
+  }
+  if (!(s.until > s.at)) {
+    throw ConfigError("churn.stragglers.until",
+                      "must be strictly after the slowdown start");
+  }
+  if (!(s.slow_factor >= 1.0) || !std::isfinite(s.slow_factor)) {
+    throw ConfigError("churn.stragglers.slow_factor",
+                      "must be >= 1 and finite");
+  }
+}
+
+void check_bitrot_rate(double value) {
+  if (value < 0 || !std::isfinite(value)) {
+    throw ConfigError("churn.bitrot_rate", "must be >= 0 and finite");
+  }
+}
+
+void check_scan(common::Seconds interval, int blocks_per_sweep) {
+  if (interval < 0 || !std::isfinite(interval)) {
+    throw ConfigError("churn.scan_interval",
+                      "must be >= 0 and finite (0 = scanner off)");
+  }
+  if (interval > 0 && blocks_per_sweep < 1) {
+    throw ConfigError("churn.scan_blocks_per_sweep", "must be >= 1");
+  }
+}
+
+void check_safe_mode(double threshold, common::Seconds hold) {
+  if (threshold < 0 || threshold > 1 || !std::isfinite(threshold)) {
+    throw ConfigError("churn.safe_mode_threshold",
+                      "must be in [0, 1] (0 = safe mode off)");
+  }
+  if (threshold > 0 && (!(hold > 0) || !std::isfinite(hold))) {
+    throw ConfigError("churn.safe_mode_hold",
+                      "must be positive and finite");
+  }
+}
+
 void check_hysteresis(double value) {
   if (!(value >= 1.0) || !std::isfinite(value)) {
     throw ConfigError("rebalance.hysteresis",
@@ -103,6 +172,26 @@ void SimJobConfig::validate() const {
     check_heartbeat_interval(churn.heartbeat_interval);
     check_heartbeat_miss_threshold(churn.heartbeat_miss_threshold);
     check_dead_timeout(churn.dead_timeout);
+    check_heartbeat_loss_prob(churn.heartbeat_loss_prob);
+    for (const ChurnConfig::Partition& p : churn.partitions) {
+      check_partition(p, !churn.domain_of.empty());
+    }
+    for (const ChurnConfig::Straggler& s : churn.stragglers) {
+      check_straggler(s);
+    }
+    check_bitrot_rate(churn.bitrot_rate);
+    for (const ChurnConfig::Corruption& c : churn.corruptions) {
+      if (c.at < 0 || !std::isfinite(c.at)) {
+        throw ConfigError("churn.corruptions.at",
+                          "must be >= 0 and finite");
+      }
+    }
+    check_scan(churn.scan_interval, churn.scan_blocks_per_sweep);
+    check_safe_mode(churn.safe_mode_threshold, churn.safe_mode_hold);
+  } else if (churn.gray_enabled()) {
+    throw ConfigError("churn.enabled",
+                      "gray-failure knobs require churn (the heartbeat "
+                      "collector drives detection)");
   }
   if (rebalance.enabled) {
     if (!churn.enabled) {
@@ -204,6 +293,79 @@ SimJobConfig::Builder& SimJobConfig::Builder::dead_timeout(
     common::Seconds value) {
   check_dead_timeout(value);
   config_.churn.dead_timeout = value;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::heartbeat_loss(double prob) {
+  check_heartbeat_loss_prob(prob);
+  config_.churn.heartbeat_loss_prob = prob;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::partition(
+    common::Seconds at, common::Seconds heal_at,
+    std::vector<std::uint32_t> nodes) {
+  ChurnConfig::Partition p;
+  p.at = at;
+  p.heal_at = heal_at;
+  p.nodes = std::move(nodes);
+  check_partition(p, /*have_domain_of=*/true);
+  config_.churn.partitions.push_back(std::move(p));
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::domain_partition(
+    common::Seconds at, common::Seconds heal_at, std::uint32_t domain) {
+  ChurnConfig::Partition p;
+  p.at = at;
+  p.heal_at = heal_at;
+  p.domain = static_cast<std::int64_t>(domain);
+  check_partition(p, /*have_domain_of=*/true);
+  config_.churn.partitions.push_back(std::move(p));
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::straggler(
+    std::uint32_t node, common::Seconds at, common::Seconds until,
+    double slow_factor) {
+  ChurnConfig::Straggler s;
+  s.node = node;
+  s.at = at;
+  s.until = until;
+  s.slow_factor = slow_factor;
+  check_straggler(s);
+  config_.churn.stragglers.push_back(s);
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::bitrot(double rate) {
+  check_bitrot_rate(rate);
+  config_.churn.bitrot_rate = rate;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::corruption(
+    common::Seconds at, std::uint32_t block, std::int64_t node) {
+  if (at < 0 || !std::isfinite(at)) {
+    throw ConfigError("churn.corruptions.at", "must be >= 0 and finite");
+  }
+  config_.churn.corruptions.push_back({at, block, node});
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::block_scanner(
+    common::Seconds interval, int blocks_per_sweep) {
+  check_scan(interval, blocks_per_sweep);
+  config_.churn.scan_interval = interval;
+  config_.churn.scan_blocks_per_sweep = blocks_per_sweep;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::safe_mode(
+    double threshold, common::Seconds hold) {
+  check_safe_mode(threshold, hold);
+  config_.churn.safe_mode_threshold = threshold;
+  config_.churn.safe_mode_hold = hold;
   return *this;
 }
 

@@ -106,6 +106,73 @@ struct SimJobConfig {
     common::Seconds heartbeat_interval = 3.0;
     int heartbeat_miss_threshold = 2;
     common::Seconds dead_timeout = 60.0;
+    // -- gray failures ----------------------------------------------
+    // Anything below switches the simulation from transition-level
+    // heartbeat notifications ("the collector knows transitions
+    // exactly") to message-level delivery: nodes emit beats every
+    // heartbeat_interval and the collector infers state from what
+    // arrives, so lost or partitioned beats cause genuine false
+    // positives. All knobs are inert at their defaults.
+    //
+    // Per-beat Bernoulli loss probability (control plane only; the
+    // node keeps running its tasks).
+    double heartbeat_loss_prob = 0.0;
+    // Timed control-plane partitions: every listed node (or every node
+    // of the listed fault domain, resolved through domain_of) is
+    // unreachable from the NameNode in [at, heal_at) while its tasks
+    // keep running. domain >= 0 requires domain_of.
+    struct Partition {
+      common::Seconds at = 0.0;
+      common::Seconds heal_at = 0.0;
+      std::vector<std::uint32_t> nodes;
+      std::int64_t domain = -1;
+    };
+    std::vector<Partition> partitions;
+    // Degraded-mode stragglers: node's service rate is divided by
+    // slow_factor during [at, until) with no down transition.
+    struct Straggler {
+      std::uint32_t node = 0;
+      common::Seconds at = 0.0;
+      common::Seconds until = 0.0;
+      double slow_factor = 1.0;
+    };
+    std::vector<Straggler> stragglers;
+    // Silent replica corruption (bitrot). bitrot_rate is a cluster-wide
+    // Poisson hazard (events/s) corrupting one random live replica per
+    // event, drawn on a dedicated RNG fork; corruptions lists scheduled
+    // deterministic corruption events for seeded tests (node < 0 =
+    // pick a random live holder of the block).
+    double bitrot_rate = 0.0;
+    struct Corruption {
+      common::Seconds at = 0.0;
+      std::uint32_t block = 0;
+      std::int64_t node = -1;
+    };
+    std::vector<Corruption> corruptions;
+    // Budgeted background block scanner: every scan_interval seconds,
+    // verify checksums of scan_blocks_per_sweep blocks (round-robin).
+    // 0 = scanner off; corruption is then only caught on reads.
+    common::Seconds scan_interval = 0.0;
+    int scan_blocks_per_sweep = 8;
+    // NameNode safe mode (partition heuristic): when the fraction of
+    // live nodes newly believed dead within one detection window
+    // reaches this threshold, defer mass replica write-off for
+    // safe_mode_hold seconds; nodes heard from again during the hold
+    // are rescued, the rest are written off when it expires. 0 = off.
+    double safe_mode_threshold = 0.0;
+    common::Seconds safe_mode_hold = 30.0;
+    // True when any knob forces message-level heartbeat delivery.
+    bool message_level() const {
+      return heartbeat_loss_prob > 0.0 || !partitions.empty();
+    }
+    // True when any gray-failure machinery is active at all (gray
+    // metrics/traces are gated on this to keep crash-stop-only runs
+    // byte-identical to the pre-gray simulator).
+    bool gray_enabled() const {
+      return message_level() || !stragglers.empty() ||
+             bitrot_rate > 0.0 || !corruptions.empty() ||
+             scan_interval > 0.0 || safe_mode_threshold > 0.0;
+    }
     // Recovery pipeline knobs (rereplication.enabled switches the
     // pipeline off while keeping dead declaration on).
     ReReplicator::Config rereplication;
@@ -185,6 +252,19 @@ class SimJobConfig::Builder {
   Builder& domain_burst(common::Seconds at, std::uint32_t count);
   Builder& heartbeat(common::Seconds interval, int miss_threshold);
   Builder& dead_timeout(common::Seconds value);
+  Builder& heartbeat_loss(double prob);
+  Builder& partition(common::Seconds at, common::Seconds heal_at,
+                     std::vector<std::uint32_t> nodes);
+  Builder& domain_partition(common::Seconds at, common::Seconds heal_at,
+                            std::uint32_t domain);
+  Builder& straggler(std::uint32_t node, common::Seconds at,
+                     common::Seconds until, double slow_factor);
+  Builder& bitrot(double rate);
+  Builder& corruption(common::Seconds at, std::uint32_t block,
+                      std::int64_t node = -1);
+  Builder& block_scanner(common::Seconds interval,
+                         int blocks_per_sweep = 8);
+  Builder& safe_mode(double threshold, common::Seconds hold = 30.0);
   Builder& rebalance(bool enabled, double hysteresis = 2.0,
                      common::Seconds cooldown = 120.0);
 

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "cluster/heartbeat.h"
+#include "common/rng.h"
 
 namespace {
 
@@ -120,6 +123,69 @@ TEST(Heartbeat, Validation) {
   HeartbeatCollector::Config bad;
   bad.interval = 0.0;
   EXPECT_THROW(HeartbeatCollector(1, bad), std::invalid_argument);
+}
+
+// Dead declaration fires at *exactly* down_since + dead_timeout, in
+// message mode as in transition mode: elapsed == timeout is dead.
+TEST(Heartbeat, MessageModeDeadAtExactTimeoutBoundary) {
+  HeartbeatCollector::Config config = config_3s_2miss();
+  config.dead_timeout = 10.0;
+  HeartbeatCollector hb(1, config);
+  hb.observe_heartbeat(0, 0.0);
+  // Silence: believed down from 6 (latency 2*3); dead at exactly 16.
+  EXPECT_TRUE(hb.believed_up(0, 5.9));
+  EXPECT_FALSE(hb.believed_dead(0, 15.999999));
+  EXPECT_TRUE(hb.believed_dead(0, 16.0));
+}
+
+// Property: a stream of delivered/missed beats must produce the same
+// believed-up / believed-dead verdicts as the transition-level oracle
+// that is told exactly when each silence begins and ends. Ground
+// truth: a node that misses tick k went down right after its beat at
+// tick k-1, so the oracle's notify_down lands at that last beat.
+TEST(Heartbeat, PropertyMessageModeMatchesTransitionOracle) {
+  adapt::common::Rng rng(1234);
+  for (int trial = 0; trial < 64; ++trial) {
+    HeartbeatCollector::Config config;
+    config.interval = 3.0;
+    config.miss_threshold = 1 + static_cast<int>(rng.uniform_index(3));
+    config.dead_timeout = 5.0 + 10.0 * rng.uniform();
+    HeartbeatCollector message(1, config);
+    HeartbeatCollector oracle(1, config);
+
+    const int ticks = 40;
+    std::vector<bool> up(ticks);
+    up[0] = true;  // both sides need one beat to arm detection
+    for (int k = 1; k < ticks; ++k) up[k] = rng.uniform() < 0.7;
+
+    for (int k = 0; k < ticks; ++k) {
+      const double now = k * config.interval;
+      if (up[k]) {
+        message.observe_heartbeat(0, now);
+        if (k > 0 && !up[k - 1]) oracle.notify_up(0, now);
+      }
+      // Down transition right after this delivered beat (or after the
+      // final beat of the sequence: silence extends past the horizon).
+      if (up[k] && (k + 1 == ticks || !up[k + 1])) {
+        oracle.notify_down(0, now);
+      }
+      // Probe strictly inside the interval, away from event times.
+      for (int q = 0; q < 3; ++q) {
+        const double probe =
+            now + config.interval * (0.05 + 0.9 * rng.uniform());
+        ASSERT_EQ(message.believed_up(0, probe),
+                  oracle.believed_up(0, probe))
+            << "trial " << trial << " tick " << k << " probe " << probe;
+        ASSERT_EQ(message.believed_dead(0, probe),
+                  oracle.believed_dead(0, probe))
+            << "trial " << trial << " tick " << k << " probe " << probe;
+      }
+    }
+    // Far past the horizon both must have declared the silence dead.
+    const double tail = ticks * config.interval + 100.0;
+    ASSERT_TRUE(message.believed_dead(0, tail)) << "trial " << trial;
+    ASSERT_TRUE(oracle.believed_dead(0, tail)) << "trial " << trial;
+  }
 }
 
 }  // namespace
