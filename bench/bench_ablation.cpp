@@ -243,6 +243,56 @@ int main(int argc, char** argv) {
     std::printf("\n--- 6. Reduce phase (future-work extension) ---\n%s",
                 table.to_string().c_str());
   }
+
+  {
+    // 7. Placement x scheduler grid: does availability-aware placement
+    // still pay once the scheduler also reacts to volatility — and do
+    // the two compound, or does one subsume the other? Reported per
+    // cell: mean makespan plus duplicate-attempt accounting (launches,
+    // wins, cancelled-fetch waste).
+    common::Table table({"policy", "scheduler", "elapsed (s)",
+                         "spec launches", "spec wins", "redundant",
+                         "waste/run"});
+    for (const auto policy :
+         {core::PolicyKind::kRandom, core::PolicyKind::kAdapt}) {
+      for (const auto kind :
+           {sim::SchedulerKind::kBaseline, sim::SchedulerKind::kCalibrated,
+            sim::SchedulerKind::kRedundant}) {
+        core::ExperimentConfig config = base;
+        config.policy = policy;
+        config.job.scheduler.kind = kind;
+        const auto r =
+            exec.run_replications(cl, config, runs, sink.collector());
+        const double n = runs;
+        table.add_row(
+            {core::to_string(policy), sim::to_string(kind),
+             common::format_double(r.elapsed.mean, 0),
+             common::format_double(
+                 static_cast<double>(r.speculative_launches) / n, 1),
+             common::format_double(
+                 static_cast<double>(r.speculative_wins) / n, 1),
+             common::format_double(
+                 static_cast<double>(r.redundant_launches) / n, 1),
+             common::format_bytes(r.redundant_waste_bytes /
+                                  static_cast<std::uint64_t>(runs))});
+        report.add_row(
+            "7. scheduler grid", sim::to_string(kind),
+            core::to_string(policy) + " r1",
+            {{"elapsed_mean", r.elapsed.mean},
+             {"locality_mean", r.locality.mean},
+             {"speculative_launches",
+              static_cast<double>(r.speculative_launches) / n},
+             {"speculative_wins",
+              static_cast<double>(r.speculative_wins) / n},
+             {"redundant_launches",
+              static_cast<double>(r.redundant_launches) / n},
+             {"redundant_waste_bytes",
+              static_cast<double>(r.redundant_waste_bytes) / n}});
+      }
+    }
+    std::printf("\n--- 7. Placement x scheduler grid ---\n%s",
+                table.to_string().c_str());
+  }
   sink.finish(report);
   bench::write_report(report, options.json_path);
   return 0;

@@ -47,7 +47,7 @@ void BM_PlacementDecision(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));
   const auto policy = make_adapt_policy(synthetic_expected_times(nodes),
                                         nodes * 20);
-  const std::vector<bool> eligible(nodes, true);
+  const cluster::NodeMask eligible(nodes, true);
   common::Rng rng(23);
   for (auto _ : state) {
     benchmark::DoNotOptimize(policy->choose(eligible, rng));
@@ -59,7 +59,7 @@ BENCHMARK(BM_PlacementDecision)->Arg(128)->Arg(1024)->Arg(8192);
 void BM_RandomDecision(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));
   const auto policy = make_random_policy(nodes);
-  const std::vector<bool> eligible(nodes, true);
+  const cluster::NodeMask eligible(nodes, true);
   common::Rng rng(29);
   for (auto _ : state) {
     benchmark::DoNotOptimize(policy->choose(eligible, rng));
@@ -102,7 +102,7 @@ BENCHMARK(BM_ChainWeightingDistortion)->Arg(128)->Arg(1024);
 void BM_AliasDecision(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));
   const auto policy = make_adapt_alias_policy(synthetic_expected_times(nodes));
-  const std::vector<bool> eligible(nodes, true);
+  const cluster::NodeMask eligible(nodes, true);
   common::Rng rng(31);
   for (auto _ : state) {
     benchmark::DoNotOptimize(policy->choose(eligible, rng));

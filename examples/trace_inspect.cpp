@@ -137,6 +137,21 @@ void print_run(std::uint64_t run_index, const obs::RunObservations& run,
     std::printf("\nonline rebalancing:\n%s", migration.to_string().c_str());
   }
 
+  // Scheduling: only shown when duplicate attempts were launched —
+  // speculation or redundant k-launch.
+  if (summary.duplicate_launches > 0 || summary.duplicate_wins > 0 ||
+      summary.redundant_cancels > 0 || summary.redundant_waste_bytes > 0) {
+    common::Table scheduling({"dup launches", "dup wins", "cancels",
+                              "waste"});
+    scheduling.add_row(
+        {std::to_string(summary.duplicate_launches),
+         std::to_string(summary.duplicate_wins),
+         std::to_string(summary.redundant_cancels),
+         common::format_bytes(
+             static_cast<std::uint64_t>(summary.redundant_waste_bytes))});
+    std::printf("\nscheduling:\n%s", scheduling.to_string().c_str());
+  }
+
   // Busiest nodes first; ties broken by index for a stable listing.
   std::vector<std::size_t> order(summary.nodes.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;

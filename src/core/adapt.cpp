@@ -285,6 +285,18 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
   result.placement_skew =
       mean_blocks > 0 ? static_cast<double>(max_blocks) / mean_blocks : 0.0;
 
+  if (job_config.scheduler.kind == sim::SchedulerKind::kCalibrated &&
+      job_config.scheduler.node_quotes.empty()) {
+    // Placement-time quotes for the calibrated scheduler: the same
+    // Eq. 5 E[T_i] view of `params` the placement policy priced nodes
+    // with, so "overdue" means "slower than what placement paid for".
+    avail::PerformancePredictor predictor(params.size(), config.job.gamma);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      predictor.set_params(i, params[i]);
+    }
+    job_config.scheduler.node_quotes = predictor.expected_task_times();
+  }
+
   if (config.run_reduce) job_config.record_completion_times = true;
   job_config.tracer = tracer.get();
   job_config.metrics = metrics.get();
@@ -359,6 +371,10 @@ RepeatedResult run_repeated(const cluster::Cluster& cluster,
     out.replicas_corrupted += result.job.replicas_corrupted;
     out.corrupt_reads += result.job.corrupt_reads;
     out.safe_mode_entries += result.job.safe_mode_entries;
+    out.speculative_launches += result.job.speculative_launches;
+    out.speculative_wins += result.job.speculative_wins;
+    out.redundant_launches += result.job.redundant_launches;
+    out.redundant_waste_bytes += result.job.redundant_waste_bytes;
   }
   const double n = runs;
   out.rework_ratio /= n;

@@ -151,6 +151,12 @@ struct RepeatedResult {
   std::uint64_t replicas_corrupted = 0;
   std::uint64_t corrupt_reads = 0;
   std::uint64_t safe_mode_entries = 0;
+  // Scheduler totals across runs (all zero when no duplicate attempts
+  // were launched).
+  std::uint64_t speculative_launches = 0;
+  std::uint64_t speculative_wins = 0;
+  std::uint64_t redundant_launches = 0;
+  std::uint64_t redundant_waste_bytes = 0;
 };
 
 RepeatedResult run_repeated(const cluster::Cluster& cluster,

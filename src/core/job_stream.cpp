@@ -109,6 +109,16 @@ JobStreamResult run_job_stream(const cluster::Cluster& initial,
   // rebuilt from live heartbeat estimates through one shared Eq. 5 memo
   // table for the whole stream.
   sim::SimJobConfig job_template = config.job;
+  if (job_template.scheduler.kind == sim::SchedulerKind::kCalibrated &&
+      job_template.scheduler.node_quotes.empty()) {
+    // Placement-time quotes for the calibrated scheduler: pinned to the
+    // initial regime's Eq. 5 view, like the drift baseline above.
+    avail::PerformancePredictor predictor(params.size(), config.job.gamma);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      predictor.set_params(i, params[i]);
+    }
+    job_template.scheduler.node_quotes = predictor.expected_task_times();
+  }
   job_template.tracer = tracer.get();
   job_template.metrics = metrics.get();
   job_template.spans = spans.get();

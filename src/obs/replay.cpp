@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <limits>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 namespace adapt::obs {
 
@@ -35,6 +37,9 @@ ReplaySummary replay(const std::vector<TraceRecord>& records) {
   std::vector<NodeState> nodes;
   std::vector<std::vector<std::uint32_t>> task_homes;
   std::vector<bool> task_done;
+  // Spec flag of the most recent attempt_start per (task, node), so a
+  // finish can be attributed to a speculative copy without attempt ids.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, bool> attempt_spec;
 
   const auto close_recovery = [&](NodeState& ns, common::Seconds now) {
     if (ns.recovery_open >= 0.0) {
@@ -89,6 +94,8 @@ ReplaySummary replay(const std::vector<TraceRecord>& records) {
         if (ns.running++ == 0) ns.busy_from = r.t;
         grow_to(out.nodes, r.node);
         ++out.nodes[r.node].attempts;
+        if (r.aux != 0) ++out.duplicate_launches;
+        attempt_spec[{r.task, r.node}] = r.aux != 0;
         break;
       }
       case EventType::kAttemptFinish: {
@@ -97,6 +104,10 @@ ReplaySummary replay(const std::vector<TraceRecord>& records) {
         if (ns.running > 0 && --ns.running == 0) {
           grow_to(out.nodes, r.node);
           out.nodes[r.node].busy += r.t - ns.busy_from;
+        }
+        const auto spec = attempt_spec.find({r.task, r.node});
+        if (spec != attempt_spec.end() && spec->second) {
+          ++out.duplicate_wins;
         }
         grow_to(task_done, r.task);
         grow_to(task_homes, r.task);
@@ -116,6 +127,7 @@ ReplaySummary replay(const std::vector<TraceRecord>& records) {
           grow_to(out.nodes, r.node);
           out.nodes[r.node].busy += r.t - ns.busy_from;
         }
+        if (r.reason == TraceReason::kRedundant) ++out.redundant_cancels;
         break;
       }
       case EventType::kJobEnd: {
@@ -199,6 +211,9 @@ ReplaySummary replay(const std::vector<TraceRecord>& records) {
         ++out.false_dead_declarations;
         out.revived_replicas_restored += r.task;
         out.revived_replicas_trimmed += r.aux;
+        break;
+      case EventType::kRedundantWaste:
+        out.redundant_waste_bytes += r.v0;
         break;
       default:
         break;
@@ -503,6 +518,9 @@ std::vector<RunObservations> parse_jsonl(const std::string& text) {
         if (const auto* v = get("trimmed")) {
           r.aux = static_cast<std::uint32_t>(as_u64(*v));
         }
+        break;
+      case EventType::kRedundantWaste:
+        if (const auto* v = get("bytes")) r.v0 = as_double(*v);
         break;
       default:
         break;

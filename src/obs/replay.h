@@ -75,6 +75,15 @@ struct ReplaySummary {
   std::uint64_t revived_replicas_restored = 0;
   std::uint64_t revived_replicas_trimmed = 0;
 
+  // Scheduling accounting (zero with the baseline scheduler when no
+  // duplicates were launched). The trace marks duplicate attempts but
+  // not which policy launched them, so these aggregate speculative and
+  // redundant copies alike.
+  std::uint64_t duplicate_launches = 0;     // attempt_start with dup mark
+  std::uint64_t duplicate_wins = 0;         // finishes by a duplicate copy
+  std::uint64_t redundant_cancels = 0;      // attempt_kill reason=redundant
+  double redundant_waste_bytes = 0.0;       // redundant_waste bytes summed
+
   std::uint64_t count(EventType type) const {
     return event_counts[static_cast<std::size_t>(type)];
   }

@@ -95,6 +95,8 @@ const char* to_string(EventType type) {
       return "safe_mode_exit";
     case EventType::kNodeRevived:
       return "node_revived";
+    case EventType::kRedundantWaste:
+      return "redundant_waste";
   }
   return "?";
 }
@@ -320,6 +322,11 @@ void append_jsonl(std::string& out, std::uint64_t run_index,
       out += ", \"node\": " + std::to_string(r.node) +
              ", \"restored\": " + std::to_string(r.task) +
              ", \"trimmed\": " + std::to_string(r.aux);
+      break;
+    case EventType::kRedundantWaste:
+      out += ", \"task\": " + std::to_string(r.task) +
+             ", \"node\": " + std::to_string(r.node) +
+             ", \"bytes\": " + json_number(r.v0);
       break;
   }
   out += "}";

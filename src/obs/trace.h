@@ -72,8 +72,11 @@ enum class EventType : std::uint8_t {
   kNodeRevived,         // false-positive dead declaration undone by a
                         // heartbeat (task = replicas restored,
                         // aux = stale replicas trimmed)
+  // -- scheduler policies --
+  kRedundantWaste,      // losing duplicate's fetch bytes written off
+                        // when a sibling won (v0 = wasted bytes)
 };
-inline constexpr std::size_t kEventTypeCount = 35;
+inline constexpr std::size_t kEventTypeCount = 36;
 
 // Why an attempt/transfer was killed; mirrors the simulator's kill paths.
 enum class TraceReason : std::uint8_t {

@@ -48,15 +48,6 @@ class PlacementPolicy {
     return choose(eligible, rng);
   }
 
-  // One-release adapter for external callers still holding a
-  // std::vector<bool> mask (pre-NodeMask API). Converts and forwards;
-  // scheduled for removal next release — migrate to the NodeMask
-  // overload, which skips the O(n) conversion.
-  std::optional<cluster::NodeIndex> choose(const std::vector<bool>& eligible,
-                                           common::Rng& rng) const {
-    return choose(cluster::NodeMask::from_vector(eligible), rng);
-  }
-
   virtual std::string name() const = 0;
 
   // Per-node target share of blocks (sums to ~1); diagnostics and tests.

@@ -48,6 +48,10 @@ core::RepeatedResult merge_results(
     out.replicas_corrupted += result.job.replicas_corrupted;
     out.corrupt_reads += result.job.corrupt_reads;
     out.safe_mode_entries += result.job.safe_mode_entries;
+    out.speculative_launches += result.job.speculative_launches;
+    out.speculative_wins += result.job.speculative_wins;
+    out.redundant_launches += result.job.redundant_launches;
+    out.redundant_waste_bytes += result.job.redundant_waste_bytes;
   }
   const double n = static_cast<double>(results.size());
   out.rework_ratio /= n;

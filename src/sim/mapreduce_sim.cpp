@@ -88,6 +88,10 @@ MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
                 injector_config(config)),
       mutable_namenode_(mutable_namenode) {
   config_.validate();  // throws ConfigError naming the bad field
+  // Collapse the deprecated flat speculation knobs into the scheduler
+  // sub-struct once; every internal read goes through config_.scheduler.
+  config_.scheduler = config_.effective_scheduler();
+  scheduler_ = make_scheduler(config_.scheduler, config_.gamma);
   node_state_.resize(cluster.size());
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     node_state_[i].free_slots = cluster.nodes[i].slots;
@@ -97,8 +101,6 @@ MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
       ++node_state_[home].undone_home;
     }
   }
-  task_attempt_count_.assign(board_.task_count(), 0);
-  task_attempts_.assign(board_.task_count(), {kNoAttempt, kNoAttempt});
   board_.set_tracer(config_.tracer);
   if (config_.metrics != nullptr) {
     hist_transfer_ = config_.metrics->histogram(
@@ -133,7 +135,11 @@ MapReduceSimulation::MapReduceSimulation(const cluster::Cluster& cluster,
       ctr_drift_alarms_ = config_.metrics->counter("calibration.drift_alarms");
     }
   }
-  if (config_.metrics != nullptr || config_.calibration != nullptr) {
+  // The calibrated scheduler compares realized running time against the
+  // placement-time quote, so it needs first-start stamps even without a
+  // metrics registry or calibration tracker.
+  if (config_.metrics != nullptr || config_.calibration != nullptr ||
+      config_.scheduler.kind == SchedulerKind::kCalibrated) {
     task_first_start_.assign(board_.task_count(), -1.0);
   }
   departed_at_.assign(node_state_.size(), -1.0);
@@ -330,7 +336,7 @@ void MapReduceSimulation::maybe_mark_lost(TaskId task) {
   if (task_lost_[task]) return;
   if (board_.status(task) == TaskStatus::kDone) return;
   // A live attempt that already holds the block's bytes can still win.
-  if (task_attempt_count_[task] > 0) return;
+  if (board_.attempt_count(task) > 0) return;
   const hdfs::BlockId block = first_block_ + task;
   if (!mutable_namenode_->block(block).replicas.empty()) return;
   task_lost_[task] = true;
@@ -1231,6 +1237,18 @@ JobResult MapReduceSimulation::run() {
       add("sim.rebalance_triggers",
           static_cast<double>(result_.rebalance_triggers));
     }
+    // Scheduler counters appear only with a non-baseline policy, so
+    // default-scheduler metric output stays byte-identical to before.
+    if (scheduler_->kind() != SchedulerKind::kBaseline) {
+      add("scheduler.speculative_launches",
+          static_cast<double>(result_.speculative_launches));
+      add("scheduler.speculative_wins",
+          static_cast<double>(result_.speculative_wins));
+      add("scheduler.redundant_launches",
+          static_cast<double>(result_.redundant_launches));
+      add("scheduler.redundant_waste_bytes",
+          static_cast<double>(result_.redundant_waste_bytes));
+    }
   }
   return result_;
 }
@@ -1253,8 +1271,10 @@ void MapReduceSimulation::dispatch(cluster::NodeIndex node) {
 }
 
 bool MapReduceSimulation::assign_one(cluster::NodeIndex node) {
+  const int extra = scheduler_->extra_initial_launches();
   if (auto task = board_.take_local(node)) {
     start_attempt(*task, node, node, /*speculative=*/false);
+    if (extra > 0) launch_redundant(*task, node);
     return true;
   }
   if (config_.remote_execution) {
@@ -1265,6 +1285,7 @@ bool MapReduceSimulation::assign_one(cluster::NodeIndex node) {
               return src.has_value();
             })) {
       start_attempt(*task, node, *src, /*speculative=*/false);
+      if (extra > 0) launch_redundant(*task, node);
       return true;
     }
   }
@@ -1275,67 +1296,26 @@ bool MapReduceSimulation::assign_one(cluster::NodeIndex node) {
       const auto src = usable_source(*task);
       start_attempt(*task, node, src.value_or(cluster::kOriginEndpoint),
                     /*speculative=*/false);
+      if (extra > 0) launch_redundant(*task, node);
       return true;
     }
   }
-  if (config_.speculation && try_speculate(node)) return true;
+  if (config_.scheduler.speculation && try_speculate(node)) return true;
   return false;
 }
 
 bool MapReduceSimulation::try_speculate(cluster::NodeIndex node) {
-  // Prefer duplicating a slow attempt whose block already lives here —
-  // this is both the paper's "interrupted task re-executed on the same
-  // node" path and the rescue of local tasks held by remote thieves
-  // stuck behind congested uplinks. Fall back to the globally slowest
-  // attempt if nothing local qualifies.
-  AttemptId best_local = kNoAttempt;
-  double best_local_remaining = 0.0;
-  AttemptId best_any = kNoAttempt;
-  double best_any_remaining = 0.0;
-  for (const AttemptId id : running_) {
-    const Attempt& a = attempts_[id];
-    if (!a.alive) continue;
-    if (a.node == node) continue;
-    if (board_.status(a.task) != TaskStatus::kRunning) continue;
-    if (task_attempt_count_[a.task] >=
-        static_cast<std::uint8_t>(config_.max_concurrent_attempts)) {
-      continue;
-    }
-    // Only laggards qualify: projected finish slipped past the launch
-    // projection (stalled or re-queued transfers), like Hadoop's
-    // below-average-progress rule.
-    const double overdue_threshold = config_.speculation_overdue >= 0.0
-                                         ? config_.speculation_overdue
-                                         : config_.gamma;
-    const double projected = a.fetching
-                                 ? projected_fetch_end(a) + config_.gamma
-                                 : a.exec_end;
-    if (projected - a.nominal_end < overdue_threshold) continue;
-    const double remaining = remaining_time(a);
-    if (board_.is_local_to(a.task, node)) {
-      if (remaining > best_local_remaining) {
-        best_local_remaining = remaining;
-        best_local = id;
-      }
-    } else if (remaining > best_any_remaining) {
-      best_any_remaining = remaining;
-      best_any = id;
-    }
-  }
-
-  const bool use_local = best_local != kNoAttempt;
-  const AttemptId best = use_local ? best_local : best_any;
-  const double best_remaining =
-      use_local ? best_local_remaining : best_any_remaining;
-  if (best == kNoAttempt) return false;
-  const TaskId task = attempts_[best].task;
-  const double fresh_cost = estimated_cost_on(node, task);
-  if (fresh_cost < 0 ||
-      best_remaining <= config_.speculation_slack * fresh_cost) {
-    return false;
-  }
+  // The policy prefers duplicating a slow attempt whose block already
+  // lives here — this is both the paper's "interrupted task re-executed
+  // on the same node" path and the rescue of local tasks held by remote
+  // thieves stuck behind congested uplinks — falling back to the
+  // globally slowest laggard. The simulator only resolves where the
+  // duplicate reads its block from.
+  const auto pick = scheduler_->pick_speculative(node, *this);
+  if (!pick) return false;
+  const TaskId task = *pick;
   cluster::NodeIndex src;
-  if (use_local) {
+  if (board_.is_local_to(task, node)) {
     src = node;
   } else if (const auto remote = usable_source(task)) {
     src = *remote;
@@ -1346,6 +1326,60 @@ bool MapReduceSimulation::try_speculate(cluster::NodeIndex node) {
   }
   start_attempt(task, node, src, /*speculative=*/true);
   return true;
+}
+
+void MapReduceSimulation::launch_redundant(TaskId task,
+                                           cluster::NodeIndex primary) {
+  // The primary launch can dead-end (corrupt local read with no
+  // fallback); duplicating a task that never started would run ahead of
+  // its own board state.
+  if (board_.status(task) != TaskStatus::kRunning ||
+      board_.attempt_count(task) == 0) {
+    return;
+  }
+  const std::size_t want = static_cast<std::size_t>(
+      1 + scheduler_->extra_initial_launches());
+  // Replica holders first (the duplicate reads locally), then any other
+  // up node with a free slot, in index order — deterministic and
+  // independent of dispatch history.
+  const auto running_here = [&](cluster::NodeIndex n) {
+    for (const AttemptId id : board_.attempts_of(task)) {
+      if (attempts_[id].node == n) return true;
+    }
+    return false;
+  };
+  const auto try_launch = [&](cluster::NodeIndex cand) {
+    const NodeState& ns = node_state_[cand];
+    if (!ns.up || ns.free_slots <= 0) return;
+    if (cand == primary || running_here(cand)) return;
+    cluster::NodeIndex src;
+    if (board_.is_local_to(task, cand)) {
+      src = cand;
+    } else if (const auto remote = usable_source(task)) {
+      src = *remote;
+    } else {
+      // No reachable replica and duplicates never burn origin
+      // bandwidth: degrade to fewer copies.
+      return;
+    }
+    // start_attempt can dead-end (corrupt local read, nowhere to fall
+    // back to) without launching; only a real launch is re-labelled
+    // from the reactive-speculation counter to the up-front one.
+    const std::uint64_t before = result_.speculative_launches;
+    start_attempt(task, cand, src, /*speculative=*/true);
+    if (result_.speculative_launches > before) {
+      --result_.speculative_launches;
+      ++result_.redundant_launches;
+    }
+  };
+  for (const cluster::NodeIndex home : board_.home_nodes(task)) {
+    if (board_.attempt_count(task) >= want) return;
+    try_launch(home);
+  }
+  for (cluster::NodeIndex n = 0; n < node_state_.size(); ++n) {
+    if (board_.attempt_count(task) >= want) return;
+    try_launch(n);
+  }
 }
 
 void MapReduceSimulation::mark_idle(cluster::NodeIndex node) {
@@ -1453,7 +1487,6 @@ void MapReduceSimulation::start_attempt(TaskId task, cluster::NodeIndex node,
   if (!speculative) {
     board_.mark_running(task);
   }
-  ++task_attempt_count_[task];
 
   const AttemptId id = alloc_attempt();
   Attempt& a = attempts_[id];
@@ -1461,17 +1494,14 @@ void MapReduceSimulation::start_attempt(TaskId task, cluster::NodeIndex node,
   a.node = node;
   a.alive = true;
   a.local = (src == node);
+  a.speculative = speculative;
   --ns.free_slots;
   ns.attempts.push_back(id);
   a.running_index = static_cast<std::uint32_t>(running_.size());
   running_.push_back(id);
-  for (AttemptId& slot : task_attempts_[task]) {
-    if (slot == kNoAttempt) {
-      slot = id;
-      break;
-    }
-  }
+  board_.register_attempt(task, id);
   ++result_.attempts_started;
+  if (speculative) ++result_.speculative_launches;
 
   const common::Seconds now = queue_.now();
   if (!task_first_start_.empty() && task_first_start_[task] < 0.0) {
@@ -1649,6 +1679,7 @@ void MapReduceSimulation::on_attempt_complete(AttemptId id) {
   } else {
     ++result_.remote_wins;
   }
+  if (a.speculative) ++result_.speculative_wins;
   {
     obs::TraceRecord r;
     r.type = obs::EventType::kAttemptFinish;
@@ -1660,13 +1691,13 @@ void MapReduceSimulation::on_attempt_complete(AttemptId id) {
 
   detach_attempt(id);
 
-  // Kill the losing duplicate, if any.
-  for (const AttemptId sibling : task_attempts_[task]) {
-    if (sibling != kNoAttempt) {
-      const cluster::NodeIndex sib_node = attempts_[sibling].node;
-      kill_attempt(sibling, KillReason::kRedundant);
-      dispatch(sib_node);
-    }
+  // Kill the losing duplicates, if any (kill_attempt unregisters each
+  // from the board, so iterate a copy).
+  const std::vector<AttemptId> losers = board_.attempts_of(task);
+  for (const AttemptId sibling : losers) {
+    const cluster::NodeIndex sib_node = attempts_[sibling].node;
+    kill_attempt(sibling, KillReason::kRedundant);
+    dispatch(sib_node);
   }
 
   dispatch(node);
@@ -1693,11 +1724,7 @@ void MapReduceSimulation::detach_attempt(AttemptId id) {
   ns.attempts.pop_back();
   if (ns.up) ++ns.free_slots;
 
-  // Clear the per-task slot.
-  for (AttemptId& slot : task_attempts_[a.task]) {
-    if (slot == id) slot = kNoAttempt;
-  }
-  --task_attempt_count_[a.task];
+  board_.unregister_attempt(a.task, id);
 
   free_attempt(id);
 }
@@ -1771,9 +1798,37 @@ void MapReduceSimulation::kill_attempt(AttemptId id, KillReason reason) {
     trace(r);
   }
 
+  if (reason == KillReason::kRedundant && !a.local) {
+    // Network bytes this losing duplicate burned: the whole block when
+    // its fetch had completed, the transferred prefix (pro-rated by
+    // elapsed transfer time) when it was still on the wire.
+    const double block = static_cast<double>(cluster_.block_size_bytes);
+    double waste = 0.0;
+    if (!a.fetching) {
+      waste = block;
+    } else if (a.fetch.end > a.fetch.start) {
+      const double frac =
+          (now - a.fetch.start) / (a.fetch.end - a.fetch.start);
+      waste = block * std::clamp(frac, 0.0, 1.0);
+    }
+    const std::uint64_t bytes = static_cast<std::uint64_t>(waste);
+    result_.redundant_waste_bytes += bytes;
+    // The waste event appears only under non-baseline schedulers so
+    // default-scheduler traces stay byte-identical to before.
+    if (bytes > 0 && scheduler_->kind() != SchedulerKind::kBaseline) {
+      obs::TraceRecord r;
+      r.type = obs::EventType::kRedundantWaste;
+      r.reason = trace_reason;
+      r.task = task;
+      r.node = a.node;
+      r.v0 = waste;
+      trace(r);
+    }
+  }
+
   detach_attempt(id);
 
-  if (failed && task_attempt_count_[task] == 0 &&
+  if (failed && board_.attempt_count(task) == 0 &&
       board_.status(task) == TaskStatus::kRunning) {
     board_.mark_pending(task);
     // The attempt may have been the last carrier of a block with zero
@@ -1851,10 +1906,8 @@ void MapReduceSimulation::on_node_down(cluster::NodeIndex node) {
       // Once the stall makes those transfers overdue, idle nodes should
       // get a chance to speculate rescues; re-check periodically while
       // the outage lasts (the rescue economics improve as it drags on).
-      if (config_.speculation) {
-        const double overdue = config_.speculation_overdue >= 0.0
-                                   ? config_.speculation_overdue
-                                   : config_.gamma;
+      if (scheduler_->speculation_enabled()) {
+        const double overdue = scheduler_->overdue_threshold();
         queue_.schedule(queue_.now() + overdue + 1e-9,
                         [this, node] { on_stall_wake(node); });
       }
@@ -1885,9 +1938,7 @@ void MapReduceSimulation::on_stall_wake(cluster::NodeIndex node) {
   for (std::size_t i = 0; i < stalled; ++i) {
     if (!wake_one_idle()) break;
   }
-  const double overdue = config_.speculation_overdue >= 0.0
-                             ? config_.speculation_overdue
-                             : config_.gamma;
+  const double overdue = scheduler_->overdue_threshold();
   queue_.schedule(queue_.now() + std::max(overdue, config_.gamma),
                   [this, node] { on_stall_wake(node); });
 }
@@ -2060,6 +2111,51 @@ double MapReduceSimulation::remaining_time(const Attempt& a) const {
     return (a.fetch.end - queue_.now()) + config_.gamma;
   }
   return std::max(0.0, a.exec_end - queue_.now());
+}
+
+// ---------------------------------------------------------------------
+// SchedulerHost view
+// ---------------------------------------------------------------------
+
+common::Seconds MapReduceSimulation::now() const { return queue_.now(); }
+
+std::size_t MapReduceSimulation::running_count() const {
+  return running_.size();
+}
+
+AttemptView MapReduceSimulation::running_attempt(std::size_t i) const {
+  const Attempt& a = attempts_[running_[i]];
+  AttemptView v;
+  v.task = a.task;
+  v.node = a.node;
+  v.alive = a.alive;
+  v.fetching = a.fetching;
+  v.projected_finish =
+      a.fetching ? projected_fetch_end(a) + config_.gamma : a.exec_end;
+  v.nominal_end = a.nominal_end;
+  v.remaining = remaining_time(a);
+  v.first_start =
+      task_first_start_.empty() ? -1.0 : task_first_start_[a.task];
+  return v;
+}
+
+bool MapReduceSimulation::task_running(std::uint32_t task) const {
+  return board_.status(task) == TaskStatus::kRunning;
+}
+
+std::size_t MapReduceSimulation::attempt_count(std::uint32_t task) const {
+  return board_.attempt_count(task);
+}
+
+bool MapReduceSimulation::is_local_to(std::uint32_t task,
+                                      cluster::NodeIndex node) const {
+  return board_.is_local_to(task, node);
+}
+
+double MapReduceSimulation::cluster_calibration_ratio() const {
+  return config_.calibration != nullptr
+             ? config_.calibration->cluster_ratio()
+             : 0.0;
 }
 
 }  // namespace adapt::sim

@@ -18,7 +18,6 @@
 // tail).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -39,6 +38,7 @@
 #include "sim/overhead.h"
 #include "sim/rereplication.h"
 #include "sim/scheduler.h"
+#include "sim/scheduler_policy.h"
 #include "sim/sim_config.h"
 
 namespace adapt::sim {
@@ -63,6 +63,13 @@ struct JobResult {
   std::uint64_t node_transitions = 0;
   std::uint64_t events_processed = 0;
   std::uint64_t network_bytes = 0;
+  // -- scheduler policy (duplicate-attempt accounting) ---------------
+  std::uint64_t speculative_launches = 0;  // duplicates launched
+  std::uint64_t speculative_wins = 0;      // duplicates that won
+  std::uint64_t redundant_launches = 0;    // kRedundant up-front copies
+  // Network bytes spent on fetches for attempts later cancelled because
+  // a sibling finished first (pro-rated for in-flight fetches).
+  std::uint64_t redundant_waste_bytes = 0;
   // Only filled when SimJobConfig::record_completion_times is set:
   // completion_times[t] and winning node per task.
   std::vector<common::Seconds> completion_times;
@@ -126,7 +133,12 @@ struct JobResult {
 
 // Simulates the map phase of `file` (already placed in `namenode`) on
 // `cluster`. One instance runs one job; construct fresh per run.
-class MapReduceSimulation : public InterruptionInjector::Listener {
+// Attempt *choice* (which task to duplicate, how many duplicates) is
+// delegated to the SchedulerPolicy named by config.scheduler; the
+// simulation implements SchedulerHost to expose the read-only view the
+// policy decides from.
+class MapReduceSimulation : public InterruptionInjector::Listener,
+                            private SchedulerHost {
  public:
   // Churn-free construction: metadata is read-only. Throws if
   // config.churn.enabled (dead declaration mutates the NameNode).
@@ -253,6 +265,7 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
     bool alive = false;
     bool local = false;
     bool from_origin = false;
+    bool speculative = false;  // duplicate of an already-running task
     bool fetching = false;
     bool transfer_stalled = false;  // source down; end shifts on resume
     cluster::TransferGrant fetch;
@@ -283,10 +296,25 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
     bool idle_flagged = false;
   };
 
+  // -- scheduler host view (read-only queries for the policy) --------
+  common::Seconds now() const override;
+  std::size_t running_count() const override;
+  AttemptView running_attempt(std::size_t i) const override;
+  bool task_running(std::uint32_t task) const override;
+  std::size_t attempt_count(std::uint32_t task) const override;
+  bool is_local_to(std::uint32_t task,
+                   cluster::NodeIndex node) const override;
+  double cluster_calibration_ratio() const override;
+
   // -- dispatch ------------------------------------------------------
   void dispatch(cluster::NodeIndex node);
   bool assign_one(cluster::NodeIndex node);
+  // Asks the policy for a task worth duplicating on the idle node and
+  // launches the duplicate if a data source is reachable.
   bool try_speculate(cluster::NodeIndex node);
+  // kRedundant: launch the policy's up-front duplicates of `task` right
+  // after its primary attempt started on `primary`.
+  void launch_redundant(TaskId task, cluster::NodeIndex primary);
   void mark_idle(cluster::NodeIndex node);
   bool wake_one_idle();
   void wake_for_task(TaskId task);
@@ -310,7 +338,9 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
   // Best replica holder that is up *and* whose uplink queue is short
   // enough to be worth joining; nullopt when none qualifies.
   std::optional<cluster::NodeIndex> usable_source(TaskId task) const;
-  double estimated_cost_on(cluster::NodeIndex node, TaskId task) const;
+  // Also the SchedulerHost query of the same name.
+  double estimated_cost_on(cluster::NodeIndex node,
+                           TaskId task) const override;
   // Fetch end including the not-yet-applied shift of an ongoing stall.
   common::Seconds projected_fetch_end(const Attempt& a) const;
   double remaining_time(const Attempt& a) const;
@@ -328,13 +358,14 @@ class MapReduceSimulation : public InterruptionInjector::Listener {
   TaskBoard board_;
   InterruptionInjector injector_;
 
+  // Attempt choice policy (built from config_.scheduler's merged view);
+  // per-task attempt membership lives on the TaskBoard.
+  SchedulerPtr scheduler_;
+
   std::vector<NodeState> node_state_;
   std::vector<Attempt> attempts_;
   std::vector<AttemptId> attempt_free_list_;
   std::vector<AttemptId> running_;  // alive attempt registry
-  std::vector<std::uint8_t> task_attempt_count_;
-  // Concurrent attempts per task, capped at two (original + speculative).
-  std::vector<std::array<AttemptId, 2>> task_attempts_;
   std::vector<cluster::NodeIndex> idle_stack_;
 
   JobResult result_;

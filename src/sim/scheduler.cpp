@@ -13,6 +13,7 @@ TaskBoard::TaskBoard(std::vector<std::vector<cluster::NodeIndex>> home_nodes,
       node_cursor_(node_count, 0),
       status_(home_nodes_.size(), TaskStatus::kPending),
       flags_(home_nodes_.size()),
+      attempts_(home_nodes_.size()),
       stalled_since_(home_nodes_.size(), 0.0) {
   for (TaskId t = 0; t < home_nodes_.size(); ++t) {
     for (const cluster::NodeIndex n : home_nodes_[t]) {
@@ -148,6 +149,20 @@ std::size_t TaskBoard::revive_stalled_for(cluster::NodeIndex node,
     }
   }
   return revived;
+}
+
+void TaskBoard::register_attempt(TaskId task, std::uint32_t attempt) {
+  attempts_.at(task).push_back(attempt);
+}
+
+void TaskBoard::unregister_attempt(TaskId task, std::uint32_t attempt) {
+  auto& ids = attempts_.at(task);
+  const auto it = std::find(ids.begin(), ids.end(), attempt);
+  if (it == ids.end()) {
+    throw std::logic_error("unregister_attempt: attempt not registered");
+  }
+  // Erase preserving launch order: sibling-cancel iteration depends on it.
+  ids.erase(it);
 }
 
 void TaskBoard::add_home(TaskId task, cluster::NodeIndex node) {

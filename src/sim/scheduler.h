@@ -73,6 +73,21 @@ class TaskBoard {
   std::size_t revive_stalled_for(cluster::NodeIndex node,
                                  common::Seconds now = 0.0);
 
+  // -- multi-attempt awareness --------------------------------------
+  // The board tracks which attempt ids currently execute each task so
+  // scheduler policies can reason about duplicates (speculation caps,
+  // redundant launches, sibling cancellation) without the simulator
+  // owning a parallel side table. Ids are opaque to the board.
+  void register_attempt(TaskId task, std::uint32_t attempt);
+  void unregister_attempt(TaskId task, std::uint32_t attempt);
+  std::size_t attempt_count(TaskId task) const {
+    return attempts_.at(task).size();
+  }
+  // Launch-ordered; invalidated by register/unregister.
+  const std::vector<std::uint32_t>& attempts_of(TaskId task) const {
+    return attempts_.at(task);
+  }
+
   // -- replica-set churn --------------------------------------------
   // A re-replicated copy landed on `node`: the task becomes local there.
   void add_home(TaskId task, cluster::NodeIndex node);
@@ -107,6 +122,8 @@ class TaskBoard {
 
   std::vector<TaskStatus> status_;
   std::vector<Flags> flags_;
+  // task -> attempt ids currently executing it (launch order).
+  std::vector<std::vector<std::uint32_t>> attempts_;
   std::vector<common::Seconds> stalled_since_;
   std::deque<TaskId> global_;
   std::deque<StalledEntry> stalled_;

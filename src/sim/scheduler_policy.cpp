@@ -1,0 +1,202 @@
+#include "sim/scheduler_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace adapt::sim {
+
+namespace {
+
+constexpr std::uint32_t kNoTask = std::numeric_limits<std::uint32_t>::max();
+
+// Hadoop-style locality + slack speculation. The scan must stay
+// line-for-line equivalent to the historical hardcoded
+// MapReduceSimulation::try_speculate: prefer the overdue attempt local
+// to the asking node with the most remaining work, else the globally
+// worst laggard, and only duplicate when the laggard's remaining time
+// beats slack * the fresh cost on the idle node.
+class BaselineScheduler : public SchedulerPolicy {
+ public:
+  BaselineScheduler(const SchedulerConfig& config, double gamma)
+      : config_(config), gamma_(gamma) {}
+
+  std::string name() const override { return "baseline"; }
+  SchedulerKind kind() const override { return SchedulerKind::kBaseline; }
+  int max_attempts() const override {
+    return config_.max_concurrent_attempts;
+  }
+  bool speculation_enabled() const override { return config_.speculation; }
+  common::Seconds overdue_threshold() const override {
+    return config_.speculation_overdue >= 0.0 ? config_.speculation_overdue
+                                              : gamma_;
+  }
+
+  std::optional<std::uint32_t> pick_speculative(
+      cluster::NodeIndex node, const SchedulerHost& host) const override {
+    std::uint32_t best_local = kNoTask;
+    double best_local_remaining = 0.0;
+    std::uint32_t best_any = kNoTask;
+    double best_any_remaining = 0.0;
+    const double overdue = overdue_threshold();
+    const std::size_t n = host.running_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      const AttemptView a = host.running_attempt(i);
+      if (!a.alive) continue;
+      if (a.node == node) continue;
+      if (!host.task_running(a.task)) continue;
+      if (host.attempt_count(a.task) >=
+          static_cast<std::size_t>(config_.max_concurrent_attempts)) {
+        continue;
+      }
+      if (a.projected_finish - a.nominal_end < overdue) continue;
+      const double remaining = a.remaining;
+      if (host.is_local_to(a.task, node)) {
+        if (remaining > best_local_remaining) {
+          best_local_remaining = remaining;
+          best_local = a.task;
+        }
+      } else if (remaining > best_any_remaining) {
+        best_any_remaining = remaining;
+        best_any = a.task;
+      }
+    }
+    const bool use_local = best_local != kNoTask;
+    const std::uint32_t best = use_local ? best_local : best_any;
+    const double best_remaining =
+        use_local ? best_local_remaining : best_any_remaining;
+    if (best == kNoTask) return std::nullopt;
+    const double fresh_cost = host.estimated_cost_on(node, best);
+    if (fresh_cost < 0 ||
+        best_remaining <= config_.speculation_slack * fresh_cost) {
+      return std::nullopt;
+    }
+    return best;
+  }
+
+ protected:
+  SchedulerConfig config_;
+  double gamma_;
+};
+
+// Eq. 5-driven laggard detection: an attempt is overdue when the task's
+// realized running time exceeds the executing node's placement-time
+// E[T] quote by the configured margin, scaled by the cluster-wide
+// calibration ratio (realized/predicted) so a uniformly mis-calibrated
+// predictor does not mark the whole cluster late. Nodes without a
+// finite quote fall back to the baseline slip rule.
+class CalibratedScheduler : public BaselineScheduler {
+ public:
+  using BaselineScheduler::BaselineScheduler;
+
+  std::string name() const override { return "calibrated"; }
+  SchedulerKind kind() const override { return SchedulerKind::kCalibrated; }
+
+  std::optional<std::uint32_t> pick_speculative(
+      cluster::NodeIndex node, const SchedulerHost& host) const override {
+    const double ratio = host.cluster_calibration_ratio();
+    const double scale =
+        config_.calibrated_margin * std::max(1.0, ratio > 0 ? ratio : 1.0);
+    const common::Seconds now = host.now();
+    const double slip_threshold = overdue_threshold();
+    std::uint32_t best_local = kNoTask;
+    double best_local_remaining = 0.0;
+    std::uint32_t best_any = kNoTask;
+    double best_any_remaining = 0.0;
+    const std::size_t n = host.running_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      const AttemptView a = host.running_attempt(i);
+      if (!a.alive) continue;
+      if (a.node == node) continue;
+      if (!host.task_running(a.task)) continue;
+      if (host.attempt_count(a.task) >=
+          static_cast<std::size_t>(config_.max_concurrent_attempts)) {
+        continue;
+      }
+      const double quote = a.node < config_.node_quotes.size()
+                               ? config_.node_quotes[a.node]
+                               : std::numeric_limits<double>::infinity();
+      bool overdue;
+      if (std::isfinite(quote) && a.first_start >= 0.0) {
+        // Realized time already exceeds what the predictor promised for
+        // this node, with margin: the quote itself was wrong or the
+        // node degraded since placement — duplicate.
+        overdue = now - a.first_start > scale * quote;
+      } else {
+        overdue = a.projected_finish - a.nominal_end >= slip_threshold;
+      }
+      if (!overdue) continue;
+      const double remaining = a.remaining;
+      if (host.is_local_to(a.task, node)) {
+        if (remaining > best_local_remaining) {
+          best_local_remaining = remaining;
+          best_local = a.task;
+        }
+      } else if (remaining > best_any_remaining) {
+        best_any_remaining = remaining;
+        best_any = a.task;
+      }
+    }
+    const bool use_local = best_local != kNoTask;
+    const std::uint32_t best = use_local ? best_local : best_any;
+    const double best_remaining =
+        use_local ? best_local_remaining : best_any_remaining;
+    if (best == kNoTask) return std::nullopt;
+    const double fresh_cost = host.estimated_cost_on(node, best);
+    if (fresh_cost < 0 ||
+        best_remaining <= config_.speculation_slack * fresh_cost) {
+      return std::nullopt;
+    }
+    return best;
+  }
+};
+
+// Up-front redundancy: every fresh task launch is accompanied by k-1
+// duplicates (the simulator places them); the existing cancel-on-first-
+// finish machinery reaps the losers. No reactive speculation — the
+// duplicates already cover stragglers — so stall wake-ups stay off.
+class RedundantScheduler : public SchedulerPolicy {
+ public:
+  RedundantScheduler(const SchedulerConfig& config, double gamma)
+      : config_(config), gamma_(gamma) {}
+
+  std::string name() const override { return "redundant"; }
+  SchedulerKind kind() const override { return SchedulerKind::kRedundant; }
+  int max_attempts() const override {
+    return std::max(config_.max_concurrent_attempts, config_.redundancy);
+  }
+  int extra_initial_launches() const override {
+    return config_.redundancy - 1;
+  }
+  bool speculation_enabled() const override { return false; }
+  common::Seconds overdue_threshold() const override {
+    return config_.speculation_overdue >= 0.0 ? config_.speculation_overdue
+                                              : gamma_;
+  }
+  std::optional<std::uint32_t> pick_speculative(
+      cluster::NodeIndex, const SchedulerHost&) const override {
+    return std::nullopt;
+  }
+
+ private:
+  SchedulerConfig config_;
+  double gamma_;
+};
+
+}  // namespace
+
+SchedulerPtr make_scheduler(const SchedulerConfig& config, double gamma) {
+  config.validate();
+  switch (config.kind) {
+    case SchedulerKind::kBaseline:
+      return std::make_unique<BaselineScheduler>(config, gamma);
+    case SchedulerKind::kCalibrated:
+      return std::make_unique<CalibratedScheduler>(config, gamma);
+    case SchedulerKind::kRedundant:
+      return std::make_unique<RedundantScheduler>(config, gamma);
+  }
+  throw std::invalid_argument("make_scheduler: unknown SchedulerKind");
+}
+
+}  // namespace adapt::sim

@@ -133,6 +133,26 @@ void check_safe_mode(double threshold, common::Seconds hold) {
   }
 }
 
+void check_scheduler_max_attempts(int value) {
+  if (value < 1 || value > 8) {
+    throw ConfigError("scheduler.max_concurrent_attempts",
+                      "must be in [1, 8]");
+  }
+}
+
+void check_calibrated_margin(double value) {
+  if (!(value > 0) || !std::isfinite(value)) {
+    throw ConfigError("scheduler.calibrated_margin",
+                      "must be positive and finite");
+  }
+}
+
+void check_redundancy(int value) {
+  if (value < 1 || value > 8) {
+    throw ConfigError("scheduler.redundancy", "must be in [1, 8]");
+  }
+}
+
 void check_hysteresis(double value) {
   if (!(value >= 1.0) || !std::isfinite(value)) {
     throw ConfigError("rebalance.hysteresis",
@@ -149,10 +169,57 @@ void check_cooldown(common::Seconds value) {
 
 }  // namespace
 
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kBaseline:
+      return "baseline";
+    case SchedulerKind::kCalibrated:
+      return "calibrated";
+    case SchedulerKind::kRedundant:
+      return "redundant";
+  }
+  return "unknown";
+}
+
+void SchedulerConfig::validate() const {
+  if (speculation && (!(speculation_slack > 0) ||
+                      !std::isfinite(speculation_slack))) {
+    throw ConfigError("scheduler.speculation_slack",
+                      "must be positive and finite");
+  }
+  check_scheduler_max_attempts(max_concurrent_attempts);
+  check_calibrated_margin(calibrated_margin);
+  check_redundancy(redundancy);
+  for (const double quote : node_quotes) {
+    // +inf marks an unusable node, so only NaN / negatives are invalid.
+    if (quote < 0 || std::isnan(quote)) {
+      throw ConfigError("scheduler.node_quotes",
+                        "quotes must be >= 0 (+inf = unusable node)");
+    }
+  }
+}
+
+SchedulerConfig SimJobConfig::effective_scheduler() const {
+  SchedulerConfig merged = scheduler;
+  const SimJobConfig defaults;
+  if (speculation != defaults.speculation) merged.speculation = speculation;
+  if (speculation_slack != defaults.speculation_slack) {
+    merged.speculation_slack = speculation_slack;
+  }
+  if (speculation_overdue != defaults.speculation_overdue) {
+    merged.speculation_overdue = speculation_overdue;
+  }
+  if (max_concurrent_attempts != defaults.max_concurrent_attempts) {
+    merged.max_concurrent_attempts = max_concurrent_attempts;
+  }
+  return merged;
+}
+
 void SimJobConfig::validate() const {
   check_gamma(gamma);
   if (speculation) check_speculation_slack(speculation_slack);
   check_max_concurrent_attempts(max_concurrent_attempts);
+  scheduler.validate();
   check_transfer_stall_timeout(transfer_stall_timeout);
   if (sample_dt < 0 || !std::isfinite(sample_dt)) {
     throw ConfigError("sample_dt", "must be >= 0 and finite");
@@ -225,6 +292,9 @@ SimJobConfig::Builder& SimJobConfig::Builder::speculation(
   config_.speculation = enabled;
   config_.speculation_slack = slack;
   config_.speculation_overdue = overdue;
+  config_.scheduler.speculation = enabled;
+  config_.scheduler.speculation_slack = slack;
+  config_.scheduler.speculation_overdue = overdue;
   return *this;
 }
 
@@ -232,6 +302,26 @@ SimJobConfig::Builder& SimJobConfig::Builder::max_concurrent_attempts(
     int value) {
   check_max_concurrent_attempts(value);
   config_.max_concurrent_attempts = value;
+  config_.scheduler.max_concurrent_attempts = value;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::scheduler_kind(
+    SchedulerKind kind) {
+  config_.scheduler.kind = kind;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::calibrated_margin(
+    double value) {
+  check_calibrated_margin(value);
+  config_.scheduler.calibrated_margin = value;
+  return *this;
+}
+
+SimJobConfig::Builder& SimJobConfig::Builder::redundancy(int value) {
+  check_redundancy(value);
+  config_.scheduler.redundancy = value;
   return *this;
 }
 

@@ -39,8 +39,23 @@ class ConfigError : public std::invalid_argument {
   std::string field_;
 };
 
-struct SimJobConfig {
-  double gamma = 12.0;  // failure-free map task time, seconds (Table 4)
+// Which SchedulerPolicy drives attempt launch / speculation decisions
+// (see sim/scheduler_policy.h — this enum lives here so SchedulerConfig
+// can be validated alongside the rest of the job config).
+enum class SchedulerKind {
+  kBaseline,    // Hadoop-style locality + global slack speculation
+  kCalibrated,  // Eq. 5 quote + learned per-node margin speculation
+  kRedundant,   // launch each task on k nodes, cancel on first finish
+};
+
+std::string to_string(SchedulerKind kind);
+
+// Scheduling knobs, grouped. The flat SimJobConfig fields of the same
+// names are a one-release deprecation shim: a flat field set away from
+// its default overrides the sub-struct (effective_scheduler() merges),
+// so pre-existing callers keep their behavior byte-identical.
+struct SchedulerConfig {
+  SchedulerKind kind = SchedulerKind::kBaseline;
   bool speculation = true;
   // Duplicate a running attempt when its remaining time exceeds
   // slack * (expected cost of running it fresh on the idle node).
@@ -51,6 +66,35 @@ struct SimJobConfig {
   // at their normal rate). Negative = auto: one gamma.
   common::Seconds speculation_overdue = -1.0;
   int max_concurrent_attempts = 2;  // original + one speculative copy
+  // kCalibrated: speculate when a task's realized running time exceeds
+  // margin * max(1, cluster calibration ratio) * the placement-time
+  // Eq. 5 quote of the node executing it.
+  double calibrated_margin = 1.5;
+  // kCalibrated: per-node placement-time E[T_i] quotes (Eq. 5), indexed
+  // by node. Filled by run_experiment / JobStream from the Performance
+  // Predictor; +inf marks an unusable node. Empty = fall back to the
+  // baseline overdue rule.
+  std::vector<double> node_quotes;
+  // kRedundant: launch every task on this many nodes up-front; degrades
+  // gracefully when fewer eligible nodes exist.
+  int redundancy = 2;
+
+  // Throws ConfigError naming "scheduler.<field>".
+  void validate() const;
+};
+
+struct SimJobConfig {
+  double gamma = 12.0;  // failure-free map task time, seconds (Table 4)
+  // -- deprecated flat speculation knobs ----------------------------
+  // Superseded by SchedulerConfig (the `scheduler` member below); kept
+  // one release so existing aggregates / Builder calls keep working.
+  // A flat field set away from its default wins over the sub-struct
+  // (see effective_scheduler()).
+  bool speculation = true;
+  double speculation_slack = 1.2;
+  common::Seconds speculation_overdue = -1.0;
+  int max_concurrent_attempts = 2;  // original + one speculative copy
+  // -----------------------------------------------------------------
   bool allow_origin_fetch = true;   // last resort when all replicas down
   // A task whose replicas are all offline is re-fetched from the origin
   // only after stalling this long (waiting out a short outage is cheaper
@@ -202,6 +246,10 @@ struct SimJobConfig {
     MigrationDriver::Config migration;
   };
   RebalanceConfig rebalance;
+  // -- scheduling ---------------------------------------------------
+  // Pluggable attempt/speculation policy (see sim/scheduler_policy.h).
+  // Defaults reproduce the historical hardcoded behavior exactly.
+  SchedulerConfig scheduler;
   // Optional observability sinks, owned by the caller; null = off. Each
   // instrumented site is a single null check on the disabled path.
   obs::EventTracer* tracer = nullptr;
@@ -219,6 +267,12 @@ struct SimJobConfig {
   // constructor calls this, so hand-filled aggregates are still checked;
   // the Builder calls the same predicates per setter.
   void validate() const;
+
+  // Deprecation merge: returns `scheduler` with any flat speculation
+  // knob that was moved off its default value overriding the matching
+  // sub-struct field. The simulation reads only the merged view, so
+  // legacy flat-knob callers and new SchedulerConfig callers agree.
+  SchedulerConfig effective_scheduler() const;
 
   class Builder;
 };
@@ -240,9 +294,14 @@ class SimJobConfig::Builder {
   explicit Builder(SimJobConfig base) : config_(std::move(base)) {}
 
   Builder& gamma(double value);
+  // Writes both the deprecated flat knobs and scheduler.* so either
+  // read path sees the same values.
   Builder& speculation(bool enabled, double slack = 1.2,
                        common::Seconds overdue = -1.0);
   Builder& max_concurrent_attempts(int value);
+  Builder& scheduler_kind(SchedulerKind kind);
+  Builder& calibrated_margin(double value);
+  Builder& redundancy(int value);
   Builder& origin_fetch(bool allowed, common::Seconds delay = -1.0);
   Builder& transfer_stall_timeout(common::Seconds value);
   Builder& seed(std::uint64_t value);

@@ -68,11 +68,12 @@ TEST(AliasPolicy, MatchesHashTablePolicyStatistically) {
 TEST(AliasPolicy, HonorsEligibility) {
   const auto policy = make_adapt_alias_policy({1.0, 1000.0, 1000.0});
   Rng rng(3);
-  std::vector<bool> eligible = {true, false, false};
+  const auto eligible =
+      adapt::cluster::NodeMask::from_vector({true, false, false});
   for (int i = 0; i < 200; ++i) {
     EXPECT_EQ(policy->choose(eligible, rng).value(), 0u);
   }
-  EXPECT_FALSE(policy->choose({false, false, false}, rng));
+  EXPECT_FALSE(policy->choose(adapt::cluster::NodeMask(3, false), rng));
 }
 
 }  // namespace

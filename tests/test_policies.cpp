@@ -17,7 +17,7 @@ using adapt::common::Rng;
 
 std::vector<std::size_t> draw_many(const PlacementPolicy& policy,
                                    std::size_t nodes, int draws, Rng& rng) {
-  std::vector<bool> eligible(nodes, true);
+  const cluster::NodeMask eligible(nodes, true);
   std::vector<std::size_t> counts(nodes, 0);
   for (int i = 0; i < draws; ++i) {
     const auto choice = policy.choose(eligible, rng);
@@ -39,11 +39,12 @@ TEST(RandomPolicy, UniformOverNodes) {
 TEST(RandomPolicy, HonorsEligibilityMask) {
   RandomPolicy policy(4);
   Rng rng(6);
-  std::vector<bool> eligible = {false, true, false, false};
+  const auto eligible =
+      cluster::NodeMask::from_vector({false, true, false, false});
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(policy.choose(eligible, rng).value(), 1u);
   }
-  EXPECT_FALSE(policy.choose({false, false, false, false}, rng));
+  EXPECT_FALSE(policy.choose(cluster::NodeMask(4, false), rng));
 }
 
 TEST(AdaptPolicy, SharesProportionalToInverseExpectedTime) {
@@ -89,7 +90,7 @@ TEST(AdaptPolicy, MaskedFallbackStaysWeighted) {
   Rng rng(10);
   // Mask out node 0 (the joint-heaviest): remaining draws should favor
   // node 1 over node 2 by ~100:1.
-  std::vector<bool> eligible = {false, true, true};
+  const auto eligible = cluster::NodeMask::from_vector({false, true, true});
   std::size_t ones = 0;
   std::size_t twos = 0;
   for (int i = 0; i < 20000; ++i) {
@@ -116,7 +117,8 @@ TEST(AdaptPolicy, MaskedFallbackMatchesRealizedDistribution) {
   // than the empirical tolerance below.
   ASSERT_GT(std::abs(p_realized - p_raw), 0.03);
 
-  std::vector<bool> eligible = {false, true, false, true, false, false};
+  const auto eligible =
+      cluster::NodeMask::from_vector({false, true, false, true, false, false});
   Rng rng(42);
   constexpr int kDraws = 120000;
   std::size_t ones = 0;
@@ -133,7 +135,8 @@ TEST(AliasPolicy, MaskedFallbackMatchesShares) {
   // all through the fallback) follow the sampler's realized shares
   // conditioned on the mask.
   AliasPolicy policy("test", {1000.0, 1000.0, 1000.0, 0.7, 0.3});
-  std::vector<bool> eligible = {false, false, false, true, true};
+  const auto eligible =
+      cluster::NodeMask::from_vector({false, false, false, true, true});
   Rng rng(43);
   constexpr int kDraws = 60000;
   std::size_t threes = 0;
@@ -149,7 +152,7 @@ TEST(AdaptPolicy, AllEligibleZeroWeightFallsBackUniform) {
   const double inf = std::numeric_limits<double>::infinity();
   const auto policy = make_adapt_policy({10.0, inf, inf}, 100);
   Rng rng(11);
-  std::vector<bool> eligible = {false, true, true};
+  const auto eligible = cluster::NodeMask::from_vector({false, true, true});
   std::size_t ones = 0;
   for (int i = 0; i < 2000; ++i) {
     const auto choice = policy->choose(eligible, rng).value();
@@ -192,7 +195,7 @@ TEST(CappedPolicy, NeverExceedsCap) {
   CappedPolicy capped(inner, 3, 30);
   Rng rng(12);
   std::vector<std::size_t> counts(3, 0);
-  const std::vector<bool> all(3, true);
+  const cluster::NodeMask all(3, true);
   for (int i = 0; i < 90; ++i) {
     const auto node = capped.choose(all, rng);
     ASSERT_TRUE(node);

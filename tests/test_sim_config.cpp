@@ -138,6 +138,89 @@ TEST(SimConfigBuilderTest, SettersFailEagerlyNamingTheField) {
   EXPECT_NO_THROW(B().speculation(false, -1.0));
 }
 
+TEST(SimConfigTest, SchedulerChecksNameStructuredFields) {
+  SimJobConfig config;
+  config.scheduler.max_concurrent_attempts = 9;
+  EXPECT_EQ(thrown_field([&] { config.validate(); }),
+            "scheduler.max_concurrent_attempts");
+  // The scheduler struct admits a wider cap than the legacy flat knob.
+  config.scheduler.max_concurrent_attempts = 3;
+  EXPECT_NO_THROW(config.validate());
+
+  config = SimJobConfig{};
+  config.scheduler.redundancy = 0;
+  EXPECT_EQ(thrown_field([&] { config.validate(); }),
+            "scheduler.redundancy");
+
+  config = SimJobConfig{};
+  config.scheduler.calibrated_margin = -2.0;
+  EXPECT_EQ(thrown_field([&] { config.validate(); }),
+            "scheduler.calibrated_margin");
+
+  config = SimJobConfig{};
+  config.scheduler.node_quotes = {5.0, -0.5};
+  EXPECT_EQ(thrown_field([&] { config.validate(); }),
+            "scheduler.node_quotes");
+
+  config = SimJobConfig{};
+  config.scheduler.speculation = false;
+  config.scheduler.speculation_slack = -1.0;  // inert while off
+  EXPECT_NO_THROW(config.scheduler.validate());
+}
+
+TEST(SimConfigTest, EffectiveSchedulerMergesFlatOverrides) {
+  // A flat knob moved off its default wins over the sub-struct (the
+  // one-release deprecation shim) ...
+  SimJobConfig config;
+  config.speculation_slack = 2.0;
+  config.scheduler.speculation_slack = 1.5;
+  EXPECT_EQ(config.effective_scheduler().speculation_slack, 2.0);
+
+  // ... while a flat knob left at its default defers to it.
+  config = SimJobConfig{};
+  config.scheduler.speculation_slack = 1.5;
+  config.scheduler.speculation = false;
+  config.scheduler.max_concurrent_attempts = 4;
+  const auto merged = config.effective_scheduler();
+  EXPECT_EQ(merged.speculation_slack, 1.5);
+  EXPECT_FALSE(merged.speculation);
+  EXPECT_EQ(merged.max_concurrent_attempts, 4);
+
+  // Kind and the per-kind knobs have no flat counterpart: always taken
+  // from the sub-struct.
+  config = SimJobConfig{};
+  config.scheduler.kind = adapt::sim::SchedulerKind::kRedundant;
+  config.scheduler.redundancy = 3;
+  EXPECT_EQ(config.effective_scheduler().kind,
+            adapt::sim::SchedulerKind::kRedundant);
+  EXPECT_EQ(config.effective_scheduler().redundancy, 3);
+}
+
+TEST(SimConfigBuilderTest, SchedulerSettersWriteBothViews) {
+  using adapt::sim::SchedulerKind;
+  const SimJobConfig config = SimJobConfig::Builder()
+                                  .speculation(true, 1.4, 25.0)
+                                  .max_concurrent_attempts(1)
+                                  .scheduler_kind(SchedulerKind::kCalibrated)
+                                  .calibrated_margin(2.5)
+                                  .redundancy(4)
+                                  .build();
+  EXPECT_EQ(config.speculation_slack, 1.4);
+  EXPECT_EQ(config.scheduler.speculation_slack, 1.4);
+  EXPECT_EQ(config.scheduler.speculation_overdue, 25.0);
+  EXPECT_EQ(config.max_concurrent_attempts, 1);
+  EXPECT_EQ(config.scheduler.max_concurrent_attempts, 1);
+  EXPECT_EQ(config.scheduler.kind, SchedulerKind::kCalibrated);
+  EXPECT_EQ(config.scheduler.calibrated_margin, 2.5);
+  EXPECT_EQ(config.scheduler.redundancy, 4);
+
+  using B = SimJobConfig::Builder;
+  EXPECT_EQ(thrown_field([] { B().calibrated_margin(0.0); }),
+            "scheduler.calibrated_margin");
+  EXPECT_EQ(thrown_field([] { B().redundancy(9); }),
+            "scheduler.redundancy");
+}
+
 TEST(SimConfigBuilderTest, BuilderFromBaseRechecksOnBuild) {
   SimJobConfig base;
   base.gamma = -1.0;  // hand-corrupted aggregate
