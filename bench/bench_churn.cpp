@@ -9,7 +9,13 @@
 //                 [--dead-timeout SEC] [--threads T] [--json PATH]
 //                 [--trace PATH] [--metrics] [--calibrate]
 //                 [--sample-dt S] [--timeseries PATH] [--spans PATH]
+//                 [--lineage PATH] [--perfetto PATH] [--ring-capacity N]
 //                 [--gray]
+//
+// With --lineage, additionally prints a loss post-mortem: every lost
+// block classified by root cause (detection-window wipeout, retry
+// exhaustion, false-positive write-off, corruption without survivor),
+// aggregated across all sweeps.
 //
 // With --calibrate, prints a CUSUM drift-detection summary: how long
 // after each permanent departure the heartbeat estimator's drift was
@@ -19,8 +25,10 @@
 // loss crossed with a timed control-plane partition, with bitrot, the
 // block scanner and NameNode safe mode enabled — reporting the
 // detector's false dead declarations and checksum catches per policy.
+#include <array>
 #include <cstdio>
 #include <memory>
+#include <utility>
 
 #include "bench_util.h"
 #include "cluster/topology.h"
@@ -393,6 +401,47 @@ int main(int argc, char** argv) {
     std::printf("pairs matched: %llu (realized task completions paired "
                 "with their placement-time E[T] quote)\n",
                 static_cast<unsigned long long>(pairs));
+  }
+  if (options.obs.lineage) {
+    // Loss post-mortem: classify every lost block across every cell by
+    // root cause. Correlated bursts should be dominated by
+    // all_holders_dead_within_window (every copy written off in one
+    // detection batch, no repair ever started); unclassified staying at
+    // zero is the taxonomy's coverage guarantee.
+    std::array<std::uint64_t, obs::kLossCauseCount> counts{};
+    std::uint64_t total = 0;
+    for (const obs::RunObservations& run : sink.runs) {
+      if (run.lineage == nullptr) continue;
+      const obs::LossReport losses = obs::post_mortem(*run.lineage);
+      total += losses.total;
+      for (std::size_t c = 0; c < obs::kLossCauseCount; ++c) {
+        counts[c] += losses.counts[c];
+      }
+    }
+    common::Table causes({"root cause", "blocks lost", "share"});
+    std::vector<std::pair<std::string, double>> metrics;
+    metrics.reserve(obs::kLossCauseCount + 1);
+    for (std::size_t c = 0; c < obs::kLossCauseCount; ++c) {
+      const char* name = obs::to_string(static_cast<obs::LossCause>(c));
+      causes.add_row({name, std::to_string(counts[c]),
+                      common::format_percent(
+                          total > 0 ? static_cast<double>(counts[c]) /
+                                          static_cast<double>(total)
+                                    : 0.0)});
+      metrics.emplace_back(std::string("loss_cause_") + name,
+                           static_cast<double>(counts[c]));
+    }
+    metrics.emplace_back("loss_total", static_cast<double>(total));
+    std::printf("\n--- Loss post-mortem (root-cause breakdown, all "
+                "sweeps) ---\n%s",
+                causes.to_string().c_str());
+    const std::uint64_t unclassified =
+        counts[static_cast<std::size_t>(obs::LossCause::kUnclassified)];
+    std::printf("classified %llu/%llu lost block(s)%s\n",
+                static_cast<unsigned long long>(total - unclassified),
+                static_cast<unsigned long long>(total),
+                unclassified > 0 ? "  [WARNING: unclassified losses]" : "");
+    report.add_row("Loss post-mortem", "all sweeps", "all series", metrics);
   }
   sink.finish(report);
   bench::write_report(report, options.json_path);

@@ -9,7 +9,9 @@
 //      emulated 256-node cluster (event queue + network hot loops).
 //   4. churn recovery   — wall time of a churn run with the
 //      re-replication pipeline on (policy rebuilds hit the shared
-//      Eq. 5 cache; repair placement goes through the mask path).
+//      Eq. 5 cache; repair placement goes through the mask path),
+//      plus the same run with only the causal lineage index enabled
+//      (churn_lineage/wall_s) to bound the --lineage streaming cost.
 //
 // The committed BENCH_hotpath.json at the repo root is the --quick
 // baseline CI compares against (warn-only; see tools/compare_bench.py
@@ -170,6 +172,7 @@ obs::Options obs_stack() {
   obs.sample_dt = 5.0;
   obs.calibration.enabled = true;
   obs.calibration.per_node = true;
+  obs.lineage = true;
   return obs;
 }
 
@@ -250,6 +253,29 @@ void bench_churn_recovery(std::vector<Metric>& metrics, int runs,
   metrics.push_back({"churn_recovery/rereplications",
                      static_cast<double>(rereplications), "count",
                      "info"});
+
+  // 4b. Lineage overhead: the same churn run with ONLY the lineage
+  // index on — event tracer plus the streaming causal accumulator and
+  // its final snapshot. The delta against churn_recovery/wall_s bounds
+  // the --lineage cost; the --obs comparison covers the full stack.
+  obs::Options lineage_only;
+  lineage_only.lineage = true;
+  config.obs = lineage_only;
+  std::uint64_t losses = 0;
+  double lineage_wall = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    config.seed = seed + static_cast<std::uint64_t>(i);
+    const auto t0 = Clock::now();
+    const core::ExperimentResult r = core::run_experiment(cl, config);
+    lineage_wall += seconds_since(t0);
+    if (r.obs.lineage != nullptr) {
+      losses += obs::post_mortem(*r.obs.lineage).total;
+    }
+  }
+  std::printf("\n--- churn recovery + lineage index (%d run(s)) ---\n"
+              "%.3f s wall, %llu classified loss(es)\n",
+              runs, lineage_wall, static_cast<unsigned long long>(losses));
+  metrics.push_back({"churn_lineage/wall_s", lineage_wall, "s", "lower"});
 }
 
 void write_json(const std::vector<Metric>& metrics, bool quick,

@@ -11,6 +11,8 @@
 #include "common/config.h"
 #include "common/table.h"
 #include "core/adapt.h"
+#include "obs/lineage.h"
+#include "obs/perfetto.h"
 #include "obs/trace.h"
 #include "runner/report.h"
 #include "runner/runner.h"
@@ -32,12 +34,22 @@ namespace adapt::bench {
 //                  and embed per-run sample counts in the --json report
 //   --timeseries PATH  metric time series, JSONL (needs --sample-dt)
 //   --calibrate    track predicted-vs-realized task times + CUSUM drift
+//   --lineage PATH causal lineage export, JSONL: per-block replica
+//                  chains + loss post-mortems, per-task attempt trees
+//                  (byte-identical across thread counts)
+//   --perfetto PATH  Perfetto/Chrome trace-event JSON timeline
+//                  (byte-identical across thread counts)
+//   --ring-capacity N  event-tracer ring size; records beyond it are
+//                  dropped oldest-first and counted (lineage stays
+//                  exact — it streams ahead of the ring)
 struct RunnerOptions {
   std::size_t threads = 0;
   std::string json_path;
   std::string trace_path;
   std::string spans_path;
   std::string timeseries_path;
+  std::string lineage_path;
+  std::string perfetto_path;
   bool metrics = false;
   obs::Options obs;  // derived from the flags above
 };
@@ -72,12 +84,32 @@ inline RunnerOptions runner_options(const common::Flags& flags) {
   if (!options.timeseries_path.empty()) {
     probe_writable(options.timeseries_path, "--timeseries");
   }
+  options.lineage_path = flags.get_string("lineage", "");
+  if (!options.lineage_path.empty()) {
+    probe_writable(options.lineage_path, "--lineage");
+  }
+  options.perfetto_path = flags.get_string("perfetto", "");
+  if (!options.perfetto_path.empty()) {
+    probe_writable(options.perfetto_path, "--perfetto");
+  }
   options.metrics = flags.get_bool("metrics", false);
-  options.obs.trace = !options.trace_path.empty();
+  // The Perfetto exporter renders from the record stream, so it needs
+  // the trace collected even without --trace.
+  options.obs.trace =
+      !options.trace_path.empty() || !options.perfetto_path.empty();
+  options.obs.lineage = !options.lineage_path.empty();
   options.obs.metrics = options.metrics;
   options.obs.spans = !options.spans_path.empty();
   options.obs.span_host = flags.get_bool("span-host", false);
   options.obs.sample_dt = flags.get_double("sample-dt", 0.0);
+  const std::int64_t ring =
+      flags.get_int("ring-capacity",
+                    static_cast<std::int64_t>(options.obs.ring_capacity));
+  if (ring <= 0) {
+    std::fprintf(stderr, "--ring-capacity must be > 0\n");
+    std::exit(2);
+  }
+  options.obs.ring_capacity = static_cast<std::size_t>(ring);
   options.obs.calibration.enabled = flags.get_bool("calibrate", false);
   if (options.obs.calibration.enabled) {
     options.obs.calibration.per_node = true;
@@ -197,6 +229,35 @@ struct ObsSink {
       std::printf("wrote %llu sample(s) to %s\n",
                   static_cast<unsigned long long>(samples),
                   options.timeseries_path.c_str());
+    }
+    if (!options.lineage_path.empty()) {
+      try {
+        obs::write_lineage_jsonl(options.lineage_path, runs);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(1);
+      }
+      std::size_t blocks = 0;
+      std::uint64_t lost = 0;
+      for (const obs::RunObservations& run : runs) {
+        if (run.lineage == nullptr) continue;
+        blocks += run.lineage->blocks.size();
+        lost += obs::post_mortem(*run.lineage).total;
+      }
+      std::printf("wrote lineage for %zu block chain(s) (%llu lost) to %s\n",
+                  blocks, static_cast<unsigned long long>(lost),
+                  options.lineage_path.c_str());
+    }
+    if (!options.perfetto_path.empty()) {
+      try {
+        obs::write_perfetto_json(options.perfetto_path, runs);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(1);
+      }
+      std::printf("wrote Perfetto timeline to %s (load in "
+                  "ui.perfetto.dev or chrome://tracing)\n",
+                  options.perfetto_path.c_str());
     }
   }
 };

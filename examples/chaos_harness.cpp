@@ -7,11 +7,17 @@
 //
 //   ./chaos_harness [--seeds N] [--base-seed S] [--nodes N] [--blocks M]
 //                   [--dump-dir DIR] [--warn-only] [--ci]
+//                   [--post-mortem PATH]
 //
 // On a violation the offending run's schedule and full event trace are
-// written under --dump-dir (for CI artifact upload). --warn-only keeps
-// the exit status zero; --ci additionally emits GitHub "::warning"
-// annotations.
+// written under --dump-dir (for CI artifact upload), and block-scoped
+// violations print the offending block's causal lineage chain — what
+// placed, repaired, wrote off and lost its replicas — instead of
+// pointing at the raw trace dump. --warn-only keeps the exit status
+// zero; --ci additionally emits GitHub "::warning" annotations.
+// --post-mortem PATH appends every seed's loss post-mortem to PATH;
+// same seeds must reproduce the file byte-for-byte (CI diffs two
+// invocations).
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -19,6 +25,8 @@
 #include <vector>
 
 #include "common/config.h"
+#include "obs/lineage.h"
+#include "obs/replay.h"
 #include "sim/chaos.h"
 
 namespace {
@@ -73,6 +81,7 @@ void dump_artifacts(const std::string& dir, std::uint64_t seed,
   const std::string stem = dir + "/seed_" + std::to_string(seed);
   std::ofstream(stem + "_schedule.txt") << describe_schedule(report.schedule);
   std::ofstream(stem + "_trace.jsonl") << report.trace_jsonl;
+  std::ofstream(stem + "_postmortem.txt") << report.post_mortem;
 }
 
 }  // namespace
@@ -86,6 +95,16 @@ int main(int argc, char** argv) {
   const bool ci = flags.get_bool("ci", false);
   const std::string dump_dir =
       flags.get_string("dump-dir", "chaos_artifacts");
+  const std::string post_mortem_path = flags.get_string("post-mortem", "");
+  std::ofstream post_mortem_out;
+  if (!post_mortem_path.empty()) {
+    post_mortem_out.open(post_mortem_path, std::ios::binary);
+    if (!post_mortem_out) {
+      std::fprintf(stderr, "cannot open --post-mortem path %s\n",
+                   post_mortem_path.c_str());
+      return 2;
+    }
+  }
 
   sim::ChaosConfig config;
   config.nodes = static_cast<std::size_t>(
@@ -118,11 +137,34 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(job.safe_mode_entries),
                 static_cast<unsigned long long>(job.blocks_scanned),
                 report.ok() ? "ok" : "VIOLATION");
+    if (!post_mortem_path.empty()) {
+      post_mortem_out << "=== seed " << config.seed << " ===\n"
+                      << report.post_mortem;
+    }
     if (!report.ok()) {
       ++violating_seeds;
+      // Rebuild the lineage once per violating seed so block-scoped
+      // violations can print the offending block's causal chain.
+      obs::LineageSnapshot lineage;
+      bool have_lineage = false;
+      try {
+        const std::vector<obs::RunObservations> runs =
+            obs::parse_jsonl(report.trace_jsonl);
+        if (!runs.empty()) {
+          lineage = obs::build_lineage(runs.front().records);
+          have_lineage = true;
+        }
+      } catch (const std::exception&) {
+        // Fall back to the detail string alone.
+      }
       for (const sim::ChaosViolation& v : report.violations) {
         std::printf("        %s: %s\n", v.invariant.c_str(),
                     v.detail.c_str());
+        if (have_lineage && v.block != sim::ChaosViolation::kNoBlock) {
+          if (const obs::BlockLineage* b = obs::find_block(lineage, v.block)) {
+            std::printf("%s", obs::describe_block(*b).c_str());
+          }
+        }
         if (ci) {
           std::printf("::warning title=chaos %s (seed %llu)::%s\n",
                       v.invariant.c_str(),

@@ -10,8 +10,20 @@
 // simulated seconds attributed to each phase with child time subtracted,
 // so nested spans never double-count.
 //
+// Lineage queries rebuild the causal index from the trace and answer
+// "what happened to this block/task" directly:
+//   --lineage B   print block B's full replica chain (placed → repaired
+//                 → written off → …) with the loss verdict
+//   --task T      print task T's attempt tree (speculative siblings,
+//                 kill reasons, stalls)
+//   --why-lost    loss post-mortem: classify every lost block by root
+//                 cause and print per-cause counts + one line per loss
+//   --perfetto P  export the trace as Perfetto/Chrome trace-event JSON
+//                 (open in ui.perfetto.dev or chrome://tracing)
+//
 //   ./trace_inspect [<trace.jsonl>] [--spans spans.jsonl]
-//                   [--nodes N] [--runs R]
+//                   [--nodes N] [--runs R] [--lineage B] [--task T]
+//                   [--why-lost] [--perfetto out.json]
 //     --spans P   fold span-profile JSONL P into per-phase tables
 //     --nodes N   show the N busiest node timelines per run (default 8)
 //     --runs R    inspect only the first R runs (default: all)
@@ -24,6 +36,8 @@
 
 #include "common/config.h"
 #include "common/table.h"
+#include "obs/lineage.h"
+#include "obs/perfetto.h"
 #include "obs/replay.h"
 
 namespace {
@@ -45,6 +59,15 @@ void print_run(std::uint64_t run_index, const obs::RunObservations& run,
                std::size_t show_nodes) {
   const obs::ReplaySummary summary = obs::replay(run.records);
 
+  // When the ring overflowed, every table below undercounts — stamp the
+  // warning on each header so a table screenshotted in isolation still
+  // carries it.
+  const std::string trunc =
+      run.dropped > 0
+          ? " [TRUNCATED: ring dropped " + std::to_string(run.dropped) +
+                " record(s) — totals undercount; raise --ring-capacity]"
+          : std::string();
+
   std::printf("\n=== run %llu: %zu record(s)",
               static_cast<unsigned long long>(run_index),
               run.records.size());
@@ -65,7 +88,8 @@ void print_run(std::uint64_t run_index, const obs::RunObservations& run,
     events.add_row({obs::to_string(type),
                     std::to_string(summary.count(type))});
   }
-  std::printf("%s", events.to_string().c_str());
+  std::printf("event counts%s:\n%s", trunc.c_str(),
+              events.to_string().c_str());
 
   std::printf("\ntotal downtime %s, total busy %s\n",
               common::format_seconds(summary.total_downtime).c_str(),
@@ -88,7 +112,8 @@ void print_run(std::uint64_t run_index, const obs::RunObservations& run,
          std::to_string(summary.rereplication_giveups),
          common::format_bytes(
              static_cast<std::uint64_t>(summary.rereplication_bytes))});
-    std::printf("\nchurn & recovery:\n%s", recovery.to_string().c_str());
+    std::printf("\nchurn & recovery%s:\n%s", trunc.c_str(),
+                recovery.to_string().c_str());
   }
 
   // Failure audit: only shown when the trace carries gray-failure
@@ -112,7 +137,8 @@ void print_run(std::uint64_t run_index, const obs::RunObservations& run,
              std::to_string(summary.safe_mode_exits),
          std::to_string(summary.safe_mode_writeoffs),
          std::to_string(summary.rereplication_giveups)});
-    std::printf("\nfailure audit:\n%s", audit.to_string().c_str());
+    std::printf("\nfailure audit%s:\n%s", trunc.c_str(),
+                audit.to_string().c_str());
     if (summary.partitions_started > 0 || summary.stragglers_started > 0) {
       std::printf("injected: %llu partition(s) (%llu healed), "
                   "%llu straggler(s)\n",
@@ -134,7 +160,8 @@ void print_run(std::uint64_t run_index, const obs::RunObservations& run,
          std::to_string(summary.migration_giveups),
          common::format_bytes(
              static_cast<std::uint64_t>(summary.migration_bytes))});
-    std::printf("\nonline rebalancing:\n%s", migration.to_string().c_str());
+    std::printf("\nonline rebalancing%s:\n%s", trunc.c_str(),
+                migration.to_string().c_str());
   }
 
   // Scheduling: only shown when duplicate attempts were launched —
@@ -149,7 +176,8 @@ void print_run(std::uint64_t run_index, const obs::RunObservations& run,
          std::to_string(summary.redundant_cancels),
          common::format_bytes(
              static_cast<std::uint64_t>(summary.redundant_waste_bytes))});
-    std::printf("\nscheduling:\n%s", scheduling.to_string().c_str());
+    std::printf("\nscheduling%s:\n%s", trunc.c_str(),
+                scheduling.to_string().c_str());
   }
 
   // Busiest nodes first; ties broken by index for a stable listing.
@@ -178,8 +206,9 @@ void print_run(std::uint64_t run_index, const obs::RunObservations& run,
                       common::format_double(totals.downtime, 1),
                       common::format_percent(util)});
   }
-  std::printf("\nbusiest %zu of %zu node(s):\n%s", shown,
-              summary.nodes.size(), timeline.to_string().c_str());
+  std::printf("\nbusiest %zu of %zu node(s)%s:\n%s", shown,
+              summary.nodes.size(), trunc.c_str(),
+              timeline.to_string().c_str());
 }
 
 void print_phase_table(const char* title,
@@ -228,6 +257,56 @@ int inspect_spans(const std::string& path, std::int64_t max_runs) {
   return 0;
 }
 
+// Lineage queries: rebuild the causal index from each run's records and
+// answer --lineage/--task/--why-lost. Returns nonzero when a queried id
+// exists in no run.
+int run_queries(const std::vector<obs::RunObservations>& runs,
+                std::size_t limit, std::int64_t lineage_block,
+                std::int64_t task_id, bool why_lost) {
+  bool found_block = lineage_block < 0;
+  bool found_task = task_id < 0;
+  for (std::size_t i = 0; i < limit; ++i) {
+    const obs::RunObservations& run = runs[i];
+    if (run.dropped > 0) {
+      std::printf("\n=== run %zu === [TRUNCATED: ring dropped %llu "
+                  "record(s); chains rebuilt from a partial trace — "
+                  "re-export with --lineage/--ring-capacity for exact "
+                  "history]\n",
+                  i, static_cast<unsigned long long>(run.dropped));
+    } else {
+      std::printf("\n=== run %zu ===\n", i);
+    }
+    const obs::LineageSnapshot snapshot = obs::build_lineage(run.records);
+    if (lineage_block >= 0) {
+      const obs::BlockLineage* b = obs::find_block(
+          snapshot, static_cast<std::uint32_t>(lineage_block));
+      if (b == nullptr) {
+        std::printf("block %lld: no lineage in this run\n",
+                    static_cast<long long>(lineage_block));
+      } else {
+        found_block = true;
+        std::printf("%s", obs::describe_block(*b).c_str());
+      }
+    }
+    if (task_id >= 0) {
+      const obs::TaskLineage* t =
+          obs::find_task(snapshot, static_cast<std::uint32_t>(task_id));
+      if (t == nullptr) {
+        std::printf("task %lld: no lineage in this run\n",
+                    static_cast<long long>(task_id));
+      } else {
+        found_task = true;
+        std::printf("%s", obs::describe_task(*t).c_str());
+      }
+    }
+    if (why_lost) {
+      std::printf("%s",
+                  obs::post_mortem_text(obs::post_mortem(snapshot)).c_str());
+    }
+  }
+  return found_block && found_task ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -238,12 +317,18 @@ int main(int argc, char** argv) {
       !(flags.positional().empty() && !spans_path.empty())) {
     std::fprintf(stderr,
                  "usage: trace_inspect [<trace.jsonl>] "
-                 "[--spans spans.jsonl] [--nodes N] [--runs R]\n");
+                 "[--spans spans.jsonl] [--nodes N] [--runs R]\n"
+                 "       trace_inspect <trace.jsonl> [--lineage B] "
+                 "[--task T] [--why-lost] [--perfetto out.json]\n");
     return 2;
   }
   const auto show_nodes =
       static_cast<std::size_t>(flags.get_int("nodes", 8));
   const std::int64_t max_runs = flags.get_int("runs", -1);
+  const std::int64_t lineage_block = flags.get_int("lineage", -1);
+  const std::int64_t task_id = flags.get_int("task", -1);
+  const bool why_lost = flags.get_bool("why-lost", false);
+  const std::string perfetto_path = flags.get_string("perfetto", "");
   if (flags.positional().empty()) {
     return inspect_spans(spans_path, max_runs);
   }
@@ -271,6 +356,25 @@ int main(int argc, char** argv) {
   const std::size_t limit =
       max_runs < 0 ? runs.size()
                    : std::min(runs.size(), static_cast<std::size_t>(max_runs));
+
+  if (!perfetto_path.empty()) {
+    try {
+      obs::write_perfetto_json(perfetto_path, runs);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    std::printf("wrote Perfetto timeline to %s (load in ui.perfetto.dev "
+                "or chrome://tracing)\n",
+                perfetto_path.c_str());
+  }
+  // Query mode replaces the summary tables: answer the question asked,
+  // nothing else.
+  if (lineage_block >= 0 || task_id >= 0 || why_lost) {
+    return run_queries(runs, limit, lineage_block, task_id, why_lost);
+  }
+  if (!perfetto_path.empty()) return 0;
+
   for (std::size_t i = 0; i < limit; ++i) {
     print_run(i, runs[i], show_nodes);
   }

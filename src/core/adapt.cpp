@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/lineage.h"
 #include "placement/adapt_policy.h"
 #include "placement/jump_hash_policy.h"
 #include "placement/naive_policy.h"
@@ -172,11 +173,26 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
 
   // One tracer/registry per run, owned here; single-threaded by design,
   // so runs parallelized by the ExperimentRunner never share state.
+  // The lineage index rides the tracer as a streaming sink, so it sees
+  // every record even when the ring overwrites.
   std::unique_ptr<obs::EventTracer> tracer;
+  std::unique_ptr<obs::LineageIndex> lineage;
   std::unique_ptr<obs::MetricsRegistry> metrics;
-  if (config.obs.trace) {
+  if (config.obs.trace || config.obs.lineage) {
     tracer = std::make_unique<obs::EventTracer>(config.obs.ring_capacity);
     client.set_tracer(tracer.get());
+    if (config.obs.lineage) {
+      lineage = std::make_unique<obs::LineageIndex>();
+      tracer->set_sink(lineage.get());
+    }
+    // Pin the Eq. 5 quote each placement decision was priced with onto
+    // its placement record, so a replica's chain starts with the
+    // policy's own expectation.
+    avail::PerformancePredictor predictor(params.size(), config.job.gamma);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      predictor.set_params(i, params[i]);
+    }
+    client.set_quotes(predictor.expected_task_times());
   }
   if (config.obs.metrics || config.obs.sample_dt > 0.0) {
     metrics = std::make_unique<obs::MetricsRegistry>();
@@ -327,9 +343,13 @@ ExperimentResult run_experiment(const cluster::Cluster& cluster,
     }
   }
 
-  if (tracer) {
+  if (tracer && config.obs.trace) {
     result.obs.dropped = tracer->dropped();
     result.obs.records = tracer->take_records();
+  }
+  if (lineage) {
+    result.obs.lineage = std::make_shared<const obs::LineageSnapshot>(
+        lineage->take_snapshot());
   }
   if (metrics) {
     result.obs.metrics = metrics->snapshot();

@@ -80,6 +80,7 @@ FileId Client::copy_from_local(const std::string& name,
         r.task = static_cast<std::uint32_t>(b);
         r.aux = static_cast<std::uint32_t>(ri);
         r.node = replicas[ri];
+        if (replicas[ri] < quotes_.size()) r.v0 = quotes_[replicas[ri]];
         tracer_->record(r);
       }
     }

@@ -16,6 +16,8 @@
 
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cluster/network.h"
 #include "common/rng.h"
@@ -65,6 +67,13 @@ class Client {
   // copy_from_local (null = off).
   void set_tracer(obs::EventTracer* tracer) { tracer_ = tracer; }
 
+  // Per-node placement-time quotes (Eq. 5 expected task times). When
+  // set, each placement record carries the quote of the node it picked,
+  // so lineage chains start with what the policy paid for. Empty = off.
+  void set_quotes(std::vector<double> quotes) {
+    quotes_ = std::move(quotes);
+  }
+
   // Environment-supplied liveness (e.g. "node currently up" in the
   // simulator). Composed with the NameNode dead registry: a node is a
   // usable endpoint only if it is not dead AND the liveness callback
@@ -92,6 +101,7 @@ class Client {
   cluster::Network* network_;
   std::uint64_t block_size_;
   obs::EventTracer* tracer_ = nullptr;
+  std::vector<double> quotes_;
   LivenessFn liveness_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::MetricsRegistry::Id skipped_dead_ = 0;

@@ -1,0 +1,222 @@
+// Causal lineage index: chains every replica's history (placed-by
+// policy+quote → re-replicated → migrated → written-off → restored by a
+// revive block report → corrupted → trimmed) and every task's attempt
+// tree (speculative/redundant siblings, kill reasons, transfer stalls)
+// from the event stream, plus a loss post-mortem engine that classifies
+// every lost block by root cause.
+//
+// The index is a streaming TraceSink, NOT a ring consumer: it observes
+// every record at record() time with bounded per-block/per-task state,
+// so it stays exact even when the EventTracer ring overwrites. The same
+// accumulation can be replayed offline from a parsed trace
+// (build_lineage), which matches the online snapshot exactly whenever
+// the ring dropped nothing.
+//
+// Block ↔ task identity: the index assumes task id == block id, which
+// holds for every single-file run (run_experiment starts from a fresh
+// NameNode, so first_block == 0). Multi-file job streams reuse block
+// ids across files; lineage chains there merge per-id and the loss
+// verdict keys off the *latest* file's task — acceptable for debugging,
+// documented in DESIGN.md §12.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace adapt::obs {
+
+// One hop in a replica chain. `detail` and `v0` are kind-specific.
+enum class LineageStepKind : std::uint8_t {
+  kPlaced,         // replica placed (detail = replica index, v0 = quote)
+  kRereplicated,   // recovery copy landed (detail = source, v0 = bytes)
+  kMigrated,       // rebalance moved the copy (detail = source, v0 = bytes)
+  kWriteoff,       // holder declared dead (detail = 1 when false positive)
+  kRestored,       // revive block report re-registered the copy
+  kTrimmed,        // revive-time over-replica discarded
+  kCorrupted,      // bitrot injected (copy silently bad)
+  kCorruptDropped, // checksum caught it; copy removed (detail = path)
+  kLost,           // zero live replicas (detail = 1 when origin-recoverable)
+  kRepairStart,    // re-replication reserved (detail = attempt#)
+  kRepairRetry,    // re-replication failed; backing off (detail = attempt#)
+  kRepairGiveup,   // retry budget exhausted (detail = attempts)
+};
+inline constexpr std::size_t kLineageStepKindCount = 12;
+const char* to_string(LineageStepKind kind);
+
+struct LineageStep {
+  common::Seconds t = 0.0;
+  LineageStepKind kind = LineageStepKind::kPlaced;
+  std::uint32_t node = 0;    // acting holder / destination
+  std::uint32_t detail = 0;  // see LineageStepKind
+  double v0 = 0.0;           // quote or bytes (0 when unknown)
+};
+
+// Full causal chain of one block, with the derived loss verdict.
+struct BlockLineage {
+  std::uint32_t block = 0;
+  std::vector<LineageStep> steps;     // capped; excess only counted
+  std::uint32_t truncated_steps = 0;  // steps beyond the cap
+  std::vector<std::uint32_t> holders;  // final live holder set (sorted)
+
+  bool lost = false;  // final verdict (task undone, no copy survives)
+  common::Seconds lost_at = 0.0;
+
+  // Classification evidence accumulated along the chain.
+  bool saw_loss_event = false;       // any kReplicaLost observed
+  bool repair_attempted = false;     // any re-replication activity
+  bool repair_gaveup = false;        // retry budget exhausted
+  bool false_writeoff = false;       // a holder was written off while up
+  bool emptied_by_corruption = false;  // last copy died to a checksum drop
+  bool had_holders = false;          // ever held at least one replica
+};
+
+// One node of a task's attempt tree (siblings = duplicate attempts).
+struct AttemptNode {
+  common::Seconds start = 0.0;
+  common::Seconds end = -1.0;  // < 0 while still open
+  std::uint32_t node = 0;
+  std::uint32_t src = 0;       // fetch source (kOriginEndpoint = origin)
+  std::uint64_t ticket = 0;    // network reservation (stall matching)
+  bool speculative = false;    // duplicate launch (spec or redundant)
+  bool finished = false;
+  bool killed = false;
+  TraceReason kill_reason = TraceReason::kNone;
+  std::uint32_t stalls = 0;    // transfer stalls hit while fetching
+};
+
+struct TaskLineage {
+  std::uint32_t task = 0;
+  std::vector<AttemptNode> attempts;     // capped; excess only counted
+  std::uint32_t truncated_attempts = 0;
+  bool done = false;
+  common::Seconds done_at = 0.0;
+  std::uint32_t parks = 0;  // times every replica was offline at once
+};
+
+// Deterministic, finalized view: blocks and tasks ascending by id,
+// holding only entries the run actually touched.
+struct LineageSnapshot {
+  std::vector<BlockLineage> blocks;
+  std::vector<TaskLineage> tasks;
+  common::Seconds elapsed = 0.0;  // kJobEnd time (last record time if none)
+  std::uint64_t records_seen = 0;
+};
+
+// Streaming accumulator. Attach to a tracer with set_sink(); state is
+// bounded per block (kMaxStepsPerBlock) and per task
+// (kMaxAttemptsPerTask) so a pathological run cannot grow one chain
+// without bound — truncation is counted, never silent.
+class LineageIndex : public TraceSink {
+ public:
+  static constexpr std::size_t kMaxStepsPerBlock = 96;
+  static constexpr std::size_t kMaxAttemptsPerTask = 64;
+
+  void observe(const TraceRecord& r) override;
+
+  // Finalize and export: sorts holder sets, resolves each touched
+  // block's loss verdict (a block is lost iff its task is undone and
+  // either an unrecoverable zero-replica event stands un-restored or
+  // every remaining holder is down at the end). Callable repeatedly.
+  LineageSnapshot take_snapshot() const;
+
+ private:
+  struct BlockState {
+    BlockLineage lineage;
+    bool touched = false;
+  };
+  struct TaskState {
+    TaskLineage lineage;
+    bool touched = false;
+  };
+
+  BlockLineage& touch_block(std::uint32_t block);
+  TaskLineage& touch_task(std::uint32_t task);
+  void push_step(BlockLineage& b, const LineageStep& step);
+  // Returns true when the holder was absent and got added.
+  bool add_holder(BlockLineage& b, std::uint32_t node);
+  void remove_holder(BlockLineage& b, std::uint32_t node);
+
+  std::vector<BlockState> blocks_;  // dense, indexed by block id
+  std::vector<TaskState> tasks_;    // dense, indexed by task id
+  std::vector<char> node_up_;       // 1 = up (default); kNodeDown flips
+  common::Seconds last_t_ = 0.0;
+  common::Seconds elapsed_ = -1.0;  // < 0 until kJobEnd
+  std::uint64_t records_seen_ = 0;
+};
+
+// Offline rebuild from a parsed trace; identical to the online snapshot
+// whenever the ring dropped nothing.
+LineageSnapshot build_lineage(const std::vector<TraceRecord>& records);
+
+// nullptr when the snapshot holds no entry for the id.
+const BlockLineage* find_block(const LineageSnapshot& snapshot,
+                               std::uint32_t block);
+const TaskLineage* find_task(const LineageSnapshot& snapshot,
+                             std::uint32_t task);
+
+// ---------------------------------------------------------------------
+// Loss post-mortems
+// ---------------------------------------------------------------------
+
+// Root-cause taxonomy for a lost block, decided from its chain with
+// fixed precedence (first match wins, top to bottom):
+enum class LossCause : std::uint8_t {
+  kCorruptionNoSurvivor,   // last live copy removed by a checksum catch
+  kFalsePositiveWriteoff,  // a copy on a *live* node was written off
+                           // (partition/heartbeat loss) and the block
+                           // never recovered
+  kRetryExhaustion,        // re-replication ran and could not refill it
+  kAllHoldersDeadWithinWindow,  // no repair ever started: every holder
+                           // was written off in one detection batch —
+                           // i.e. all died within one detection window
+  kUnclassified,           // safety bucket; expected to stay empty
+};
+inline constexpr std::size_t kLossCauseCount = 5;
+const char* to_string(LossCause cause);
+
+LossCause classify_loss(const BlockLineage& b);
+
+struct LossPostMortem {
+  std::uint32_t block = 0;
+  LossCause cause = LossCause::kUnclassified;
+  common::Seconds lost_at = 0.0;
+  std::uint32_t writeoffs = 0;        // holder write-offs along the chain
+  std::uint32_t repair_attempts = 0;  // repair starts + retries
+};
+
+struct LossReport {
+  std::vector<LossPostMortem> losses;  // ascending block id
+  std::array<std::uint64_t, kLossCauseCount> counts{};
+  std::uint64_t total = 0;
+};
+
+LossReport post_mortem(const LineageSnapshot& snapshot);
+
+// ---------------------------------------------------------------------
+// Rendering & export
+// ---------------------------------------------------------------------
+
+// Human-readable multi-line chain / attempt tree (used by
+// trace_inspect and chaos_harness violation reports).
+std::string describe_block(const BlockLineage& b);
+std::string describe_task(const TaskLineage& t);
+
+// Deterministic post-mortem rendering: per-cause counts then one line
+// per lost block, ascending by block id. Byte-identical across
+// --threads; the chaos CI job diffs it across same-seed runs.
+std::string post_mortem_text(const LossReport& report);
+
+// JSONL export: per run a "summary" line, then one "block" line per
+// chain and one "task" line per attempt tree, ascending by id. Uses
+// the run's online snapshot when present, else rebuilds from records.
+// Byte-identical across --threads (runs concatenate in index order).
+std::string lineage_to_jsonl(const std::vector<RunObservations>& runs);
+void write_lineage_jsonl(const std::string& path,
+                         const std::vector<RunObservations>& runs);
+
+}  // namespace adapt::obs

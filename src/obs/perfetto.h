@@ -1,0 +1,37 @@
+// Perfetto / Chrome trace-event JSON exporter: renders a recorded run
+// as per-node tracks loadable in chrome://tracing or ui.perfetto.dev.
+//
+// Mapping (documented in DESIGN.md §12):
+//   process (pid)  = run index, named "run N"
+//   thread (tid)   = node index, named "node K"; one extra "control"
+//                    track (tid = node count) carries cluster-wide
+//                    instants (losses, safe mode, partitions)
+//   "X" slices     = attempt executions (args: src/dup/outcome/reason),
+//                    node down spans, and re-replication / migration
+//                    grant windows on the destination node's track
+//   "s"/"f" flows  = transfer arrows from the serving source track to
+//                    the destination slice (id = "run.ticket")
+//   "i" instants   = declared-dead marks, replica losses, repair
+//                    landings/give-ups, safe-mode and partition edges
+//
+// Determinism: timestamps are integer microseconds (llround(t * 1e6)),
+// events are emitted in record order, runs concatenate in index order —
+// the export is byte-identical across --threads values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace adapt::obs {
+
+// Serialize all runs into one trace-event JSON document.
+std::string perfetto_json(const std::vector<RunObservations>& runs);
+
+// Write perfetto_json(runs) to `path`; throws std::runtime_error on
+// failure.
+void write_perfetto_json(const std::string& path,
+                         const std::vector<RunObservations>& runs);
+
+}  // namespace adapt::obs

@@ -380,6 +380,7 @@ std::vector<RunObservations> parse_jsonl(const std::string& text) {
         if (const auto* v = get("replica")) {
           r.aux = static_cast<std::uint32_t>(as_u64(*v));
         }
+        if (const auto* v = get("quote")) r.v0 = as_double(*v);
         break;
       case EventType::kJobStart:
         if (const auto* v = get("nodes")) {
@@ -521,6 +522,11 @@ std::vector<RunObservations> parse_jsonl(const std::string& text) {
         break;
       case EventType::kRedundantWaste:
         if (const auto* v = get("bytes")) r.v0 = as_double(*v);
+        break;
+      case EventType::kReplicaWriteoff:
+        if (const auto* v = get("false_positive")) {
+          r.aux = static_cast<std::uint32_t>(as_u64(*v));
+        }
         break;
       default:
         break;

@@ -97,6 +97,12 @@ const char* to_string(EventType type) {
       return "node_revived";
     case EventType::kRedundantWaste:
       return "redundant_waste";
+    case EventType::kReplicaWriteoff:
+      return "replica_writeoff";
+    case EventType::kReplicaRestore:
+      return "replica_restore";
+    case EventType::kReplicaTrim:
+      return "replica_trim";
   }
   return "?";
 }
@@ -123,6 +129,7 @@ EventTracer::EventTracer(std::size_t capacity)
 }
 
 void EventTracer::record(const TraceRecord& r) {
+  if (sink_ != nullptr) sink_->observe(r);
   ++recorded_;
   if (ring_.size() < capacity_) {
     ring_.push_back(r);
@@ -154,6 +161,10 @@ void append_jsonl(std::string& out, std::uint64_t run_index,
       out += ", \"block\": " + std::to_string(r.task) +
              ", \"replica\": " + std::to_string(r.aux) +
              ", \"node\": " + std::to_string(r.node);
+      // Placement-time quote (expected task time on this node) when the
+      // caller supplied one; omitted otherwise so pre-quote traces stay
+      // byte-identical.
+      if (r.v0 > 0.0) out += ", \"quote\": " + json_number(r.v0);
       break;
     case EventType::kJobStart:
       out += ", \"nodes\": " + std::to_string(r.node) +
@@ -327,6 +338,16 @@ void append_jsonl(std::string& out, std::uint64_t run_index,
       out += ", \"task\": " + std::to_string(r.task) +
              ", \"node\": " + std::to_string(r.node) +
              ", \"bytes\": " + json_number(r.v0);
+      break;
+    case EventType::kReplicaWriteoff:
+      out += ", \"block\": " + std::to_string(r.task) +
+             ", \"node\": " + std::to_string(r.node) +
+             ", \"false_positive\": " + std::to_string(r.aux);
+      break;
+    case EventType::kReplicaRestore:
+    case EventType::kReplicaTrim:
+      out += ", \"block\": " + std::to_string(r.task) +
+             ", \"node\": " + std::to_string(r.node);
       break;
   }
   out += "}";

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -75,8 +76,16 @@ enum class EventType : std::uint8_t {
   // -- scheduler policies --
   kRedundantWaste,      // losing duplicate's fetch bytes written off
                         // when a sibling won (v0 = wasted bytes)
+  // -- per-replica churn detail (lineage) --
+  kReplicaWriteoff,     // a dead-declared holder's copy was dropped
+                        // (task = block, node = holder, aux = 1 when the
+                        // holder was actually up — false positive)
+  kReplicaRestore,      // revive block report re-registered a copy
+                        // (task = block, node = holder)
+  kReplicaTrim,         // revive-time over-replica discarded
+                        // (task = block, node = holder)
 };
-inline constexpr std::size_t kEventTypeCount = 36;
+inline constexpr std::size_t kEventTypeCount = 39;
 
 // Why an attempt/transfer was killed; mirrors the simulator's kill paths.
 enum class TraceReason : std::uint8_t {
@@ -105,6 +114,15 @@ struct TraceRecord {
   double v1 = 0.0;           // grant end
 };
 
+// Streaming observer: sees every record at record() time, before the
+// ring can overwrite it. This is how accumulating consumers (the
+// lineage index) stay exact when the ring is smaller than the run.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void observe(const TraceRecord& r) = 0;
+};
+
 // Bounded ring: overwrites the oldest record when full and counts the
 // overwritten records, so a too-small buffer is detectable rather than
 // silently misleading.
@@ -113,6 +131,10 @@ class EventTracer {
   static constexpr std::size_t kDefaultCapacity = 1 << 20;
 
   explicit EventTracer(std::size_t capacity = kDefaultCapacity);
+
+  // Attach a streaming observer (nullptr detaches). Not owned; must
+  // outlive the tracer or be detached first.
+  void set_sink(TraceSink* sink) { sink_ = sink; }
 
   void record(const TraceRecord& r);
 
@@ -129,7 +151,12 @@ class EventTracer {
   std::size_t capacity_;
   std::size_t head_ = 0;  // next overwrite position once wrapped
   std::uint64_t recorded_ = 0;
+  TraceSink* sink_ = nullptr;
 };
+
+// Built by obs::LineageIndex (obs/lineage.h); forward-declared here so
+// RunObservations can carry one without an include cycle.
+struct LineageSnapshot;
 
 // What one instrumented run hands back to its caller.
 struct RunObservations {
@@ -139,10 +166,13 @@ struct RunObservations {
   std::vector<SpanRecord> spans;
   TimeSeriesSnapshot timeseries;
   CalibrationSnapshot calibration;
+  // Present when Options::lineage was set; exact even when the ring
+  // overwrote (the index streams from the tracer, not the ring).
+  std::shared_ptr<const LineageSnapshot> lineage;
 
   bool empty() const {
     return records.empty() && metrics.empty() && spans.empty() &&
-           timeseries.empty() && calibration.empty();
+           timeseries.empty() && calibration.empty() && lineage == nullptr;
   }
 };
 
@@ -153,12 +183,13 @@ struct Options {
   bool metrics = false;  // collect metrics
   bool spans = false;    // collect profiler spans
   bool span_host = false;  // include (nondeterministic) host time in exports
+  bool lineage = false;  // build the causal lineage index (obs/lineage.h)
   common::Seconds sample_dt = 0.0;  // >0: sample metric time-series
   CalibrationOptions calibration;   // prediction calibration / drift
   std::size_t ring_capacity = EventTracer::kDefaultCapacity;
 
   bool enabled() const {
-    return trace || metrics || spans || sample_dt > 0.0 ||
+    return trace || metrics || spans || lineage || sample_dt > 0.0 ||
            calibration.enabled;
   }
 };

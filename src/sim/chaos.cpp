@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "hdfs/namenode.h"
+#include "obs/lineage.h"
 #include "obs/trace.h"
 #include "placement/random_policy.h"
 
@@ -103,6 +104,7 @@ SimJobConfig::ChurnConfig build_schedule(const ChaosConfig& config) {
 struct RunOutput {
   JobResult job;
   std::string trace_jsonl;
+  std::string post_mortem;
 };
 
 RunOutput run_once(const ChaosConfig& config,
@@ -116,6 +118,10 @@ RunOutput run_once(const ChaosConfig& config,
   file_out = file;
 
   obs::EventTracer tracer;
+  // Online lineage: streams from the tracer, so the post-mortem stays
+  // exact even if the ring were to overwrite.
+  obs::LineageIndex lineage;
+  tracer.set_sink(&lineage);
   SimJobConfig job_config;
   job_config.gamma = config.gamma;
   job_config.seed = config.seed;
@@ -126,6 +132,8 @@ RunOutput run_once(const ChaosConfig& config,
   MapReduceSimulation sim(cluster, nn, file, job_config);
   RunOutput out;
   out.job = sim.run();
+  out.post_mortem =
+      obs::post_mortem_text(obs::post_mortem(lineage.take_snapshot()));
   obs::RunObservations obs;
   obs.records = tracer.take_records();
   obs.dropped = tracer.dropped();
@@ -136,9 +144,11 @@ RunOutput run_once(const ChaosConfig& config,
 void check_invariants(const hdfs::NameNode& nn, hdfs::FileId file,
                       const ChaosConfig& config, const JobResult& job,
                       std::vector<ChaosViolation>& out) {
-  const auto violation = [&out](const char* name, std::string detail) {
-    out.push_back({name, std::move(detail)});
-  };
+  const auto violation =
+      [&out](const char* name, std::string detail,
+             std::uint32_t block = ChaosViolation::kNoBlock) {
+        out.push_back({name, std::move(detail), block});
+      };
 
   // Metadata consistency over every block of the file.
   for (const hdfs::BlockId block : nn.file(file).blocks) {
@@ -148,20 +158,20 @@ void check_invariants(const hdfs::NameNode& nn, hdfs::FileId file,
         holders.end()) {
       std::ostringstream os;
       os << "block " << block << " lists a holder twice";
-      violation("duplicate_replica", os.str());
+      violation("duplicate_replica", os.str(), block);
     }
     for (const cluster::NodeIndex n : holders) {
       if (nn.is_dead(n)) {
         std::ostringstream os;
         os << "block " << block << " registered on written-off node " << n;
-        violation("replica_on_dead_node", os.str());
+        violation("replica_on_dead_node", os.str(), block);
       }
     }
     if (static_cast<int>(holders.size()) > config.replication) {
       std::ostringstream os;
       os << "block " << block << " has " << holders.size()
          << " replicas, target " << config.replication;
-      violation("over_replicated", os.str());
+      violation("over_replicated", os.str(), block);
     }
   }
 
@@ -187,7 +197,7 @@ void check_invariants(const hdfs::NameNode& nn, hdfs::FileId file,
         std::ostringstream os;
         os << "lost block " << lb.block << " still has live clean replica on "
            << n;
-        violation("lost_with_live_replica", os.str());
+        violation("lost_with_live_replica", os.str(), lb.block);
       }
     }
   }
@@ -218,6 +228,7 @@ ChaosReport run_chaos(const ChaosConfig& config) {
   RunOutput first = run_once(config, report.schedule, nn, file);
   report.job = first.job;
   report.trace_jsonl = first.trace_jsonl;
+  report.post_mortem = first.post_mortem;
   check_invariants(nn, file, config, first.job, report.violations);
 
   if (config.check_determinism) {
@@ -228,6 +239,11 @@ ChaosReport run_chaos(const ChaosConfig& config) {
       report.violations.push_back(
           {"nondeterminism",
            "same seed produced a different event trace on re-run"});
+    }
+    if (second.post_mortem != first.post_mortem) {
+      report.violations.push_back(
+          {"post_mortem_nondeterminism",
+           "same seed produced a different loss classification on re-run"});
     }
   }
   return report;

@@ -58,8 +58,13 @@ struct ChaosConfig {
 };
 
 struct ChaosViolation {
+  static constexpr std::uint32_t kNoBlock = 0xffffffffu;
   std::string invariant;  // short machine-usable name
   std::string detail;     // human-readable specifics
+  // Offending block for block-scoped invariants (kNoBlock otherwise) —
+  // lets the harness print the block's causal lineage chain instead of
+  // pointing at a raw trace dump.
+  std::uint32_t block = kNoBlock;
 };
 
 struct ChaosReport {
@@ -69,6 +74,11 @@ struct ChaosReport {
   // Full JSONL event trace of the run — dumped as an artifact when an
   // invariant fails so the violation can be replayed offline.
   std::string trace_jsonl;
+  // Deterministic loss post-mortem (obs::post_mortem_text over the
+  // run's lineage): per-cause counts plus one line per lost block.
+  // Same seed must reproduce this byte-for-byte; the CI chaos job
+  // diffs it across repeat invocations.
+  std::string post_mortem;
   std::vector<ChaosViolation> violations;
   bool ok() const { return violations.empty(); }
 };

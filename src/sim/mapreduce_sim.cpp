@@ -309,6 +309,16 @@ void MapReduceSimulation::declare_dead(cluster::NodeIndex node) {
   }
 
   for (const hdfs::BlockId block : affected) {
+    {
+      // Per-replica write-off detail: which copy was dropped, and
+      // whether the holder was actually still up (false positive).
+      obs::TraceRecord r;
+      r.type = obs::EventType::kReplicaWriteoff;
+      r.task = block;
+      r.node = node;
+      r.aux = ns.up ? 1 : 0;
+      trace(r);
+    }
     const std::optional<TaskId> task = task_of(block);
     // A re-replica placed after the task finished was never registered
     // with the board (on_block_replicated skips Done tasks).
@@ -607,6 +617,13 @@ MapReduceSimulation::revive_declared_dead(cluster::NodeIndex node) {
       mutable_namenode_->revive_node(node);
   const common::Seconds now = queue_.now();
   for (const hdfs::BlockId block : report.restored) {
+    {
+      obs::TraceRecord r;
+      r.type = obs::EventType::kReplicaRestore;
+      r.task = block;
+      r.node = node;
+      trace(r);
+    }
     const std::optional<TaskId> task = task_of(block);
     if (!task || board_.status(*task) == TaskStatus::kDone) continue;
     if (!board_.is_local_to(*task, node)) {
@@ -627,6 +644,13 @@ MapReduceSimulation::revive_declared_dead(cluster::NodeIndex node) {
     }
   }
   for (const hdfs::NameNode::ReplicaDrop& drop : report.trimmed) {
+    {
+      obs::TraceRecord r;
+      r.type = obs::EventType::kReplicaTrim;
+      r.task = drop.block;
+      r.node = drop.node;
+      trace(r);
+    }
     // Trimming deletes the physical copy, and any rot on it.
     clear_corrupt(drop.block, drop.node);
     // drop.node == node means the disk copy itself was discarded:

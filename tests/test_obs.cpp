@@ -299,6 +299,61 @@ TEST(Trace, ParserRejectsMalformedLines) {
                std::runtime_error);
 }
 
+TEST(Trace, GrayFailureEventsRoundTripThroughReplay) {
+  // The gray-failure record types must survive serialize → parse →
+  // replay with their summary counters intact, including the
+  // per-replica write-off/restore/trim detail records.
+  const auto rec = [](double t, obs::EventType type, std::uint32_t task,
+                      std::uint32_t node, std::uint32_t aux) {
+    obs::TraceRecord r;
+    r.t = t;
+    r.type = type;
+    r.task = task;
+    r.node = node;
+    r.aux = aux;
+    return r;
+  };
+  std::vector<obs::RunObservations> runs(1);
+  std::vector<obs::TraceRecord>& rs = runs[0].records;
+  rs.push_back(rec(1.0, obs::EventType::kPartitionStart, 0, 0, 5));
+  rs.push_back(rec(2.0, obs::EventType::kStragglerStart, 0, 3, 0));
+  rs.push_back(rec(3.0, obs::EventType::kReplicaCorrupt, 9, 2, 0));
+  rs.push_back(rec(4.0, obs::EventType::kCorruptRead, 9, 2, /*scan=*/2));
+  rs.push_back(rec(5.0, obs::EventType::kSafeModeEnter, 0, 0, 4));
+  rs.push_back(rec(6.0, obs::EventType::kReplicaWriteoff, 9, 2, 1));
+  rs.push_back(rec(7.0, obs::EventType::kReplicaRestore, 9, 2, 0));
+  rs.push_back(rec(7.0, obs::EventType::kReplicaTrim, 9, 4, 0));
+  rs.push_back(rec(8.0, obs::EventType::kSafeModeExit, 2, 0, 0));
+  rs.push_back(rec(9.0, obs::EventType::kStragglerEnd, 0, 3, 0));
+  rs.push_back(rec(10.0, obs::EventType::kPartitionHeal, 0, 0, 5));
+
+  const std::string jsonl = obs::to_jsonl(runs);
+  const std::vector<obs::RunObservations> parsed = obs::parse_jsonl(jsonl);
+  ASSERT_EQ(parsed.size(), 1u);
+  ASSERT_EQ(parsed[0].records.size(), rs.size());
+  EXPECT_EQ(obs::to_jsonl(parsed), jsonl);
+
+  const obs::ReplaySummary summary = obs::replay(parsed[0].records);
+  EXPECT_EQ(summary.partitions_started, 1u);
+  EXPECT_EQ(summary.partitions_healed, 1u);
+  EXPECT_EQ(summary.stragglers_started, 1u);
+  EXPECT_EQ(summary.replicas_corrupted, 1u);
+  EXPECT_EQ(summary.corrupt_reads, 1u);
+  EXPECT_EQ(summary.corrupt_reads_scan, 1u);
+  EXPECT_EQ(summary.safe_mode_entries, 1u);
+  EXPECT_EQ(summary.safe_mode_exits, 1u);
+  EXPECT_EQ(summary.count(obs::EventType::kReplicaWriteoff), 1u);
+  EXPECT_EQ(summary.count(obs::EventType::kReplicaRestore), 1u);
+  EXPECT_EQ(summary.count(obs::EventType::kReplicaTrim), 1u);
+
+  // The parsed write-off keeps its false-positive marker bit.
+  const obs::TraceRecord& writeoff = parsed[0].records[5];
+  ASSERT_EQ(writeoff.type, obs::EventType::kReplicaWriteoff);
+  EXPECT_EQ(writeoff.aux, 1u);
+  EXPECT_EQ(writeoff.task, 9u);
+  EXPECT_EQ(writeoff.node, 2u);
+}
+
 core::ExperimentConfig traced_config(const cluster::Cluster& cl,
                                      std::uint64_t seed) {
   const workload::Workload w = workload::emulation_workload();

@@ -1,0 +1,163 @@
+// Perfetto/Chrome trace-event exporter: structural validity of the
+// emitted JSON (balanced nesting, required keys, known phase codes),
+// the track/slice mapping, and byte-identity across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "core/adapt.h"
+#include "obs/perfetto.h"
+#include "obs/trace.h"
+#include "runner/runner.h"
+#include "workload/terasort.h"
+
+namespace {
+
+using namespace adapt;
+
+// Minimal structural JSON check: every brace/bracket outside a string
+// balances and the document closes exactly once. The exporter builds
+// the text by concatenation, so this is the mistake class to guard.
+bool json_structure_ok(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+core::ExperimentConfig churn_config(const cluster::Cluster& cl,
+                                    std::uint64_t seed) {
+  const workload::Workload w = workload::emulation_workload();
+  core::ExperimentConfig config;
+  config.blocks = w.blocks_for(cl.size());
+  config.job.gamma = w.gamma();
+  config.policy = core::PolicyKind::kAdapt;
+  config.replication = 2;
+  config.seed = seed;
+  config.job.allow_origin_fetch = false;
+  config.job.churn.enabled = true;
+  config.job.churn.burst_at = 5.0;
+  config.job.churn.burst_fraction = 0.4;
+  config.job.churn.dead_timeout = 10.0;
+  config.job.churn.rereplication.enabled = true;
+  config.obs.trace = true;
+  return config;
+}
+
+cluster::Cluster small_cluster() {
+  cluster::EmulationConfig emu;
+  emu.node_count = 24;
+  return cluster::emulated_cluster(emu);
+}
+
+std::string perfetto_json_for(const obs::RunObservations& run) {
+  std::vector<obs::RunObservations> runs;
+  runs.push_back(run);
+  return obs::perfetto_json(runs);
+}
+
+TEST(Perfetto, ExportIsStructurallyValidTraceEventJson) {
+  const cluster::Cluster cl = small_cluster();
+  const core::ExperimentResult result =
+      core::run_experiment(cl, churn_config(cl, 3));
+  ASSERT_FALSE(result.obs.records.empty());
+
+  const std::string json = perfetto_json_for(result.obs);
+  EXPECT_TRUE(json_structure_ok(json)) << "unbalanced JSON";
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\": \"ms\",\n", 0), 0u);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+  // No trailing comma before the closing bracket.
+  EXPECT_EQ(json.find(",\n]}"), std::string::npos);
+
+  // Every event line carries a known phase code and the required keys.
+  std::size_t events = 0;
+  std::size_t slices = 0;
+  std::size_t metadata = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("{\"ph\": \"", pos)) != std::string::npos) {
+    const char ph = json[pos + 8];
+    EXPECT_TRUE(ph == 'X' || ph == 'M' || ph == 's' || ph == 'f' ||
+                ph == 'i')
+        << "unknown phase " << ph;
+    const std::size_t line_end = json.find('\n', pos);
+    const std::string line = json.substr(pos, line_end - pos);
+    EXPECT_NE(line.find("\"pid\": "), std::string::npos);
+    EXPECT_NE(line.find("\"tid\": "), std::string::npos);
+    if (ph != 'M') {
+      EXPECT_NE(line.find("\"ts\": "), std::string::npos);
+    }
+    if (ph == 'X') {
+      EXPECT_NE(line.find("\"dur\": "), std::string::npos);
+      ++slices;
+    }
+    if (ph == 'M') ++metadata;
+    ++events;
+    pos = line_end;
+  }
+  EXPECT_GT(events, 0u);
+  EXPECT_GT(slices, 0u);  // attempts render as X slices
+  // One process_name + one thread_name per node + the control track.
+  EXPECT_EQ(metadata, 1u + cl.size() + 1u);
+  EXPECT_NE(json.find("\"args\": {\"name\": \"control\"}"),
+            std::string::npos);
+  // A churn run with repairs produces flow arrows bound by id.
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+}
+
+TEST(Perfetto, EmptyRunsStillProduceValidJson) {
+  const std::string json = obs::perfetto_json({});
+  EXPECT_TRUE(json_structure_ok(json));
+  EXPECT_EQ(json, "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n]}\n");
+}
+
+TEST(Perfetto, ExportIsByteIdenticalAcrossThreadCounts) {
+  const cluster::Cluster cl = small_cluster();
+  const core::ExperimentConfig config = churn_config(cl, 7);
+
+  runner::ExperimentRunner serial(1);
+  runner::ExperimentRunner pooled(4);
+  std::vector<obs::RunObservations> obs_serial;
+  std::vector<obs::RunObservations> obs_pooled;
+  (void)serial.run_replications(cl, config, 4, &obs_serial);
+  (void)pooled.run_replications(cl, config, 4, &obs_pooled);
+
+  const std::string a = obs::perfetto_json(obs_serial);
+  const std::string b = obs::perfetto_json(obs_pooled);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  // Each run renders as its own process (pid = run index).
+  EXPECT_NE(a.find("\"args\": {\"name\": \"run 3\"}"), std::string::npos);
+}
+
+}  // namespace
